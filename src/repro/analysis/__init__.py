@@ -1,0 +1,44 @@
+"""Dependence and I/O-sharing-opportunity analysis (Sections 4.3 and 5.1).
+
+Public surface:
+
+* :func:`analyze` — full pipeline: co-accesses -> dependences + sharing
+  opportunities, with no-write-in-between pruning and multiplicity
+  reduction;
+* :class:`ProgramAnalysis`, :class:`Dependence`, :class:`SharingOpportunity`;
+* :class:`CoAccess` / :func:`build_extent` / :func:`enumerate_coaccesses` —
+  the raw Definition-1 machinery;
+* :class:`ConcreteAnalyzer` — brute-force instance-level oracle used for
+  cross-validation and by the cost evaluator.
+"""
+
+from .analyzer import (Dependence, ProgramAnalysis, SharingOpportunity, analyze)
+from .coaccess import (SRC_PREFIX, TGT_PREFIX, CoAccess, build_extent,
+                       enumerate_coaccesses, product_space)
+from .concrete import AccessEvent, ConcreteAnalyzer
+from .multiplicity import (Multiplicity, classify_multiplicity, is_functional,
+                           reduce_to_one_one)
+from .pruning import (intervening_write_set, no_write_in_between,
+                      no_write_in_between_both)
+
+__all__ = [
+    "analyze",
+    "ProgramAnalysis",
+    "Dependence",
+    "SharingOpportunity",
+    "CoAccess",
+    "build_extent",
+    "enumerate_coaccesses",
+    "product_space",
+    "SRC_PREFIX",
+    "TGT_PREFIX",
+    "AccessEvent",
+    "ConcreteAnalyzer",
+    "Multiplicity",
+    "classify_multiplicity",
+    "is_functional",
+    "reduce_to_one_one",
+    "intervening_write_set",
+    "no_write_in_between",
+    "no_write_in_between_both",
+]

@@ -1,0 +1,141 @@
+"""Top-level program analysis: dependences and sharing opportunities.
+
+This is the "Sharing Opportunities Analysis" stage of Figure 2: starting
+from a program and its original schedule, it enumerates co-accesses, splits
+them into dependences (Definition 2) and sharing opportunities
+(Definition 3), applies the no-write-in-between rule to both, and reduces
+sharing opportunities to one-one multiplicity (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..ir import AccessType, Program, Schedule
+from ..polyhedral import Polyhedron
+from .coaccess import CoAccess, enumerate_coaccesses
+from .multiplicity import reduce_to_one_one
+from .pruning import no_write_in_between_both
+
+__all__ = ["Dependence", "SharingOpportunity", "ProgramAnalysis", "analyze"]
+
+_DEP_TYPES = [(AccessType.READ, AccessType.WRITE),
+              (AccessType.WRITE, AccessType.READ),
+              (AccessType.WRITE, AccessType.WRITE)]
+_SHARE_TYPES = [(AccessType.WRITE, AccessType.READ),
+                (AccessType.WRITE, AccessType.WRITE),
+                (AccessType.READ, AccessType.READ)]
+
+
+class Dependence:
+    """A data dependence: ordering constraint every legal schedule must keep."""
+
+    __slots__ = ("co",)
+
+    def __init__(self, co: CoAccess):
+        self.co = co
+
+    @property
+    def label(self) -> str:
+        return self.co.label()
+
+    def __repr__(self) -> str:
+        return f"Dependence({self.co.label()})"
+
+
+class SharingOpportunity:
+    """A one-one (after reduction) data-reuse relationship.
+
+    ``reduced`` records whether multiplicity reduction succeeded; the
+    optimizer only considers reduced opportunities.
+    """
+
+    __slots__ = ("co", "reduced", "index")
+
+    def __init__(self, co: CoAccess, reduced: bool, index: int):
+        self.co = co
+        self.reduced = reduced
+        self.index = index
+
+    @property
+    def label(self) -> str:
+        return self.co.label()
+
+    @property
+    def type_str(self) -> str:
+        return self.co.type_str
+
+    @property
+    def is_self(self) -> bool:
+        return self.co.is_self
+
+    def savings_pairs(self, params: Mapping[str, int]):
+        return self.co.pairs(params)
+
+    def __repr__(self) -> str:
+        flag = "" if self.reduced else ", UNREDUCED"
+        return f"SharingOpportunity#{self.index}({self.co.label()}, {self.co.type_str}{flag})"
+
+
+class ProgramAnalysis:
+    """Analysis result bundle consumed by the optimizer."""
+
+    __slots__ = ("program", "schedule", "context", "dependences", "opportunities")
+
+    def __init__(self, program: Program, schedule: Schedule, context: Polyhedron,
+                 dependences: Sequence[Dependence],
+                 opportunities: Sequence[SharingOpportunity]):
+        self.program = program
+        self.schedule = schedule
+        self.context = context
+        self.dependences = list(dependences)
+        self.opportunities = list(opportunities)
+
+    def opportunity(self, label: str) -> SharingOpportunity:
+        """Look up an opportunity by its ``s1WC->s2RC`` style label."""
+        matches = [o for o in self.opportunities if o.label == label]
+        if len(matches) != 1:
+            raise KeyError(f"{len(matches)} opportunities labelled {label!r}")
+        return matches[0]
+
+    def __repr__(self) -> str:
+        return (f"ProgramAnalysis({self.program.name}: "
+                f"{len(self.dependences)} dependences, "
+                f"{len(self.opportunities)} sharing opportunities)")
+
+
+def analyze(program: Program, schedule: Schedule | None = None,
+            param_values: Mapping[str, int] | None = None) -> ProgramAnalysis:
+    """Run the full analysis pipeline.
+
+    ``param_values`` (when given) narrows the parameter context to concrete
+    sizes; existence of dependences/opportunities is then judged for those
+    sizes (the paper's experiments do the same, e.g. s2RC->s2RC does not
+    exist when n3 = 1).  The polyhedra keep the parameters symbolic.
+    """
+    if schedule is None:
+        schedule = Schedule.original(program)
+    context = program.param_context
+    if param_values:
+        space = context.space
+        eqs = []
+        for name, value in param_values.items():
+            if name in space:
+                row = [0] * (space.dim + 1)
+                row[space.index(name)] = 1
+                row[-1] = -int(value)
+                eqs.append(row)
+        context = context.add_constraints(eqs=eqs)
+
+    all_types = set(_DEP_TYPES) | set(_SHARE_TYPES)
+    dependences: list[Dependence] = []
+    opportunities: list[SharingOpportunity] = []
+    for co in enumerate_coaccesses(program, schedule, context, types=all_types):
+        conservative, full = no_write_in_between_both(program, schedule, co, context)
+        if co.type in _DEP_TYPES and not conservative.extent.is_empty():
+            dependences.append(Dependence(conservative))
+        if co.type in _SHARE_TYPES and not full.extent.is_empty():
+            reduced, ok = reduce_to_one_one(full)
+            opportunities.append(SharingOpportunity(reduced, ok, len(opportunities)))
+
+    return ProgramAnalysis(program, schedule, context, dependences, opportunities)

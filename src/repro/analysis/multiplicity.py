@@ -1,0 +1,229 @@
+"""Multiplicity classification and reduction (Section 5.1 and Remark A.1).
+
+Under the linear sharing model only *consecutive* accesses to a block share
+I/O, so a sharing opportunity relating one instance to many others
+over-counts.  The optimizer therefore reduces every sharing opportunity to
+one-one form before searching:
+
+* many-one / one-many: the "many" side (always a read side) keeps, per
+  instance of the "one" side, only the instance closest in execution time —
+  realized here by pinning free variables to their tightest bound (lower
+  bound for the target side, upper bound for the source side);
+* many-many: first aligned rank-preservingly (Figure 7(b): add equalities
+  like ``i' = i`` between same-named variables) and then reduced as above.
+
+Every candidate pin is validated by a *coverage check*: the projection of
+the extent onto the preserved side must not shrink, which is exactly the
+paper's requirement that reduction not reduce the amount of I/O savings.
+Runs in O(d_i * d_j) pin attempts per disjunct, as in Remark A.1.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..exceptions import ReproError
+from ..polyhedral import Polyhedron, PolyhedralSet, Space
+from .coaccess import SRC_PREFIX, TGT_PREFIX, CoAccess
+
+__all__ = ["Multiplicity", "classify_multiplicity", "reduce_to_one_one",
+           "is_functional"]
+
+
+class Multiplicity:
+    """(source_side, target_side) multiplicities, each 'one' or 'many'."""
+
+    __slots__ = ("src", "tgt")
+
+    def __init__(self, src: str, tgt: str):
+        self.src = src
+        self.tgt = tgt
+
+    @property
+    def is_one_one(self) -> bool:
+        return self.src == "one" and self.tgt == "one"
+
+    def __repr__(self) -> str:
+        return f"{self.src}-{self.tgt}"
+
+    def __eq__(self, other):
+        return (isinstance(other, Multiplicity)
+                and (self.src, self.tgt) == (other.src, other.tgt))
+
+
+def _side_vars(co: CoAccess, prefix: str) -> list[str]:
+    stmt = co.src.statement if prefix == SRC_PREFIX else co.tgt.statement
+    return [prefix + v for v in stmt.loop_vars]
+
+
+def is_functional(extent: PolyhedralSet, determined: list[str],
+                  given: list[str]) -> bool:
+    """Does each assignment of ``given`` relate to at most one assignment of
+    ``determined`` in the extent?
+
+    Tested by doubling the determined side: the set
+    { (g, d, d2) : (g,d) in E, (g,d2) in E, d != d2 } must be empty.
+    """
+    space = extent.space
+    copies = {v: "c2_" + v for v in determined}
+    space2 = Space(space.names + tuple(copies[v] for v in determined))
+    first = extent.align(space2)
+    second = extent.rename(copies).align(space2)
+    both = first.intersect(second)
+    # d != d2: union over each determined var being > or <.
+    for v in determined:
+        i1, i2 = space2.index(v), space2.index(copies[v])
+        for sign in (1, -1):
+            row = [Fraction(0)] * (space2.dim + 1)
+            row[i1] = Fraction(sign)
+            row[i2] = Fraction(-sign)
+            row[-1] = Fraction(-1)  # strict difference
+            differs = both.intersect(Polyhedron(space2, ineqs=[row]))
+            if not differs.is_empty():
+                return False
+    return True
+
+
+def classify_multiplicity(co: CoAccess) -> Multiplicity:
+    src_vars = _side_vars(co, SRC_PREFIX)
+    tgt_vars = _side_vars(co, TGT_PREFIX)
+    tgt_unique = is_functional(co.extent, determined=tgt_vars, given=src_vars)
+    src_unique = is_functional(co.extent, determined=src_vars, given=tgt_vars)
+    return Multiplicity("one" if src_unique else "many",
+                        "one" if tgt_unique else "many")
+
+
+def reduce_to_one_one(co: CoAccess) -> tuple[CoAccess, bool]:
+    """Reduce a sharing opportunity to one-one multiplicity.
+
+    Returns ``(reduced_co_access, success)``.  On failure the original
+    co-access is returned with ``success=False`` (the optimizer then skips
+    it, which is sound but may lose savings; this does not happen on the
+    paper's workloads).
+    """
+    mult = classify_multiplicity(co)
+    if mult.is_one_one:
+        return co, True
+
+    src_vars = _side_vars(co, SRC_PREFIX)
+    tgt_vars = _side_vars(co, TGT_PREFIX)
+    reduced: list[Polyhedron] = []
+    for disjunct in co.extent.disjuncts:
+        d = _reduce_disjunct(disjunct, src_vars, tgt_vars)
+        if d is None:
+            return co, False
+        reduced.append(d)
+    new = co.with_extent(PolyhedralSet(co.extent.space, reduced))
+    if not classify_multiplicity(new).is_one_one:
+        return co, False
+    return new, True
+
+
+def _reduce_disjunct(poly: Polyhedron, src_vars: list[str],
+                     tgt_vars: list[str]) -> Polyhedron | None:
+    """One-one reduction of a convex disjunct by iterative pinning."""
+    single = PolyhedralSet.from_polyhedron(poly)
+    tgt_unique = is_functional(single, determined=tgt_vars, given=src_vars)
+    if not tgt_unique:
+        poly = _pin_side(poly, pin_vars=tgt_vars, keep_vars=src_vars,
+                         bound_sign=+1)
+        if poly is None:
+            return None
+    src_unique = is_functional(PolyhedralSet.from_polyhedron(poly),
+                               determined=src_vars, given=tgt_vars)
+    if not src_unique:
+        poly = _pin_side(poly, pin_vars=src_vars, keep_vars=tgt_vars,
+                         bound_sign=-1)
+        if poly is None:
+            return None
+    return poly
+
+
+def _pin_side(poly: Polyhedron, pin_vars: list[str], keep_vars: list[str],
+              bound_sign: int) -> Polyhedron | None:
+    """Pin the free variables of one side until it is functionally determined.
+
+    ``bound_sign=+1`` pins to lower bounds (earliest following instance, for
+    the target side); ``-1`` pins to upper bounds (latest preceding instance,
+    for the source side).  Same-named alignment (Figure 7(b)) is tried first.
+    Every pin must preserve the projection onto ``keep_vars`` (+ params).
+    """
+    keep_proj = _side_projection(poly, keep_vars)
+    current = poly
+    for v in pin_vars:
+        if _determined(current, v, keep_vars):
+            continue
+        candidates = _pin_candidates(current, v, pin_vars, bound_sign)
+        pinned = None
+        for eq_row in candidates:
+            trial = current.add_constraints(eqs=[eq_row])
+            if trial.is_rational_empty():
+                continue
+            if _side_projection(trial, keep_vars) == keep_proj:
+                pinned = trial
+                break
+        if pinned is None:
+            return None
+        current = pinned
+    return current
+
+
+def _determined(poly: Polyhedron, var: str, given: list[str]) -> bool:
+    """Is ``var`` an affine function of ``given`` + params on the polyhedron?
+
+    True iff the affine hull's equalities determine var from the given side.
+    We test by doubling: two points agreeing on ``given`` must agree on var.
+    """
+    others = [n for n in poly.space.names if n not in given]
+    copies = {n: "c2_" + n for n in others}
+    space2 = Space(poly.space.names + tuple(copies[n] for n in others))
+    first = poly.align(space2)
+    second = poly.rename(copies).align(space2)
+    both = first.intersect(second)
+    i1, i2 = space2.index(var), space2.index(copies[var])
+    for sign in (1, -1):
+        row = [Fraction(0)] * (space2.dim + 1)
+        row[i1] = Fraction(sign)
+        row[i2] = Fraction(-sign)
+        row[-1] = Fraction(-1)
+        if not both.intersect(Polyhedron(space2, ineqs=[row])).is_empty():
+            return False
+    return True
+
+
+def _pin_candidates(poly: Polyhedron, var: str, side_vars: list[str],
+                    bound_sign: int) -> list[list[Fraction]]:
+    """Equality rows that could pin ``var``: same-name alignment first, then
+    bound rows of matching sign with unit coefficient on ``var`` and no other
+    un-pinned same-side variables."""
+    space = poly.space
+    idx = space.index(var)
+    out: list[list[Fraction]] = []
+
+    # Same-name alignment: s_i <-> t_i (rank-preserving, Figure 7(b)).
+    base = var.split("_", 1)[1]
+    other_prefix = TGT_PREFIX if var.startswith(SRC_PREFIX) else SRC_PREFIX
+    partner = other_prefix + base
+    if partner in space:
+        row = [Fraction(0)] * (space.dim + 1)
+        row[idx] = Fraction(1)
+        row[space.index(partner)] = Fraction(-1)
+        out.append(row)
+
+    # Bound rows: an inequality c*var + rest >= 0 with c == bound_sign gives
+    # the pin  var = -(rest)/c  when tight.
+    side_others = [space.index(v) for v in side_vars if v != var]
+    for ineq in poly.ineqs:
+        if ineq[idx] != bound_sign:
+            continue
+        if any(ineq[j] != 0 for j in side_others):
+            continue
+        out.append([Fraction(v) for v in ineq])  # tight: row == 0
+    return out
+
+
+def _side_projection(poly: Polyhedron, keep_vars: list[str]) -> Polyhedron:
+    drop = [n for n in poly.space.names
+            if n not in keep_vars and (n.startswith(SRC_PREFIX) or n.startswith(TGT_PREFIX))]
+    shadow, _ = poly.project_out(drop)
+    return shadow.remove_redundancy()

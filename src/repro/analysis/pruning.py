@@ -1,0 +1,155 @@
+"""The no-write-in-between rule (Section 5.1).
+
+Given a co-access ``a -> a'``, any pair ``(x, x')`` of its extent is removed
+if some write ``w`` to the same block executes strictly between the two
+accesses in the original program:
+
+* for *sharing opportunities* the pair can never be consecutive accesses
+  under any legal schedule, so it can never be realized;
+* for *dependences* the ordering constraint is redundant (implied through
+  the intervening write).
+
+"Between" is measured at *access* granularity: a statement instance reads
+its operands before writing its result, so e.g. the write of ``E[i,j]`` at
+``k`` kills the R->R pair of reads at ``k`` and ``k+1`` even though read and
+write share statement instances.  This is captured by extending time vectors
+with a micro position (reads 0, write 1).
+
+The intervening-write test existentially quantifies the write's iteration
+variables; the Fourier-Motzkin shadow is an over-approximation of the
+integer projection in general, so:
+
+* sharing opportunities always subtract the shadow (losing at most some
+  sharing — sound);
+* dependences subtract it only when the projection is integer-exact
+  (keeping at most some redundant constraints — sound).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from ..ir import Access, Program, Schedule, precedence_disjuncts
+from ..polyhedral import Polyhedron, PolyhedralSet, Space
+from .coaccess import (SRC_PREFIX, TGT_PREFIX, CoAccess, side_rename)
+
+__all__ = ["no_write_in_between", "intervening_write_set"]
+
+_WRITE_PREFIX = "w_"
+
+
+def intervening_write_set(program: Program, schedule: Schedule, co: CoAccess,
+                          write: Access,
+                          context: Polyhedron | None = None
+                          ) -> tuple[PolyhedralSet, bool]:
+    """Pairs of ``co``'s product space killed by instances of ``write``.
+
+    Returns ``(killed, exact)``; ``killed`` is the rational shadow of
+
+        { (x, x') : exists w in D_write, Phi_w w = Phi_src x,
+                    T(src@x) < T(write@w) < T(tgt@x') }
+
+    and ``exact`` reports whether the projection is integer-exact.
+    """
+    if context is None:
+        context = program.param_context
+    pair_space = co.extent.space
+    w_vars = [_WRITE_PREFIX + v for v in write.statement.loop_vars]
+    triple_space = Space(tuple(n for n in pair_space.names if n not in program.params)
+                         + tuple(w_vars) + tuple(program.params))
+
+    w_rename = side_rename(write.statement.loop_vars, _WRITE_PREFIX)
+    base = write.domain(context).rename(w_rename).align(triple_space)
+
+    # Same block as the source access.
+    s_ren = side_rename(co.src.statement.loop_vars, SRC_PREFIX)
+    rows = []
+    for s_sub, w_sub in zip(co.src.subscripts, write.subscripts):
+        row = [Fraction(0)] * (triple_space.dim + 1)
+        for name, coeff in s_sub.coeffs.items():
+            row[triple_space.index(s_ren.get(name, name))] += coeff
+        row[-1] += s_sub.const
+        for name, coeff in w_sub.coeffs.items():
+            row[triple_space.index(w_rename.get(name, name))] -= coeff
+        row[-1] -= w_sub.const
+        rows.append(row)
+    base = base.add_constraints(eqs=rows)
+
+    # src@x < write@w < tgt@x', at access (micro) granularity.
+    src_rows = schedule.rows_in_space(co.src.statement, triple_space,
+                                      side_rename(co.src.statement.loop_vars, SRC_PREFIX),
+                                      micro=co.src.micro)
+    tgt_rows = schedule.rows_in_space(co.tgt.statement, triple_space,
+                                      side_rename(co.tgt.statement.loop_vars, TGT_PREFIX),
+                                      micro=co.tgt.micro)
+    w_rows = schedule.rows_in_space(write.statement, triple_space, w_rename,
+                                    micro=write.micro)
+
+    lower = precedence_disjuncts(src_rows, w_rows)
+    upper = precedence_disjuncts(w_rows, tgt_rows)
+    if lower == [] or upper == []:
+        return PolyhedralSet.empty(pair_space), True
+
+    triples: list[Polyhedron] = []
+    lower_list = [None] if lower is None else lower
+    upper_list = [None] if upper is None else upper
+    for lo in lower_list:
+        for hi in upper_list:
+            poly = base
+            if lo is not None:
+                poly = poly.add_constraints(eqs=lo.eqs, ineqs=lo.ineqs)
+            if hi is not None:
+                poly = poly.add_constraints(eqs=hi.eqs, ineqs=hi.ineqs)
+            if not poly.is_rational_empty():
+                triples.append(poly)
+    if not triples:
+        return PolyhedralSet.empty(pair_space), True
+
+    killed, exact = PolyhedralSet(triple_space, triples).project_out(w_vars)
+    # Reorder into the pair space (params were moved to the end already).
+    killed = killed.align(pair_space) if killed.space != pair_space else killed
+    return killed, exact
+
+
+def no_write_in_between(program: Program, schedule: Schedule, co: CoAccess,
+                        context: Polyhedron | None = None,
+                        conservative: bool = False) -> CoAccess:
+    """Apply the no-write-in-between rule to one co-access.
+
+    ``conservative=True`` (used for dependences) only subtracts kill sets
+    whose projection was integer-exact.
+    """
+    extent = co.extent
+    for write in program.writes_to(co.array):
+        if extent.is_empty():
+            break
+        killed, exact = intervening_write_set(program, schedule, co, write, context)
+        if killed.is_empty():
+            continue
+        if conservative and not exact:
+            continue
+        extent = extent.subtract(killed)
+    return co.with_extent(extent.coalesce())
+
+
+def no_write_in_between_both(program: Program, schedule: Schedule, co: CoAccess,
+                             context: Polyhedron | None = None
+                             ) -> tuple[CoAccess, CoAccess]:
+    """NWIB in both modes at once, sharing the kill-set computation.
+
+    Returns ``(conservative, full)`` — the first only subtracts integer-exact
+    kill shadows (dependence use), the second subtracts all of them
+    (sharing-opportunity use).
+    """
+    conservative = full = co.extent
+    for write in program.writes_to(co.array):
+        if conservative.is_empty() and full.is_empty():
+            break
+        killed, exact = intervening_write_set(program, schedule, co, write, context)
+        if killed.is_empty():
+            continue
+        full = full.subtract(killed)
+        if exact:
+            conservative = conservative.subtract(killed)
+    return (co.with_extent(conservative.coalesce()),
+            co.with_extent(full.coalesce()))

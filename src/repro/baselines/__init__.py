@@ -1,0 +1,6 @@
+"""Comparator executors for the Section 6.1 comparison (Matlab / SciDB /
+hand-optimized), modelled as execution policies over the real engine."""
+
+from .comparators import BaselineReport, manual_best, matlab_like, scidb_like
+
+__all__ = ["BaselineReport", "matlab_like", "scidb_like", "manual_best"]

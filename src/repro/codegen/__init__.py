@@ -1,0 +1,23 @@
+"""Code generation (Section 5.5): schedules -> executable plans + pseudo-C.
+
+Public surface:
+
+* :func:`build_executable_plan` / :class:`ExecutablePlan` — the I/O-annotated
+  instance sequence the engine replays;
+* :class:`IOAction` — per-access verdicts (READ / REUSE / WRITE / WRITE_SKIP);
+* :func:`render_c` — human-readable loop-nest rendering of a schedule (the
+  CLooG-style view used in the paper's listings).
+"""
+
+from .exec_plan import (ExecutablePlan, IOAction, PlannedAccess,
+                        PlannedInstance, build_executable_plan)
+from .source import render_c
+
+__all__ = [
+    "build_executable_plan",
+    "ExecutablePlan",
+    "IOAction",
+    "PlannedAccess",
+    "PlannedInstance",
+    "render_c",
+]

@@ -1,0 +1,157 @@
+"""Code generation, part 1: schedules -> executable plans (Section 5.5).
+
+The paper converts the chosen schedule to C through CLooG and injects buffer
+management code.  Our execution substrate is the Python engine, so code
+generation produces an :class:`ExecutablePlan`: the statement instances in
+scheduled order, each access annotated with the I/O action the plan's
+realized sharing dictates —
+
+* ``READ``        — fetch the block from disk,
+* ``REUSE``       — the block is resident (realized W->R / R->R pair),
+* ``WRITE``       — write the block through to disk,
+* ``WRITE_SKIP``  — keep the block in memory only (overwritten later, or a
+                    fully-shared intermediate whose write is elided),
+
+plus pin/unpin directives implementing the residency intervals the cost
+model assumed.  The engine replays this plan verbatim, which is what makes
+the predicted-vs-actual comparison in the benchmarks meaningful.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping
+
+from ..ir import Access, Program, Schedule
+from ..optimizer.costing import PlanTrace, ScheduledEvent, trace_plan
+from ..optimizer.plan import Plan
+
+__all__ = ["IOAction", "PlannedAccess", "PlannedInstance", "ExecutablePlan",
+           "build_executable_plan"]
+
+
+class IOAction(enum.Enum):
+    READ = "read"
+    REUSE = "reuse"
+    WRITE = "write"
+    WRITE_SKIP = "write_skip"
+
+
+class PlannedAccess:
+    """One access of one instance, with its I/O action and pin directives."""
+
+    __slots__ = ("access", "block", "action", "pin_after", "unpin_before")
+
+    def __init__(self, access: Access, block: tuple[int, ...], action: IOAction):
+        self.access = access
+        self.block = block
+        self.action = action
+        # Residency management, filled in by the planner (counts, because
+        # one event can open or close several holds):
+        self.pin_after = 0      # holds opened by this access
+        self.unpin_before = 0   # holds closed at this access
+
+    @property
+    def block_key(self) -> tuple:
+        return (self.access.array.name, self.block)
+
+    def __repr__(self) -> str:
+        flags = "".join([f" +pin{self.pin_after}" if self.pin_after else "",
+                         f" -pin{self.unpin_before}" if self.unpin_before else ""])
+        return f"{self.action.value}:{self.access.array.name}{self.block}{flags}"
+
+
+class PlannedInstance:
+    """One statement instance in scheduled order."""
+
+    __slots__ = ("stmt", "point", "reads", "write")
+
+    def __init__(self, stmt, point, reads: list[PlannedAccess],
+                 write: PlannedAccess | None):
+        self.stmt = stmt
+        self.point = point
+        self.reads = reads
+        self.write = write
+
+    def __repr__(self) -> str:
+        return f"PlannedInstance({self.stmt.name}@{self.point})"
+
+
+class ExecutablePlan:
+    """The fully ordered, I/O-annotated plan the engine executes."""
+
+    __slots__ = ("program", "params", "schedule", "instances", "trace")
+
+    def __init__(self, program: Program, params: Mapping[str, int],
+                 schedule: Schedule, instances: list[PlannedInstance],
+                 trace: PlanTrace):
+        self.program = program
+        self.params = dict(params)
+        self.schedule = schedule
+        self.instances = instances
+        self.trace = trace
+
+    def io_summary(self) -> dict[str, int]:
+        counts = {a.value: 0 for a in IOAction}
+        for inst in self.instances:
+            for pa in inst.reads + ([inst.write] if inst.write else []):
+                counts[pa.action.value] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"ExecutablePlan({self.program.name}, "
+                f"{len(self.instances)} instances, {self.io_summary()})")
+
+
+def build_executable_plan(program: Program, params: Mapping[str, int],
+                          plan: Plan,
+                          dead_write_elimination: bool = True) -> ExecutablePlan:
+    """Lower an optimizer plan to an executable plan."""
+    return _from_trace(program, params, plan.schedule,
+                       trace_plan(program, params, plan.schedule, plan.realized,
+                                  dead_write_elimination))
+
+
+def _from_trace(program: Program, params: Mapping[str, int],
+                schedule: Schedule, trace: PlanTrace) -> ExecutablePlan:
+    # Group events back into statement instances (time without micro digit).
+    groups: dict[tuple, list[ScheduledEvent]] = {}
+    order: list[tuple] = []
+    for ev in trace.events:
+        key = (ev.access.statement.name, ev.point)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(ev)
+
+    # Residency: for every held interval, the block must stay pinned from its
+    # first to its last use.  Track, per block key, the set of event times
+    # that open/close holds.
+    hold_open: dict[tuple, list] = {}
+    hold_close: dict[tuple, list] = {}
+    for (lo, hi, block_key, _nbytes) in trace.held:
+        hold_open.setdefault((block_key, lo), []).append(hi)
+        hold_close.setdefault((block_key, hi), []).append(lo)
+
+    instances: list[PlannedInstance] = []
+    for key in order:
+        events = groups[key]
+        stmt = events[0].access.statement
+        point = events[0].point
+        reads: list[PlannedAccess] = []
+        write: PlannedAccess | None = None
+        for ev in events:
+            if ev.is_write:
+                action = (IOAction.WRITE_SKIP if (ev.saved or ev.elided)
+                          else IOAction.WRITE)
+            else:
+                action = IOAction.REUSE if ev.saved else IOAction.READ
+            pa = PlannedAccess(ev.access, ev.block, action)
+            pa.pin_after = len(hold_open.get((ev.block_key, ev.time), ()))
+            pa.unpin_before = len(hold_close.get((ev.block_key, ev.time), ()))
+            if ev.is_write:
+                write = pa
+            else:
+                reads.append(pa)
+        instances.append(PlannedInstance(stmt, point, reads, write))
+    return ExecutablePlan(program, params, schedule, instances, trace)

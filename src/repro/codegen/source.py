@@ -1,0 +1,108 @@
+"""Code generation, part 2: human-readable pseudo-C (the CLooG role).
+
+Scans the concrete scheduled instance sequence and folds runs of
+structurally identical iterations back into ``for`` loops, reproducing the
+shape of the paper's generated listings (e.g. Figure 1(b)'s split loop
+nests: a merged ``j == 0`` nest followed by the ``j >= 1`` nest).  Bodies
+are printed with each statement's symbolic accesses plus the I/O action the
+plan assigned (read / reuse / write / keep-in-memory).
+
+This is a presentation aid — execution replays the
+:class:`~repro.codegen.exec_plan.ExecutablePlan` directly — but it makes
+optimizer output auditable the way the paper's listings are.
+"""
+
+from __future__ import annotations
+
+from ..codegen.exec_plan import ExecutablePlan, IOAction, PlannedInstance
+
+__all__ = ["render_c"]
+
+_ACTION_COMMENT = {
+    IOAction.READ: "read",
+    IOAction.REUSE: "reuse (in memory)",
+    IOAction.WRITE: "write",
+    IOAction.WRITE_SKIP: "keep in memory",
+}
+
+
+def render_c(plan: ExecutablePlan) -> str:
+    """Render the executable plan as pseudo-C with I/O annotations."""
+    tree = _Tree()
+    for inst in plan.instances:
+        time = plan.schedule.time_vector(inst.stmt, inst.point, plan.params)
+        tree.insert([int(t) for t in time], inst)
+    lines: list[str] = [f"// plan for {plan.program.name}",
+                        f"// realized: {plan.schedule.meta.get('realized', [])}"]
+    _render(tree.root, 0, 0, lines)
+    return "\n".join(lines)
+
+
+class _Node:
+    __slots__ = ("children", "leaf")
+
+    def __init__(self):
+        self.children: dict[int, _Node] = {}
+        self.leaf: PlannedInstance | None = None
+
+
+class _Tree:
+    def __init__(self):
+        self.root = _Node()
+
+    def insert(self, time: list[int], inst: PlannedInstance) -> None:
+        node = self.root
+        for t in time:
+            node = node.children.setdefault(t, _Node())
+        node.leaf = inst
+
+
+def _signature(node: _Node):
+    if node.leaf is not None:
+        inst = node.leaf
+        accs = tuple((pa.access.array.name, pa.action.value)
+                     for pa in inst.reads + ([inst.write] if inst.write else []))
+        return ("leaf", inst.stmt.name, accs)
+    return ("node", tuple(_signature(c) for _, c in sorted(node.children.items())))
+
+
+def _render(node: _Node, depth: int, indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    if node.leaf is not None:
+        inst = node.leaf
+        write = inst.write
+        target = _access_str(write) if write else "(no write)"
+        operands = " , ".join(_access_str(pa) for pa in inst.reads)
+        lines.append(f"{pad}{target} = {inst.stmt.kernel}({operands}); // {inst.stmt.name}")
+        for pa in inst.reads + ([write] if write else []):
+            note = _ACTION_COMMENT[pa.action]
+            pin = " [hold]" if pa.pin_after else ""
+            lines.append(f"{pad}//   {pa.access.array.name}: {note}{pin}")
+        return
+
+    items = sorted(node.children.items())
+    i = 0
+    while i < len(items):
+        key, child = items[i]
+        sig = _signature(child)
+        j = i
+        while (j + 1 < len(items) and items[j + 1][0] == items[j][0] + 1
+               and _signature(items[j + 1][1]) == sig):
+            j += 1
+        if j > i:
+            lines.append(f"{pad}for (t{depth} = {key}; t{depth} <= {items[j][0]}; ++t{depth}) {{")
+            _render(child, depth + 1, indent + 1, lines)
+            lines.append(f"{pad}}}")
+        else:
+            if len(child.children) > 0 or child.leaf is None:
+                lines.append(f"{pad}{{ // t{depth} = {key}")
+                _render(child, depth + 1, indent + 1, lines)
+                lines.append(f"{pad}}}")
+            else:
+                _render(child, depth + 1, indent, lines)
+        i = j + 1
+
+
+def _access_str(pa) -> str:
+    subs = ",".join(str(s) for s in pa.access.subscripts)
+    return f"{pa.access.array.name}[{subs}]"

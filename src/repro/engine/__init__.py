@@ -1,0 +1,25 @@
+"""Execution engine: runs optimizer plans against real (simulated-timing)
+storage with numpy block kernels.
+
+Public surface:
+
+* :func:`run_program` — storage setup + plan execution + output readback;
+* :func:`execute_plan` — the inner loop over an :class:`ExecutablePlan`;
+* :class:`ExecutionReport` — measured I/O, simulated seconds, CPU time;
+* :func:`reference_outputs` — dense in-memory oracle for verification;
+* ``KERNELS`` / :func:`register_kernel` — the block-kernel registry.
+"""
+
+from .executor import ExecutionReport, execute_plan, run_program
+from .kernels import KERNELS, register_kernel, run_kernel
+from .reference import reference_outputs
+
+__all__ = [
+    "run_program",
+    "execute_plan",
+    "ExecutionReport",
+    "reference_outputs",
+    "KERNELS",
+    "register_kernel",
+    "run_kernel",
+]

@@ -1,0 +1,142 @@
+"""In-core block kernels (the GotoBLAS2 role, via numpy's BLAS).
+
+A kernel computes one statement instance's write block from its read blocks.
+Read blocks arrive positionally, in the order the statement declared its
+reads; an optional trailing *accumulator* read (the guarded self-read of
+``+=`` statements) is absent on the first iteration, in which case the
+kernel starts from zeros.
+
+Registry keys are the ``kernel=`` strings used by the operator library and
+the program builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import ExecutionError
+
+__all__ = ["KERNELS", "run_kernel", "register_kernel"]
+
+Kernel = Callable[[Sequence[np.ndarray], tuple[int, ...], dict], np.ndarray]
+
+KERNELS: dict[str, Kernel] = {}
+
+
+def register_kernel(name: str):
+    def wrap(fn: Kernel) -> Kernel:
+        KERNELS[name] = fn
+        return fn
+    return wrap
+
+
+def run_kernel(name: str, reads: Sequence[np.ndarray],
+               out_shape: tuple[int, ...],
+               args: dict | None = None) -> np.ndarray:
+    try:
+        fn = KERNELS[name]
+    except KeyError:
+        raise ExecutionError(f"unknown kernel {name!r}") from None
+    result = fn(reads, out_shape, args or {})
+    if result.shape != out_shape:
+        raise ExecutionError(
+            f"kernel {name}: produced shape {result.shape}, expected {out_shape}")
+    return result
+
+
+def _acc(reads: Sequence[np.ndarray], expected_operands: int,
+         out_shape: tuple[int, ...]) -> np.ndarray:
+    """The accumulator block: the optional read beyond the fixed operands."""
+    if len(reads) == expected_operands + 1:
+        return reads[expected_operands]
+    if len(reads) == expected_operands:
+        return np.zeros(out_shape)
+    raise ExecutionError(
+        f"kernel got {len(reads)} reads, expected {expected_operands} or "
+        f"{expected_operands + 1}")
+
+
+@register_kernel("nop")
+def _nop(reads, out_shape, args):
+    return np.zeros(out_shape)
+
+
+@register_kernel("copy")
+def _copy(reads, out_shape, args):
+    if len(reads) != 1:
+        raise ExecutionError(f"copy expects 1 read, got {len(reads)}")
+    return reads[0].copy()
+
+
+@register_kernel("add")
+def _add(reads, out_shape, args):
+    if len(reads) != 2:
+        raise ExecutionError(f"add expects 2 reads, got {len(reads)}")
+    return reads[0] + reads[1]
+
+
+@register_kernel("sub")
+def _sub(reads, out_shape, args):
+    if len(reads) != 2:
+        raise ExecutionError(f"sub expects 2 reads, got {len(reads)}")
+    return reads[0] - reads[1]
+
+
+@register_kernel("scale")
+def _scale(reads, out_shape, args):
+    """reads: [block, 1x1 scale factor block]"""
+    if len(reads) != 2:
+        raise ExecutionError(f"scale expects 2 reads, got {len(reads)}")
+    return reads[0] * reads[1][0, 0]
+
+
+@register_kernel("copy_acc")
+def _copy_acc(reads, out_shape, args):
+    """X += A : accumulate a single operand."""
+    return _acc(reads, 1, out_shape) + reads[0]
+
+
+@register_kernel("add_acc")
+def _add_acc(reads, out_shape, args):
+    """X += A + B : accumulate a two-operand sum."""
+    return _acc(reads, 2, out_shape) + reads[0] + reads[1]
+
+
+@register_kernel("gemm_nn")
+def _gemm_nn(reads, out_shape, args):
+    return _acc(reads, 2, out_shape) + reads[0] @ reads[1]
+
+
+# The fixture / operator-library alias for the classic accumulating matmul.
+KERNELS["matmul_acc"] = KERNELS["gemm_nn"]
+
+
+@register_kernel("gemm_tn")
+def _gemm_tn(reads, out_shape, args):
+    return _acc(reads, 2, out_shape) + reads[0].T @ reads[1]
+
+
+@register_kernel("gemm_nt")
+def _gemm_nt(reads, out_shape, args):
+    return _acc(reads, 2, out_shape) + reads[0] @ reads[1].T
+
+
+@register_kernel("syrk_tn")
+def _syrk_tn(reads, out_shape, args):
+    """X'X accumulation with a single read of the X block (BLAS SYRK-style)."""
+    return _acc(reads, 1, out_shape) + reads[0].T @ reads[0]
+
+
+@register_kernel("inverse")
+def _inverse(reads, out_shape, args):
+    if len(reads) != 1:
+        raise ExecutionError(f"inverse expects 1 read, got {len(reads)}")
+    return np.linalg.inv(reads[0])
+
+
+@register_kernel("colsumsq_acc")
+def _colsumsq_acc(reads, out_shape, args):
+    """Residual sum of squares per column, accumulated into a 1 x k block."""
+    return _acc(reads, 1, out_shape) + (reads[0] ** 2).sum(axis=0, keepdims=True)

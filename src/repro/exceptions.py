@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the optimizer / engine with one handler.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class PolyhedralError(ReproError):
+    """Malformed polyhedral object or unsupported operation."""
+
+
+class SpaceMismatchError(PolyhedralError):
+    """Two polyhedral objects live in incompatible variable spaces."""
+
+
+class EmptyPolyhedronError(PolyhedralError):
+    """An operation that requires a nonempty polyhedron received an empty one."""
+
+
+class UnboundedError(PolyhedralError):
+    """Enumeration or optimization over an unbounded polyhedron."""
+
+
+class ProgramError(ReproError):
+    """Malformed program IR (bad access, non-affine expression, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Malformed or illegal schedule."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer could not produce a plan (e.g. no plan fits memory cap)."""
+
+
+class StorageError(ReproError):
+    """Storage-layer failure (bad block id, store closed, ...)."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer manager failure (cap exceeded, unpin without pin, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Plan execution failure (kernel error, verification mismatch, ...)."""

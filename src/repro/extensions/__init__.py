@@ -1,0 +1,5 @@
+"""Extensions beyond the paper's evaluated system (its Section 7 roadmap)."""
+
+from .blocksize import BlockSizeAdvisor, BlockSizeChoice
+
+__all__ = ["BlockSizeAdvisor", "BlockSizeChoice"]

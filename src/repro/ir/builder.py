@@ -1,0 +1,209 @@
+"""Loop-nest builder DSL: the front end that produces polyhedral IR.
+
+Plays the role the paper assigns to the operator library + Clan-style code
+analysis: users (or the :mod:`repro.ops` operator library) describe a
+static-control program as nested loops with block-granularity array
+accesses, and the builder derives iteration domains, access functions, and
+the original 2d+1 schedule.
+
+Example (the paper's Example 1)::
+
+    b = ProgramBuilder("example1", params=("n1", "n2", "n3"))
+    A = b.array("A", dims=("n1", "n2"), block_shape=(60, 40))
+    ...
+    with b.loop("i", 0, "n1"):
+        with b.loop("k", 0, "n2"):
+            b.statement("s1", kernel="add",
+                        write=C["i", "k"], reads=[A["i", "k"], B["i", "k"]])
+
+Loops use C conventions: ``loop(v, lo, hi)`` is ``for (v = lo; v < hi; ++v)``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import ProgramError
+from ..polyhedral import Polyhedron, Space
+from .expr import AffineExpr, affine
+from .program import Access, AccessType, Array, ArrayKind, Program, Statement
+
+__all__ = ["ProgramBuilder", "ArrayRef", "AccessRef"]
+
+
+class AccessRef:
+    """A pending access: array + subscripts (+ optional guard), not yet typed."""
+
+    __slots__ = ("array", "subscripts", "guard")
+
+    def __init__(self, array: Array, subscripts: tuple[AffineExpr, ...],
+                 guard: tuple[AffineExpr, ...] = ()):
+        self.array = array
+        self.subscripts = subscripts
+        self.guard = guard
+
+    def when(self, *conditions: str | AffineExpr) -> "AccessRef":
+        """Restrict the access to instances where each condition >= 0 holds.
+
+        ``C["i", "k"].when("k - 1")`` reads C only when k >= 1.
+        """
+        extra = tuple(affine(c) for c in conditions)
+        return AccessRef(self.array, self.subscripts, self.guard + extra)
+
+    def __repr__(self) -> str:
+        subs = ",".join(str(s) for s in self.subscripts)
+        return f"{self.array.name}[{subs}]"
+
+
+class ArrayRef:
+    """Builder-side array handle; indexing yields an :class:`AccessRef`."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: Array):
+        self.array = array
+
+    def __getitem__(self, subscripts) -> AccessRef:
+        if not isinstance(subscripts, tuple):
+            subscripts = (subscripts,)
+        return AccessRef(self.array, tuple(affine(s) for s in subscripts))
+
+    @property
+    def name(self) -> str:
+        return self.array.name
+
+    def __repr__(self) -> str:
+        return f"ArrayRef({self.array.name})"
+
+
+class _LoopFrame:
+    __slots__ = ("var", "lo", "hi", "children", "claimed_slot")
+
+    def __init__(self, var: str, lo: AffineExpr, hi: AffineExpr, claimed_slot: int):
+        self.var = var
+        self.lo = lo
+        self.hi = hi
+        self.children = 0  # textual slots used in this loop body
+        self.claimed_slot = claimed_slot  # this loop's slot in its parent body
+
+
+class ProgramBuilder:
+    """Accumulates loops / guards / statements and builds a :class:`Program`."""
+
+    def __init__(self, name: str, params: Sequence[str] = (),
+                 param_assumptions: Sequence[str | AffineExpr] = ()):
+        self.name = name
+        self.params = tuple(params)
+        self._arrays: dict[str, Array] = {}
+        self._statements: list[Statement] = []
+        self._loops: list[_LoopFrame] = []
+        self._guards: list[AffineExpr] = []
+        self._top_children = 0
+        # Default assumption: every parameter is at least 1 (array sizes).
+        space = Space(self.params)
+        ineqs = [AffineExpr.var(p).to_row(space) for p in self.params]
+        for i, row in enumerate(ineqs):
+            row[-1] -= 1  # p - 1 >= 0
+        for expr in param_assumptions:
+            ineqs.append(affine(expr).to_row(space))
+        self._context = Polyhedron(space, ineqs=ineqs)
+
+    # -- declarations -----------------------------------------------------------
+
+    def array(self, name: str, dims: Sequence[str | int | AffineExpr],
+              block_shape: Sequence[int], dtype_bytes: int = 8,
+              kind: str | ArrayKind = ArrayKind.INPUT) -> ArrayRef:
+        if name in self._arrays:
+            raise ProgramError(f"array {name!r} declared twice")
+        if isinstance(kind, str):
+            kind = ArrayKind(kind)
+        arr = Array(name, dims, block_shape, dtype_bytes, kind)
+        for d in arr.dims:
+            loose = d.variables() - set(self.params)
+            if loose:
+                raise ProgramError(f"array {name}: non-parameter variables {loose} in dims")
+        self._arrays[name] = arr
+        return ArrayRef(arr)
+
+    # -- structure ----------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def loop(self, var: str, lo: str | int | AffineExpr, hi: str | int | AffineExpr):
+        """``for (var = lo; var < hi; ++var)``."""
+        if any(f.var == var for f in self._loops):
+            raise ProgramError(f"loop variable {var!r} shadows an enclosing loop")
+        if var in self.params:
+            raise ProgramError(f"loop variable {var!r} collides with a parameter")
+        slot = self._claim_slot()
+        frame = _LoopFrame(var, affine(lo), affine(hi), slot)
+        self._loops.append(frame)
+        try:
+            yield
+        finally:
+            popped = self._loops.pop()
+            assert popped is frame
+
+    @contextlib.contextmanager
+    def guard(self, *conditions: str | AffineExpr):
+        """Statements inside run only where every condition >= 0."""
+        exprs = [affine(c) for c in conditions]
+        self._guards.extend(exprs)
+        try:
+            yield
+        finally:
+            del self._guards[len(self._guards) - len(exprs):]
+
+    def _claim_slot(self) -> int:
+        if self._loops:
+            slot = self._loops[-1].children
+            self._loops[-1].children += 1
+        else:
+            slot = self._top_children
+            self._top_children += 1
+        return slot
+
+    # -- statements ------------------------------------------------------------------
+
+    def statement(self, name: str, kernel: str = "nop",
+                  write: AccessRef | None = None,
+                  reads: Iterable[AccessRef] = (),
+                  kernel_args: dict | None = None) -> Statement:
+        slot = self._claim_slot()
+        loop_vars = [f.var for f in self._loops]
+        space = Space(tuple(loop_vars) + self.params)
+        ineqs = []
+        for f in self._loops:
+            lo_row = (AffineExpr.var(f.var) - f.lo).to_row(space)          # var - lo >= 0
+            hi_row = (f.hi - AffineExpr.var(f.var) - 1).to_row(space)      # hi - var - 1 >= 0
+            ineqs.extend([lo_row, hi_row])
+        for g in self._guards:
+            ineqs.append(g.to_row(space))
+        domain = Polyhedron(space, ineqs=ineqs)
+
+        accesses = []
+        if write is not None:
+            accesses.append(Access(write.array, AccessType.WRITE,
+                                   write.subscripts, write.guard))
+        for r in reads:
+            accesses.append(Access(r.array, AccessType.READ, r.subscripts, r.guard))
+
+        position = self._beta_path() + [slot]
+        stmt = Statement(name, loop_vars, domain, accesses, kernel,
+                         position=position, kernel_args=kernel_args)
+        self._statements.append(stmt)
+        return stmt
+
+    def _beta_path(self) -> list[int]:
+        """Positions of each enclosing loop within *its* parent body."""
+        return [f.claimed_slot for f in self._loops]
+
+    # -- finish ----------------------------------------------------------------------
+
+    def build(self) -> Program:
+        if self._loops:
+            raise ProgramError("build() called with open loops")
+        prog = Program(self.name, self.params, self._arrays,
+                       self._statements, self._context)
+        prog.validate()
+        return prog

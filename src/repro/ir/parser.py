@@ -1,0 +1,331 @@
+"""Pseudo-code front end (the paper's Clan [3] role).
+
+Parses C-style static-control loop nests — the notation the paper itself
+uses for Example 1 — into :class:`Program` IR:
+
+    for (i = 0; i < n1; ++i)
+      for (k = 0; k < n2; ++k)
+        C[i,k] = A[i,k] + B[i,k];        // s1
+    for (i = 0; i < n1; ++i)
+      for (j = 0; j < n3; ++j)
+        for (k = 0; k < n2; ++k)
+          E[i,j] += C[i,k] * D[k,j];     // s2
+
+Supported constructs:
+
+* ``for (v = lo; v < hi; ++v) { ... }`` (also ``v <= hi`` and bodies
+  without braces);
+* ``if (cond) { ... }`` with affine conditions (``>=``, ``>``, ``<=``,
+  ``<``, ``==``) joined by ``&&``;
+* assignment statements ``X[e1,e2] = expr;`` and accumulation ``+=``,
+  where the RHS references arrays with affine subscripts; the RHS shape
+  determines the kernel (``copy``, ``add``, ``sub``, ``gemm_nn`` for a
+  two-factor product);
+* ``// name`` trailing comments name statements (else ``s1``, ``s2``...).
+
+Accumulations get the paper's footnote-1 semantics automatically: the
+self-read exists only beyond the first iteration of the innermost loop(s)
+that the write subscript does not cover.
+
+Array declarations are supplied separately (block shapes are storage-level
+information pseudo-code does not carry).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping, Sequence
+
+from ..exceptions import ProgramError
+from .builder import AccessRef, ArrayRef, ProgramBuilder
+from .expr import AffineExpr, affine
+from .program import Program
+
+__all__ = ["parse_program", "ArraySpec"]
+
+
+class ArraySpec:
+    """Declaration of one array for the parser: geometry + role."""
+
+    __slots__ = ("dims", "block_shape", "kind", "dtype_bytes")
+
+    def __init__(self, dims: Sequence[str | int], block_shape: Sequence[int],
+                 kind: str = "input", dtype_bytes: int = 8):
+        self.dims = tuple(dims)
+        self.block_shape = tuple(block_shape)
+        self.kind = kind
+        self.dtype_bytes = dtype_bytes
+
+
+_TOKEN = re.compile(r"""
+    \s*(?:
+      (?P<comment>//[^\n]*)
+    | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+    | (?P<num>\d+)
+    | (?P<op><=|>=|==|\+=|-=|\+\+|--|&&|[-+*/%<>=;(){}\[\],])
+    )""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            if text[pos:].strip():
+                raise ProgramError(f"cannot tokenize pseudo-code at: {text[pos:pos + 30]!r}")
+            break
+        if m.group("comment"):
+            tokens.append(m.group("comment"))
+        else:
+            tokens.append(m.group("word") or m.group("num") or m.group("op"))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], builder: ProgramBuilder,
+                 arrays: dict[str, ArrayRef]):
+        self.tokens = tokens
+        self.pos = 0
+        self.builder = builder
+        self.arrays = arrays
+        self.stmt_counter = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self) -> str | None:
+        while self.pos < len(self.tokens) and self.tokens[self.pos].startswith("//"):
+            self.pos += 1  # stray comment lines
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ProgramError("unexpected end of pseudo-code")
+        self.pos += 1
+        return tok
+
+    def expect(self, want: str) -> None:
+        got = self.next()
+        if got != want:
+            raise ProgramError(f"expected {want!r}, got {got!r}")
+
+    def trailing_comment(self) -> str | None:
+        if self.pos < len(self.tokens) and self.tokens[self.pos].startswith("//"):
+            text = self.tokens[self.pos][2:].strip()
+            self.pos += 1
+            return text or None
+        return None
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_block(self) -> None:
+        while self.peek() is not None and self.peek() != "}":
+            self.parse_item()
+
+    def parse_item(self) -> None:
+        tok = self.peek()
+        if tok == "for":
+            self.parse_for()
+        elif tok == "if":
+            self.parse_if()
+        elif tok == "{":
+            self.next()
+            self.parse_block()
+            self.expect("}")
+        else:
+            self.parse_statement()
+
+    def parse_for(self) -> None:
+        self.expect("for")
+        self.expect("(")
+        var = self.next()
+        self.expect("=")
+        lo = self.parse_affine(stop={";"})
+        self.expect(";")
+        v2 = self.next()
+        if v2 != var:
+            raise ProgramError(f"for-loop condition tests {v2!r}, expected {var!r}")
+        cmp_op = self.next()
+        bound = self.parse_affine(stop={";"})
+        if cmp_op == "<":
+            hi = bound
+        elif cmp_op == "<=":
+            hi = bound + 1
+        else:
+            raise ProgramError(f"unsupported loop comparison {cmp_op!r}")
+        self.expect(";")
+        inc = self.next()
+        if inc == "++":
+            if self.next() != var:
+                raise ProgramError("loop increment must target the loop variable")
+        elif inc == var:
+            if self.next() != "++":
+                raise ProgramError(f"unsupported increment for {var!r}")
+        else:
+            raise ProgramError(f"unsupported loop increment near {inc!r}")
+        self.expect(")")
+        with self.builder.loop(var, lo, hi):
+            self.parse_body()
+
+    def parse_if(self) -> None:
+        self.expect("if")
+        self.expect("(")
+        conditions = [self.parse_condition()]
+        while self.peek() == "&&":
+            self.next()
+            conditions.append(self.parse_condition())
+        self.expect(")")
+        with self.builder.guard(*[c for cs in conditions for c in cs]):
+            self.parse_body()
+
+    def parse_body(self) -> None:
+        if self.peek() == "{":
+            self.next()
+            self.parse_block()
+            self.expect("}")
+        else:
+            self.parse_item()
+
+    def parse_condition(self) -> list[AffineExpr]:
+        """One comparison -> affine expressions required to be >= 0."""
+        lhs = self.parse_affine(stop={"<", "<=", ">", ">=", "==", "&&", ")"})
+        op = self.next()
+        rhs = self.parse_affine(stop={"&&", ")"})
+        if op == ">=":
+            return [lhs - rhs]
+        if op == ">":
+            return [lhs - rhs - 1]
+        if op == "<=":
+            return [rhs - lhs]
+        if op == "<":
+            return [rhs - lhs - 1]
+        if op == "==":
+            return [lhs - rhs, rhs - lhs]
+        raise ProgramError(f"unsupported comparison {op!r}")
+
+    def parse_statement(self) -> None:
+        target_name = self.next()
+        if target_name in ("(", ")", ";"):
+            raise ProgramError(f"expected a statement, got {target_name!r}")
+        target = self.lookup(target_name)
+        subs = self.parse_subscripts()
+        op = self.next()
+        if op not in ("=", "+="):
+            raise ProgramError(f"unsupported assignment operator {op!r}")
+        reads, kernel = self.parse_rhs()
+        self.expect(";")
+        name = self.trailing_comment()
+        self.stmt_counter += 1
+        if name is None:
+            name = f"s{self.stmt_counter}"
+
+        write_ref = target[tuple(subs)]
+        if op == "+=":
+            kernel = _ACCUMULATING.get(kernel, kernel)
+            guard = self._first_iteration_guard(subs)
+            acc = target[tuple(subs)]
+            if guard is not None:
+                acc = acc.when(guard)
+            reads = reads + [acc]
+        self.builder.statement(name, kernel=kernel, write=write_ref, reads=reads)
+
+    def _first_iteration_guard(self, write_subs: list[AffineExpr]) -> AffineExpr | None:
+        """Footnote-1 semantics for ``+=``: the self-read does not happen on
+        the first iteration of the reduction loops (the enclosing loop
+        variables absent from the write subscript)."""
+        used = set()
+        for s in write_subs:
+            used |= s.variables()
+        reduction = [f.var for f in self.builder._loops if f.var not in used]
+        if not reduction:
+            return None
+        # First iteration of the innermost reduction loop combination: all
+        # reduction vars at their lower bound => guard is "not all at lo",
+        # approximated by the innermost reduction var > lo (exact when a
+        # single reduction loop exists, the static-control common case).
+        frames = [f for f in self.builder._loops if f.var in reduction]
+        inner = frames[-1]
+        if len(frames) > 1:
+            raise ProgramError(
+                "+= with multiple reduction loops is ambiguous; split the "
+                "statement or provide explicit if-guards")
+        return AffineExpr.var(inner.var) - inner.lo - 1
+
+    def parse_rhs(self) -> tuple[list[AccessRef], str]:
+        first = self.parse_operand()
+        tok = self.peek()
+        if tok == ";":
+            return [first], "copy"
+        op = self.next()
+        second = self.parse_operand()
+        if self.peek() not in (";",):
+            raise ProgramError("only unary and binary right-hand sides are supported")
+        kernel = {"+": "add", "-": "sub", "*": "gemm_nn"}.get(op)
+        if kernel is None:
+            raise ProgramError(f"unsupported operator {op!r} in right-hand side")
+        return [first, second], kernel
+
+    def parse_operand(self) -> AccessRef:
+        name = self.next()
+        ref = self.lookup(name)
+        subs = self.parse_subscripts()
+        return ref[tuple(subs)]
+
+    def parse_subscripts(self) -> list[AffineExpr]:
+        self.expect("[")
+        subs = [self.parse_affine(stop={",", "]"})]
+        while self.peek() == ",":
+            self.next()
+            subs.append(self.parse_affine(stop={",", "]"}))
+        self.expect("]")
+        return subs
+
+    def parse_affine(self, stop: set[str]) -> AffineExpr:
+        parts = []
+        depth = 0
+        while True:
+            tok = self.peek()
+            if tok is None:
+                break
+            if depth == 0 and tok in stop:
+                break
+            if tok == "(":
+                depth += 1
+            elif tok == ")":
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(self.next())
+        if not parts:
+            raise ProgramError("empty affine expression")
+        return affine(" ".join(parts))
+
+    def lookup(self, name: str) -> ArrayRef:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise ProgramError(f"undeclared array {name!r}") from None
+
+
+_ACCUMULATING = {"gemm_nn": "gemm_nn", "add": "add_acc", "copy": "copy_acc"}
+
+
+def parse_program(name: str, source: str, params: Sequence[str],
+                  arrays: Mapping[str, ArraySpec],
+                  param_assumptions: Sequence[str] = ()) -> Program:
+    """Parse C-style pseudo-code into a :class:`Program`.
+
+    ``arrays`` declares geometry and role for every referenced array.
+    """
+    builder = ProgramBuilder(name, params=params,
+                             param_assumptions=param_assumptions)
+    refs = {aname: builder.array(aname, spec.dims, spec.block_shape,
+                                 spec.dtype_bytes, spec.kind)
+            for aname, spec in arrays.items()}
+    parser = _Parser(_tokenize(source), builder, refs)
+    parser.parse_block()
+    if parser.peek() is not None:
+        raise ProgramError(f"trailing tokens starting at {parser.peek()!r}")
+    return builder.build()

@@ -1,0 +1,185 @@
+"""Schedules: affine maps from iteration domains to multidimensional time.
+
+Two flavours appear in the system:
+
+* the **original schedule** of a program, encoded in 2d+1 form — beta
+  constants (textual positions) interleaved with the loop variables — which
+  pins down the source program's execution order exactly;
+* **searched schedules** produced by the optimizer, in the paper's
+  (d~+1)-dimensional form with a constant last dimension (Section 4.2).
+
+Both are represented uniformly: per statement, a tuple of affine rows over
+the statement's loop variables and the program parameters.  Time vectors are
+compared lexicographically; this module also expands the *symbolic*
+precedence relation ``Theta_s x < Theta_s' x'`` into polyhedral disjuncts in
+a product space, which is how extent polyhedra (Definition 1) get built
+without enumerating instances.
+
+Access-granularity ordering appends a *micro* time component (reads at 0,
+the write at 1 within one statement instance), which the
+no-write-in-between rule requires.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..exceptions import ScheduleError
+from ..polyhedral import Space
+from .expr import AffineExpr, affine
+from .program import Access, Program, Statement
+
+__all__ = ["Schedule", "precedence_disjuncts", "Disjunct"]
+
+
+class Schedule:
+    """A program schedule: per-statement tuples of affine time rows."""
+
+    __slots__ = ("rows", "meta")
+
+    def __init__(self, rows: Mapping[str, Sequence[AffineExpr]], meta: dict | None = None):
+        self.rows: dict[str, tuple[AffineExpr, ...]] = {
+            name: tuple(affine(r) for r in rs) for name, rs in rows.items()}
+        self.meta = meta or {}
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def original(cls, program: Program) -> "Schedule":
+        """The 2d+1-form schedule encoding the program's textual order.
+
+        For a statement with loop variables (l1, ..., ld) at textual position
+        (c0, c1, ..., cd), time is (c0, l1, c1, l2, ..., ld, cd).
+        """
+        rows: dict[str, list[AffineExpr]] = {}
+        for s in program.statements:
+            if len(s.position) != s.depth + 1:
+                raise ScheduleError(
+                    f"{s.name}: position length {len(s.position)} != depth+1 = {s.depth + 1}")
+            rs: list[AffineExpr] = [AffineExpr.constant(s.position[0])]
+            for lvl, var in enumerate(s.loop_vars):
+                rs.append(AffineExpr.var(var))
+                rs.append(AffineExpr.constant(s.position[lvl + 1]))
+            rows[s.name] = rs
+        return cls(rows, meta={"form": "original-2d+1"})
+
+    # -- evaluation ------------------------------------------------------------
+
+    def rows_for(self, stmt: Statement) -> tuple[AffineExpr, ...]:
+        try:
+            return self.rows[stmt.name]
+        except KeyError:
+            raise ScheduleError(f"schedule has no rows for statement {stmt.name}") from None
+
+    def time_vector(self, stmt: Statement, point: Sequence[int],
+                    params: Mapping[str, int]) -> tuple[Fraction, ...]:
+        bindings = dict(zip(stmt.loop_vars, point))
+        bindings.update(params)
+        return tuple(r.evaluate(bindings) for r in self.rows_for(stmt))
+
+    def access_time_vector(self, access: Access, point: Sequence[int],
+                           params: Mapping[str, int]) -> tuple[Fraction, ...]:
+        """Statement time extended with the access's micro position."""
+        stmt = access.statement
+        return self.time_vector(stmt, point, params) + (Fraction(access.micro),)
+
+    # -- symbolic rows -----------------------------------------------------------
+
+    def rows_in_space(self, stmt: Statement, space: Space,
+                      rename: Mapping[str, str] | None = None,
+                      micro: int | None = None) -> list[list[Fraction]]:
+        """Schedule rows as coefficient rows over ``space`` (+ constant).
+
+        ``rename`` maps the statement's variable names (loop vars, params) to
+        names in ``space`` (used for product spaces, e.g. ``i -> src_i``).
+        ``micro`` appends one constant micro-time row.
+        """
+        rename = rename or {}
+        out = []
+        for r in self.rows_for(stmt):
+            row = [Fraction(0)] * (space.dim + 1)
+            for name, coeff in r.coeffs.items():
+                row[space.index(rename.get(name, name))] = coeff
+            row[-1] = r.const
+            out.append(row)
+        if micro is not None:
+            last = [Fraction(0)] * (space.dim + 1)
+            last[-1] = Fraction(micro)
+            out.append(last)
+        return out
+
+    def __repr__(self) -> str:
+        parts = [f"{name}: ({', '.join(str(r) for r in rows)})"
+                 for name, rows in sorted(self.rows.items())]
+        return "Schedule{" + "; ".join(parts) + "}"
+
+
+class Disjunct:
+    """One depth-r disjunct of a lexicographic comparison: a conjunction of
+    equality and inequality rows in some product space."""
+
+    __slots__ = ("eqs", "ineqs", "depth")
+
+    def __init__(self, eqs: list[list[Fraction]], ineqs: list[list[Fraction]], depth: int):
+        self.eqs = eqs
+        self.ineqs = ineqs
+        self.depth = depth
+
+
+def precedence_disjuncts(rows_src: Sequence[Sequence[Fraction]],
+                         rows_tgt: Sequence[Sequence[Fraction]]) -> list[Disjunct] | None:
+    """Polyhedral expansion of ``t_src < t_tgt`` (lexicographic, strict).
+
+    Both inputs are rows over one shared product space.  Returns one
+    :class:`Disjunct` per viable depth, with constant-only rows folded away
+    (trivially-true equalities dropped, trivially-false disjuncts pruned).
+
+    Returns None when the comparison is decided *true* purely by constants at
+    some depth whose prefix is all trivially-equal — callers then need no
+    constraints at all (the order always holds).  An empty list means the
+    order can never hold.
+    """
+    ndepths = min(len(rows_src), len(rows_tgt))
+    disjuncts: list[Disjunct] = []
+    prefix_eqs: list[list[Fraction]] = []
+    for r in range(ndepths):
+        diff = [t - s for s, t in zip(rows_src[r], rows_tgt[r])]
+        # Strict at depth r: diff - 1 >= 0 (integer times).
+        strict = list(diff)
+        strict[-1] -= 1
+        if _is_constant_row(diff):
+            c = diff[-1]
+            if c >= 1 and not prefix_eqs:
+                return None  # unconditionally earlier at this depth
+            if c >= 1:
+                disjuncts.append(Disjunct([list(e) for e in prefix_eqs], [], r))
+                # deeper disjuncts would need prefix c==0, impossible
+                return disjuncts
+            # c <= 0: strict impossible at this depth; equality requires c == 0
+            if c != 0:
+                return disjuncts  # prefix equality now impossible for deeper r
+            continue  # equality trivially holds; no constraint to add
+        disjuncts.append(Disjunct([list(e) for e in prefix_eqs], [strict], r))
+        prefix_eqs.append(diff)
+    return disjuncts
+
+
+def _is_constant_row(row: Sequence[Fraction]) -> bool:
+    return all(v == 0 for v in row[:-1])
+
+
+def lex_less(a: Sequence[Fraction], b: Sequence[Fraction]) -> bool:
+    """Strict lexicographic comparison of concrete time vectors.
+
+    Vectors of different lengths (original 2d+1 schedules of statements at
+    different depths) are compared up to the shorter length; an exhausted
+    equal prefix is rejected as ambiguous, which cannot happen for
+    well-formed beta paths.
+    """
+    for x, y in zip(a, b):
+        if x != y:
+            return x < y
+    if len(a) == len(b):
+        return False
+    raise ScheduleError(f"ambiguous time comparison between {a} and {b}")

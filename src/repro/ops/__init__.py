@@ -1,0 +1,24 @@
+"""Operator library: high-level matrix ops emitting optimizable polyhedral IR.
+
+Public surface:
+
+* :class:`Pipeline` — chainable operators (add, sub, matmul with transpose
+  flags, inverse, rss) building one co-optimizable :class:`Program`;
+* canned programs for the paper's experiments:
+  :func:`add_multiply_program` (§6.1), :func:`two_matmul_program` (§6.2),
+  :func:`linreg_program` (§6.3).
+"""
+
+from .compose import concat_programs
+from .pipeline import Pipeline
+from .programs import add_multiply_program, linreg_program, two_matmul_program
+from .relational import RelationalPipeline
+
+__all__ = [
+    "Pipeline",
+    "RelationalPipeline",
+    "concat_programs",
+    "add_multiply_program",
+    "two_matmul_program",
+    "linreg_program",
+]

@@ -1,0 +1,93 @@
+"""Multi-program composition: co-optimizing independent queries.
+
+The paper's related work (QPipe [16], cooperative scans [27], multi-query
+optimization [21, 19]) shares I/O *across concurrent queries* at run time.
+RIOTShare's framework does it by construction: concatenate the queries into
+one program and the optimizer's cross-statement sharing analysis finds the
+common scans like any other opportunity — systematically, at plan time.
+
+``concat_programs`` merges programs into one:
+
+* arrays are merged **by name** — two queries declaring the same input
+  array (same geometry) share it, which is exactly what creates the
+  cross-query R->R scan-sharing opportunities;
+* statement names are prefixed (``q1_s1``, ...) when they collide;
+* textual order is preserved: program k's statements follow program k-1's
+  (the original schedule runs the queries back to back; the optimizer is
+  then free to interleave them).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..exceptions import ProgramError
+from ..ir import Access, Array, Program, Statement
+from ..polyhedral import Polyhedron, Space
+
+__all__ = ["concat_programs"]
+
+
+def concat_programs(programs: Sequence[Program], name: str = "composed") -> Program:
+    """Merge programs into one co-optimizable program (see module docs)."""
+    if not programs:
+        raise ProgramError("concat_programs needs at least one program")
+
+    # -- merge arrays by name ------------------------------------------------
+    merged_arrays: dict[str, Array] = {}
+    for prog in programs:
+        for aname, arr in prog.arrays.items():
+            if aname not in merged_arrays:
+                merged_arrays[aname] = Array(aname, arr.dims, arr.block_shape,
+                                             arr.dtype_bytes, arr.kind)
+                continue
+            existing = merged_arrays[aname]
+            if (tuple(existing.dims) != tuple(arr.dims)
+                    or existing.block_shape != arr.block_shape
+                    or existing.dtype_bytes != arr.dtype_bytes):
+                raise ProgramError(
+                    f"array {aname!r} has conflicting geometry across programs")
+            # INPUT + anything stronger keeps the stronger role.
+            if arr.kind.value != existing.kind.value:
+                from ..ir import ArrayKind
+                order = {ArrayKind.INPUT: 0, ArrayKind.INTERMEDIATE: 1,
+                         ArrayKind.OUTPUT: 2}
+                if order[arr.kind] > order[existing.kind]:
+                    existing.kind = arr.kind
+
+    # -- statement name disambiguation ---------------------------------------------
+    all_names = [s.name for prog in programs for s in prog.statements]
+    collide = len(set(all_names)) != len(all_names)
+
+    params: list[str] = []
+    for prog in programs:
+        for p in prog.params:
+            if p not in params:
+                params.append(p)
+
+    statements: list[Statement] = []
+    slot_offset = 0
+    for qi, prog in enumerate(programs, start=1):
+        top_slots = 0
+        for stmt in prog.statements:
+            top_slots = max(top_slots, stmt.position[0] + 1)
+            new_name = f"q{qi}_{stmt.name}" if collide else stmt.name
+            accesses = [Access(merged_arrays[a.array.name], a.type,
+                               a.subscripts, a.guard)
+                        for a in stmt.accesses]
+            position = (stmt.position[0] + slot_offset,) + stmt.position[1:]
+            statements.append(Statement(new_name, stmt.loop_vars, stmt.domain,
+                                        accesses, stmt.kernel,
+                                        position=position,
+                                        kernel_args=stmt.kernel_args))
+        slot_offset += top_slots
+
+    # -- parameter context: intersection over the union space ------------------------
+    ctx_space = Space(params)
+    context = Polyhedron.universe(ctx_space)
+    for prog in programs:
+        context = context.intersect(prog.param_context.align(ctx_space))
+
+    composed = Program(name, params, merged_arrays, statements, context)
+    composed.validate()
+    return composed

@@ -1,0 +1,191 @@
+"""Operator library (the "Operator Library" box of Figure 2).
+
+High-level matrix operators whose loop-nest implementations are emitted as
+polyhedral IR, so the optimizer can "open them up" and co-optimize across
+operator boundaries — the paper's core argument against black-box operators.
+
+Example::
+
+    p = Pipeline("example1", params=("n1", "n2", "n3"))
+    a = p.input("A", blocks=("n1", "n2"), block_shape=(60, 40))
+    b = p.input("B", blocks=("n1", "n2"), block_shape=(60, 40))
+    d = p.input("D", blocks=("n2", "n3"), block_shape=(40, 50))
+    c = p.add(a, b, name="C")
+    e = p.matmul(c, d, name="E")
+    p.mark_output(e)
+    prog = p.build()
+
+Following BLAS (and the paper's linear-regression setup), transposition is a
+*flag* on multiply, not a separate operator.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+from typing import Sequence
+
+from ..exceptions import ProgramError
+from ..ir import ArrayKind, ArrayRef, Program, ProgramBuilder, affine
+
+__all__ = ["Pipeline"]
+
+_ONE = affine(1)
+
+
+class Pipeline:
+    """Chains matrix operators into one optimizable program."""
+
+    def __init__(self, name: str, params: Sequence[str] = ()):
+        self._builder = ProgramBuilder(name, params=params)
+        self._counter = itertools.count(1)
+        self._var_counter = itertools.count(1)
+
+    # -- declarations -----------------------------------------------------------
+
+    def input(self, name: str, blocks: Sequence[str | int],
+              block_shape: Sequence[int], dtype_bytes: int = 8) -> ArrayRef:
+        return self._builder.array(name, dims=blocks, block_shape=block_shape,
+                                   dtype_bytes=dtype_bytes, kind=ArrayKind.INPUT)
+
+    def mark_output(self, ref: ArrayRef) -> None:
+        ref.array.kind = ArrayKind.OUTPUT
+
+    def build(self) -> Program:
+        return self._builder.build()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _fresh(self, prefix: str) -> str:
+        return f"{prefix}{next(self._var_counter)}"
+
+    @contextlib.contextmanager
+    def _loops(self, specs):
+        """Open loops for the non-trivial extents in ``specs``.
+
+        ``specs`` is a list of (var, extent); extents statically equal to 1
+        emit no loop (the paper's linear-regression program is "a sequence of
+        7 loop nests", not triply-nested operators).  Yields one subscript
+        token per spec: the loop variable, or "0" for skipped dimensions.
+        """
+        tokens = []
+        with contextlib.ExitStack() as stack:
+            for var, extent in specs:
+                if affine(extent) == _ONE:
+                    tokens.append("0")
+                else:
+                    stack.enter_context(self._builder.loop(var, 0, extent))
+                    tokens.append(var)
+            yield tokens
+
+    def _stmt_name(self) -> str:
+        return f"s{next(self._counter)}"
+
+    def _intermediate(self, name: str | None, blocks, block_shape) -> ArrayRef:
+        if name is None:
+            name = f"T{next(self._var_counter)}"
+        return self._builder.array(name, dims=blocks, block_shape=block_shape,
+                                   kind=ArrayKind.INTERMEDIATE)
+
+    @staticmethod
+    def _geom(ref: ArrayRef) -> tuple[tuple, tuple[int, ...]]:
+        return tuple(ref.array.dims), ref.array.block_shape
+
+    # -- elementwise operators --------------------------------------------------------
+
+    def add(self, a: ArrayRef, b: ArrayRef, name: str | None = None) -> ArrayRef:
+        return self._elementwise("add", a, b, name)
+
+    def sub(self, a: ArrayRef, b: ArrayRef, name: str | None = None) -> ArrayRef:
+        return self._elementwise("sub", a, b, name)
+
+    def _elementwise(self, kernel: str, a: ArrayRef, b: ArrayRef,
+                     name: str | None) -> ArrayRef:
+        if self._geom(a) != self._geom(b):
+            raise ProgramError(f"{kernel}: geometry mismatch {a.name} vs {b.name}")
+        out = self._intermediate(name, a.array.dims, a.array.block_shape)
+        iv, kv = self._fresh("i"), self._fresh("k")
+        with self._loops([(iv, a.array.dims[0]), (kv, a.array.dims[1])]) as (i, k):
+            self._builder.statement(self._stmt_name(), kernel=kernel,
+                                    write=out[i, k], reads=[a[i, k], b[i, k]])
+        return out
+
+    # -- multiplication (with transpose flags) ---------------------------------------------
+
+    def matmul(self, a: ArrayRef, b: ArrayRef, name: str | None = None,
+               transpose_a: bool = False, transpose_b: bool = False) -> ArrayRef:
+        """C = op(A) op(B) with op in {identity, transpose}.
+
+        A single-operand self product (``matmul(x, x, transpose_a=True)``)
+        emits the SYRK-style kernel that reads the shared block once.
+        """
+        from ..ir import affine
+        if transpose_a and transpose_b:
+            raise ProgramError("matmul: double transpose unsupported")
+        a_blocks = a.array.dims[::-1] if transpose_a else a.array.dims
+        a_shape = a.array.block_shape[::-1] if transpose_a else a.array.block_shape
+        b_blocks = b.array.dims[::-1] if transpose_b else b.array.dims
+        b_shape = b.array.block_shape[::-1] if transpose_b else b.array.block_shape
+        if a_blocks[1] != b_blocks[0] or a_shape[1] != b_shape[0]:
+            raise ProgramError(
+                f"matmul: inner dimensions disagree "
+                f"({a.name}{'^T' if transpose_a else ''}: {a_blocks}/{a_shape}; "
+                f"{b.name}{'^T' if transpose_b else ''}: {b_blocks}/{b_shape})")
+        out = self._intermediate(name, (a_blocks[0], b_blocks[1]),
+                                 (a_shape[0], b_shape[1]))
+        iv, jv, kv = self._fresh("i"), self._fresh("j"), self._fresh("k")
+        # X'X with a single-block result: both operand subscripts coincide,
+        # so the statement makes one read per instance (SYRK-style).
+        syrk = (a.array is b.array and transpose_a and not transpose_b
+                and out.array.dims[0] == _ONE and out.array.dims[1] == _ONE)
+
+        def a_sub(ii, kk):
+            return a[kk, ii] if transpose_a else a[ii, kk]
+
+        def b_sub(kk, jj):
+            return b[jj, kk] if transpose_b else b[kk, jj]
+
+        with self._loops([(iv, a_blocks[0]), (jv, b_blocks[1]),
+                          (kv, a_blocks[1])]) as (i, j, k):
+            accumulates = k != "0"  # a single inner block needs no self-read
+            if syrk:
+                reads = [a[k, i]]
+                if accumulates:
+                    reads.append(out[i, j].when(f"{k} - 1"))
+                self._builder.statement(self._stmt_name(), kernel="syrk_tn",
+                                        write=out[i, j], reads=reads)
+            else:
+                kernel = {(False, False): "gemm_nn",
+                          (True, False): "gemm_tn",
+                          (False, True): "gemm_nt"}[(transpose_a, transpose_b)]
+                reads = [a_sub(i, k), b_sub(k, j)]
+                if accumulates:
+                    reads.append(out[i, j].when(f"{k} - 1"))
+                self._builder.statement(self._stmt_name(), kernel=kernel,
+                                        write=out[i, j], reads=reads)
+        return out
+
+    # -- small dense operators -----------------------------------------------------------------
+
+    def inverse(self, a: ArrayRef, name: str | None = None) -> ArrayRef:
+        """In-core inverse of a single-block matrix."""
+        if any(repr(d) != "1" for d in a.array.dims):
+            raise ProgramError("inverse expects a single-block (1x1 grid) matrix")
+        out = self._intermediate(name, a.array.dims, a.array.block_shape)
+        self._builder.statement(self._stmt_name(), kernel="inverse",
+                                write=out[0, 0], reads=[a[0, 0]])
+        return out
+
+    def rss(self, a: ArrayRef, name: str | None = None) -> ArrayRef:
+        """Residual sum of squares per column: a 1 x k single-block row."""
+        if a.array.dims[1] != _ONE:
+            raise ProgramError("rss expects a single block column")
+        out = self._intermediate(name, (1, 1), (1, a.array.block_shape[1]))
+        kv = self._fresh("k")
+        with self._loops([(kv, a.array.dims[0])]) as (k,):
+            reads = [a[k, 0]]
+            if k != "0":
+                reads.append(out[0, 0].when(f"{k} - 1"))
+            self._builder.statement(self._stmt_name(), kernel="colsumsq_acc",
+                                    write=out[0, 0], reads=reads)
+        return out

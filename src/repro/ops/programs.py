@@ -1,0 +1,68 @@
+"""Canned programs for the paper's three experiments (Sections 6.1-6.3).
+
+Each builder returns the :class:`Program` plus the parameter binding for the
+block-count geometry of the corresponding table; block shapes default to a
+laptop-friendly ~1/100 linear scale of the paper's (see
+``repro.workloads.configs`` for both scales).
+"""
+
+from __future__ import annotations
+
+from ..ir import Program
+from .pipeline import Pipeline
+
+__all__ = ["add_multiply_program", "two_matmul_program", "linreg_program"]
+
+
+def add_multiply_program(block_rows: int = 60, block_cols: int = 40,
+                         d_cols: int = 50) -> Program:
+    """Example 1 / Section 6.1: C = A + B; E = C D."""
+    p = Pipeline("add_multiply", params=("n1", "n2", "n3"))
+    a = p.input("A", blocks=("n1", "n2"), block_shape=(block_rows, block_cols))
+    b = p.input("B", blocks=("n1", "n2"), block_shape=(block_rows, block_cols))
+    d = p.input("D", blocks=("n2", "n3"), block_shape=(block_cols, d_cols))
+    c = p.add(a, b, name="C")
+    e = p.matmul(c, d, name="E")
+    p.mark_output(e)
+    return p.build()
+
+
+def two_matmul_program(a_shape: tuple[int, int], b_shape: tuple[int, int],
+                       d_shape: tuple[int, int]) -> Program:
+    """Section 6.2: C = A B; E = A D (block shapes per configuration)."""
+    p = Pipeline("two_matmul", params=("n1", "n2", "n3", "n4"))
+    a = p.input("A", blocks=("n1", "n3"), block_shape=a_shape)
+    b = p.input("B", blocks=("n3", "n2"), block_shape=b_shape)
+    d = p.input("D", blocks=("n3", "n4"), block_shape=d_shape)
+    c = p.matmul(a, b, name="C")
+    e = p.matmul(a, d, name="E")
+    p.mark_output(c)
+    p.mark_output(e)
+    return p.build()
+
+
+def linreg_program(x_block: tuple[int, int] = (600, 40),
+                   y_cols: int = 4) -> Program:
+    """Section 6.3: ordinary least squares with residual sum of squares.
+
+    Seven statements, as in the paper:
+      U = X'X;  V = X'Y;  W = inv(U);  beta = W V;
+      Yhat = X beta;  E = Y - Yhat;  R = RSS(E).
+
+    X is n x 1 blocks of ``x_block``; Y has the same row blocking with
+    ``y_cols`` response columns per block.
+    """
+    p = Pipeline("linreg", params=("n",))
+    xr, xc = x_block
+    x = p.input("X", blocks=("n", 1), block_shape=(xr, xc))
+    y = p.input("Y", blocks=("n", 1), block_shape=(xr, y_cols))
+    u = p.matmul(x, x, transpose_a=True, name="U")           # X'X, SYRK
+    v = p.matmul(x, y, transpose_a=True, name="V")           # X'Y
+    w = p.inverse(u, name="W")
+    beta = p.matmul(w, v, name="Bhat")
+    yhat = p.matmul(x, beta, name="Yhat")
+    e = p.sub(y, yhat, name="E")
+    r = p.rss(e, name="R")
+    p.mark_output(beta)
+    p.mark_output(r)
+    return p.build()

@@ -1,0 +1,171 @@
+"""Relational / Pig-style operators at block granularity.
+
+Section 4.1 of the paper lists "table scans and nested loop joins in
+traditional databases, FILTER and FOREACH commands in Pig" among the
+static-control programs the framework captures; Section 7 proposes mixing
+them with array operations.  This module provides those operators on
+*blocked tables* — 2-D arrays whose row dimension is chunked into blocks —
+so relational pipelines become optimizable programs too:
+
+* :meth:`RelationalPipeline.foreach` — per-row transformation (Pig FOREACH);
+* :meth:`RelationalPipeline.filter` — selection: non-qualifying rows are
+  zeroed in place, the selection-vector style of block processing;
+* :meth:`RelationalPipeline.aggregate` — running column aggregates (a scan);
+* :meth:`RelationalPipeline.nested_loop_join` — block NLJ producing a
+  (R-blocks x S-blocks) grid of per-block-pair match counts; its loop
+  structure is exactly the matmul I/O pattern, so the optimizer shares the
+  inner table's scan across outer iterations (the cooperative-scans effect
+  of the related-work section, obtained here by plan transformation).
+
+Tables share the optimizer/engine unchanged: a table block is a matrix
+block; the relational kernels live in the same registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..engine.kernels import _acc, register_kernel
+from ..exceptions import ProgramError
+from ..ir import ArrayKind, ArrayRef, Program, ProgramBuilder, affine
+
+__all__ = ["RelationalPipeline"]
+
+
+# -- relational kernels ------------------------------------------------------
+
+
+@register_kernel("foreach_affine")
+def _foreach_affine(reads, out_shape, args):
+    """Row-wise affine map: out[:, j] = scale[j] * in[:, j] + shift[j]."""
+    (block,) = reads
+    scale = np.asarray(args.get("scale", 1.0))
+    shift = np.asarray(args.get("shift", 0.0))
+    return block * scale + shift
+
+
+@register_kernel("filter_ge")
+def _filter_ge(reads, out_shape, args):
+    """Keep rows whose ``column`` value >= ``threshold``; zero the rest."""
+    (block,) = reads
+    col = int(args.get("column", 0))
+    thr = float(args.get("threshold", 0.0))
+    mask = block[:, col] >= thr
+    return block * mask[:, None]
+
+
+@register_kernel("colsum_acc")
+def _colsum_acc(reads, out_shape, args):
+    """Running per-column sums (a table scan with aggregation)."""
+    return _acc(reads, 1, out_shape) + reads[0].sum(axis=0, keepdims=True)
+
+
+@register_kernel("join_count")
+def _join_count(reads, out_shape, args):
+    """Block nested-loop join: count matching (r, s) pairs on key columns.
+
+    Rows that were zeroed by an upstream filter (all-zero rows) never match.
+    """
+    r_blk, s_blk = reads[0], reads[1]
+    rk = int(args.get("left_key", 0))
+    sk = int(args.get("right_key", 0))
+    r_live = ~np.all(r_blk == 0, axis=1)
+    s_live = ~np.all(s_blk == 0, axis=1)
+    r_keys = r_blk[r_live][:, rk]
+    s_keys = s_blk[s_live][:, sk]
+    count = float(np.sum(r_keys[:, None] == s_keys[None, :]))
+    out = np.zeros(out_shape)
+    out[0, 0] = count
+    return out
+
+
+# -- pipeline ---------------------------------------------------------------------
+
+
+class RelationalPipeline:
+    """Chains relational operators over blocked tables into one program."""
+
+    def __init__(self, name: str, params=()):
+        self._builder = ProgramBuilder(name, params=params)
+        self._counter = itertools.count(1)
+        self._vars = itertools.count(1)
+
+    def table(self, name: str, row_blocks: str | int, block_rows: int,
+              columns: int) -> ArrayRef:
+        """Declare an input table of ``row_blocks`` x 1 blocks."""
+        return self._builder.array(name, dims=(row_blocks, 1),
+                                   block_shape=(block_rows, columns))
+
+    def mark_output(self, ref: ArrayRef) -> None:
+        ref.array.kind = ArrayKind.OUTPUT
+
+    def build(self) -> Program:
+        return self._builder.build()
+
+    def _fresh(self) -> str:
+        return f"r{next(self._vars)}"
+
+    def _out(self, name, src: ArrayRef) -> ArrayRef:
+        return self._builder.array(name or f"T{next(self._vars)}",
+                                   dims=src.array.dims,
+                                   block_shape=src.array.block_shape,
+                                   kind=ArrayKind.INTERMEDIATE)
+
+    # -- operators -------------------------------------------------------------
+
+    def foreach(self, src: ArrayRef, scale=1.0, shift=0.0,
+                name: str | None = None) -> ArrayRef:
+        out = self._out(name, src)
+        v = self._fresh()
+        with self._builder.loop(v, 0, src.array.dims[0]):
+            self._builder.statement(
+                f"s{next(self._counter)}", kernel="foreach_affine",
+                write=out[v, 0], reads=[src[v, 0]],
+                kernel_args={"scale": scale, "shift": shift})
+        return out
+
+    def filter(self, src: ArrayRef, column: int, threshold: float,
+               name: str | None = None) -> ArrayRef:
+        if not 0 <= column < src.array.block_shape[1]:
+            raise ProgramError(f"filter column {column} out of range")
+        out = self._out(name, src)
+        v = self._fresh()
+        with self._builder.loop(v, 0, src.array.dims[0]):
+            self._builder.statement(
+                f"s{next(self._counter)}", kernel="filter_ge",
+                write=out[v, 0], reads=[src[v, 0]],
+                kernel_args={"column": column, "threshold": threshold})
+        return out
+
+    def aggregate(self, src: ArrayRef, name: str | None = None) -> ArrayRef:
+        """Per-column sums over the whole table (single-block result)."""
+        out = self._builder.array(name or f"T{next(self._vars)}",
+                                  dims=(1, 1),
+                                  block_shape=(1, src.array.block_shape[1]),
+                                  kind=ArrayKind.INTERMEDIATE)
+        v = self._fresh()
+        with self._builder.loop(v, 0, src.array.dims[0]):
+            self._builder.statement(
+                f"s{next(self._counter)}", kernel="colsum_acc",
+                write=out[0, 0],
+                reads=[src[v, 0], out[0, 0].when(f"{v} - 1")])
+        return out
+
+    def nested_loop_join(self, left: ArrayRef, right: ArrayRef,
+                         left_key: int = 0, right_key: int = 0,
+                         name: str | None = None) -> ArrayRef:
+        """Block NLJ: J[i, j] = #matches between left block i, right block j."""
+        out = self._builder.array(
+            name or f"J{next(self._vars)}",
+            dims=(left.array.dims[0], right.array.dims[0]),
+            block_shape=(1, 1), kind=ArrayKind.INTERMEDIATE)
+        vi, vj = self._fresh(), self._fresh()
+        with self._builder.loop(vi, 0, left.array.dims[0]):
+            with self._builder.loop(vj, 0, right.array.dims[0]):
+                self._builder.statement(
+                    f"s{next(self._counter)}", kernel="join_count",
+                    write=out[vi, vj], reads=[left[vi, 0], right[vj, 0]],
+                    kernel_args={"left_key": left_key, "right_key": right_key})
+        return out

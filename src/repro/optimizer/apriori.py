@@ -1,0 +1,158 @@
+"""Apriori-like plan enumeration (Algorithm 2, Lemma 2).
+
+If a set of sharing opportunities cannot be realized simultaneously, neither
+can any superset — so candidate sets are grown level-wise, a set of size k
+being considered only when all its size-(k-1) subsets were feasible.  Each
+feasible candidate yields one legal schedule; the empty set (the original
+program order) is always included as Plan 0.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Iterable, Sequence
+
+from ..analysis import ProgramAnalysis, SharingOpportunity
+from ..ir import Schedule
+from .constraints import ConstraintCache
+from .find_schedule import find_schedule
+
+__all__ = ["enumerate_feasible_sets", "AprioriStats"]
+
+
+class AprioriStats:
+    """Search accounting: how much of the power set was pruned."""
+
+    __slots__ = ("candidates_tested", "feasible", "total_subsets", "seconds",
+                 "truncated")
+
+    def __init__(self):
+        self.candidates_tested = 0
+        self.feasible = 0
+        self.total_subsets = 0
+        self.seconds = 0.0
+        self.truncated = False
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of the nonempty power set never even tested."""
+        if self.total_subsets == 0:
+            return 0.0
+        return 1.0 - self.candidates_tested / self.total_subsets
+
+    def __repr__(self) -> str:
+        return (f"AprioriStats(tested={self.candidates_tested}/{self.total_subsets}, "
+                f"feasible={self.feasible}, pruned={self.pruned_fraction:.1%}, "
+                f"{self.seconds:.2f}s)")
+
+
+def enumerate_feasible_sets(analysis: ProgramAnalysis,
+                            cache: ConstraintCache | None = None,
+                            max_set_size: int | None = None,
+                            max_candidates: int | None = None,
+                            include_greedy_maximal: bool = True
+                            ) -> tuple[list[tuple[frozenset[int], Schedule]], AprioriStats]:
+    """All feasible sharing-opportunity sets with a schedule for each.
+
+    Opportunities that failed multiplicity reduction are excluded (sound).
+    Returns ``([(opportunity-index-set, schedule), ...], stats)``; the empty
+    set maps to the program's original schedule.
+
+    ``max_set_size`` / ``max_candidates`` bound the level-wise enumeration
+    (programs whose opportunities are almost all mutually compatible have an
+    exponentially feasible lattice).  When the enumeration is truncated and
+    ``include_greedy_maximal`` is set, one extra plan is added: a maximal
+    feasible set grown greedily — the paper's own suggested remedy of
+    combining enumeration with costing to terminate search early.
+    """
+    program = analysis.program
+    if cache is None:
+        cache = ConstraintCache(program)
+    usable = [o for o in analysis.opportunities if o.reduced]
+    by_index = {o.index: o for o in usable}
+    stats = AprioriStats()
+    stats.total_subsets = 2 ** len(usable) - 1
+    t0 = time.perf_counter()
+
+    results: list[tuple[frozenset[int], Schedule]] = [
+        (frozenset(), analysis.schedule)]
+    feasible_prev: set[frozenset[int]] = set()
+
+    def budget_left() -> bool:
+        return max_candidates is None or stats.candidates_tested < max_candidates
+
+    # Level 1.
+    feasible_singletons: list = []
+    for o in usable:
+        stats.candidates_tested += 1
+        sched = find_schedule(program, cache, [o], analysis.dependences)
+        if sched is not None:
+            key = frozenset([o.index])
+            feasible_prev.add(key)
+            results.append((key, sched))
+            feasible_singletons.append(o)
+            stats.feasible += 1
+
+    k = 2
+    while (feasible_prev and (max_set_size is None or k <= max_set_size)
+           and k <= len(usable) and budget_left()):
+        candidates: set[frozenset[int]] = set()
+        for base in feasible_prev:
+            for o in usable:
+                if o.index in base:
+                    continue
+                cand = base | {o.index}
+                if len(cand) != k or cand in candidates:
+                    continue
+                if all(frozenset(sub) in feasible_prev
+                       for sub in itertools.combinations(cand, k - 1)):
+                    candidates.add(cand)
+        feasible_now: set[frozenset[int]] = set()
+        for cand in sorted(candidates, key=sorted):
+            if not budget_left():
+                stats.truncated = True
+                break
+            stats.candidates_tested += 1
+            opps = [by_index[i] for i in sorted(cand)]
+            sched = find_schedule(program, cache, opps, analysis.dependences)
+            if sched is not None:
+                feasible_now.add(cand)
+                results.append((cand, sched))
+                stats.feasible += 1
+        feasible_prev = feasible_now
+        k += 1
+    if feasible_prev and max_set_size is not None and k > max_set_size:
+        stats.truncated = stats.truncated or any(
+            len(s) == max_set_size for s in feasible_prev)
+
+    if stats.truncated and include_greedy_maximal:
+        seen = {key for key, _ in results}
+        grown = grow_greedy_maximal(analysis, cache, feasible_singletons, stats)
+        if grown is not None and grown[0] not in seen:
+            results.append(grown)
+            stats.feasible += 1
+
+    stats.seconds = time.perf_counter() - t0
+    return results, stats
+
+
+def grow_greedy_maximal(analysis: ProgramAnalysis, cache: ConstraintCache,
+                        seeds: Sequence[SharingOpportunity],
+                        stats: AprioriStats | None = None
+                        ) -> tuple[frozenset[int], Schedule] | None:
+    """Grow one maximal feasible set greedily from feasible singletons."""
+    program = analysis.program
+    current: list[SharingOpportunity] = []
+    schedule = None
+    for o in seeds:
+        trial = current + [o]
+        if stats is not None:
+            stats.candidates_tested += 1
+        sched = find_schedule(program, cache, trial, analysis.dependences)
+        if sched is not None:
+            current = trial
+            schedule = sched
+    if schedule is None:
+        return None
+    return frozenset(o.index for o in current), schedule

@@ -1,0 +1,158 @@
+"""Schedule-coefficient constraint spaces (Section 5.2).
+
+One searched schedule row per statement per depth: an affine function of the
+statement's loop variables, the parameters, and 1.  The unknowns live in a
+shared coefficient space with names ``{stmt}.{var}``, ``{stmt}.{param}`` and
+``{stmt}.__c``; constraints on them are derived from dependence / sharing
+extents through the affine form of the Farkas lemma:
+
+* weak dependence:      theta_t(x') - theta_s(x) >= 0   on every pair
+* strong dependence:    theta_t(x') - theta_s(x) >= 1
+* sharing equality:     theta_t(x') - theta_s(x) == delta (0 or +-1)
+
+Each is computed per extent disjunct and intersected (a universally
+quantified condition over a union is the conjunction over its members).
+Results are memoized per (extent, depth-kind) because the Apriori search
+calls FindSchedule on many overlapping candidate sets.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from ..analysis import CoAccess
+from ..exceptions import OptimizationError
+from ..ir import Program, Statement
+from ..polyhedral import (Polyhedron, Space, SymbolicForm, farkas_equals_const,
+                          farkas_nonneg)
+
+__all__ = ["CoefficientSpace", "ConstraintCache"]
+
+CONST_SUFFIX = "__c"
+
+
+class CoefficientSpace:
+    """Naming and bookkeeping for one depth's schedule-coefficient space."""
+
+    __slots__ = ("program", "space", "_by_stmt")
+
+    def __init__(self, program: Program):
+        self.program = program
+        names: list[str] = []
+        self._by_stmt: dict[str, list[str]] = {}
+        for s in program.statements:
+            mine = [f"{s.name}.{v}" for v in s.loop_vars]
+            mine += [f"{s.name}.{p}" for p in program.params]
+            mine += [f"{s.name}.{CONST_SUFFIX}"]
+            self._by_stmt[s.name] = mine
+            names.extend(mine)
+        self.space = Space(names)
+
+    def stmt_vars(self, stmt: Statement) -> list[str]:
+        return self._by_stmt[stmt.name]
+
+    def loop_coeff_names(self, stmt: Statement) -> list[str]:
+        return [f"{stmt.name}.{v}" for v in stmt.loop_vars]
+
+    def row_from_point(self, stmt: Statement, point: Mapping[str, Fraction]):
+        """Extract (loop coeffs, param coeffs, const) for one statement from a
+        sampled coefficient assignment."""
+        loop = [point[f"{stmt.name}.{v}"] for v in stmt.loop_vars]
+        par = [point[f"{stmt.name}.{p}"] for p in self.program.params]
+        const = point[f"{stmt.name}.{CONST_SUFFIX}"]
+        return loop, par, const
+
+
+def _difference_form(co: CoAccess, cspace: CoefficientSpace,
+                     y_space: Space) -> SymbolicForm:
+    """psi(y) = theta_tgt(x') - theta_src(x) as a symbolic form over the
+    coefficient unknowns, in the extent's product space."""
+    form = SymbolicForm(y_space)
+    src_s = co.src.statement
+    tgt_s = co.tgt.statement
+    width = y_space.dim + 1
+
+    def unit_row(idx: int | None) -> list[Fraction]:
+        row = [Fraction(0)] * width
+        if idx is not None:
+            row[idx] = Fraction(1)
+        return row
+
+    # + theta_tgt(x'): loop vars are t_-prefixed in the product space.
+    for v in tgt_s.loop_vars:
+        form.add_term(f"{tgt_s.name}.{v}", unit_row(y_space.index("t_" + v)))
+    for p in cspace.program.params:
+        form.add_term(f"{tgt_s.name}.{p}", unit_row(y_space.index(p)))
+    const_row = [Fraction(0)] * width
+    const_row[-1] = Fraction(1)
+    form.add_term(f"{tgt_s.name}.{CONST_SUFFIX}", const_row)
+
+    # - theta_src(x)
+    for v in src_s.loop_vars:
+        row = unit_row(y_space.index("s_" + v))
+        form.add_term(f"{src_s.name}.{v}", [-x for x in row])
+    for p in cspace.program.params:
+        row = unit_row(y_space.index(p))
+        form.add_term(f"{src_s.name}.{p}", [-x for x in row])
+    form.add_term(f"{src_s.name}.{CONST_SUFFIX}",
+                  [-x for x in const_row])
+    return form
+
+
+class ConstraintCache:
+    """Farkas-derived coefficient polyhedra, memoized across FindSchedule calls."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.cspace = CoefficientSpace(program)
+        self._cache: dict[tuple, Polyhedron] = {}
+
+    @property
+    def space(self) -> Space:
+        return self.cspace.space
+
+    _MISSING = object()
+
+    def memo(self, key: tuple, builder):
+        """Generic memo slot (used by FindSchedule for shared conjunctions)."""
+        value = self._cache.get(key, self._MISSING)
+        if value is self._MISSING:
+            value = builder()
+            self._cache[key] = value
+        return value
+
+    def weak_dependence(self, co: CoAccess) -> Polyhedron:
+        """theta_t(x') - theta_s(x) >= 0 on every extent pair."""
+        return self._nonneg(co, margin=0)
+
+    def strong_dependence(self, co: CoAccess) -> Polyhedron:
+        """theta_t(x') - theta_s(x) >= 1 on every extent pair."""
+        return self._nonneg(co, margin=1)
+
+    def sharing_equality(self, co: CoAccess, delta: int) -> Polyhedron:
+        """theta_t(x') - theta_s(x) == delta on every extent pair."""
+        key = ("eq", id(co), delta)
+        if key not in self._cache:
+            result = Polyhedron.universe(self.space)
+            for disjunct in co.extent.disjuncts:
+                form = _difference_form(co, self.cspace, disjunct.space)
+                result = result.intersect(
+                    farkas_equals_const(disjunct, form, self.space, delta))
+                if result.is_rational_empty():
+                    break
+            self._cache[key] = result
+        return self._cache[key]
+
+    def _nonneg(self, co: CoAccess, margin: int) -> Polyhedron:
+        key = ("ge", id(co), margin)
+        if key not in self._cache:
+            result = Polyhedron.universe(self.space)
+            for disjunct in co.extent.disjuncts:
+                form = _difference_form(co, self.cspace, disjunct.space)
+                result = result.intersect(
+                    farkas_nonneg(disjunct, form.shift(-margin), self.space))
+                if result.is_rational_empty():
+                    break
+            self._cache[key] = result
+        return self._cache[key]

@@ -1,0 +1,278 @@
+"""Plan cost evaluation (Section 5.4): I/O cost and memory requirement.
+
+Costs are computed exactly, at block granularity, for bound parameters:
+
+* **I/O cost** — every access instance is one block I/O unless saved by a
+  realized sharing opportunity (W->R / R->R save the later read of the pair;
+  W->W saves the earlier write) or elided by dead-write elimination
+  (footnote 8: a write to an intermediate array whose every following read
+  — up to the next overwrite — is served from memory need not hit disk).
+  Byte volumes are converted to time by a linear model with separate read
+  and write bandwidths (the paper measured 96 MB/s and 60 MB/s).
+
+* **Memory requirement** — at every scheduled time, the blocks the current
+  instance touches, plus every block held between the two ends of a
+  realized W->R / R->R pair spanning that time; the plan's requirement is
+  the maximum over time.
+
+The paper evaluates these as piecewise quasipolynomials in the parameters;
+we count integer points instead (exact, and cheap at block granularity) —
+see DESIGN.md substitution #6.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..analysis import SharingOpportunity
+from ..ir import Access, AccessType, ArrayKind, Program, Schedule
+
+__all__ = ["IOModel", "PlanCost", "PlanTrace", "evaluate_plan", "trace_plan",
+           "collect_events", "ScheduledEvent"]
+
+MB = 1_000_000
+
+
+class IOModel:
+    """Linear I/O time model: time = reads/read_bw + writes/write_bw."""
+
+    __slots__ = ("read_bw", "write_bw")
+
+    def __init__(self, read_bw: float = 96 * MB, write_bw: float = 60 * MB):
+        if read_bw <= 0 or write_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        self.read_bw = float(read_bw)
+        self.write_bw = float(write_bw)
+
+    def seconds(self, read_bytes: int, write_bytes: int) -> float:
+        return read_bytes / self.read_bw + write_bytes / self.write_bw
+
+    def __repr__(self) -> str:
+        return f"IOModel(read={self.read_bw / MB:.0f}MB/s, write={self.write_bw / MB:.0f}MB/s)"
+
+
+class PlanCost:
+    """Evaluated cost of one plan."""
+
+    __slots__ = ("read_bytes", "write_bytes", "io_seconds", "memory_bytes",
+                 "saved_read_bytes", "saved_write_bytes", "elided_write_bytes",
+                 "baseline_read_bytes", "baseline_write_bytes")
+
+    def __init__(self, read_bytes: int, write_bytes: int, io_seconds: float,
+                 memory_bytes: int, saved_read_bytes: int, saved_write_bytes: int,
+                 elided_write_bytes: int, baseline_read_bytes: int,
+                 baseline_write_bytes: int):
+        self.read_bytes = read_bytes
+        self.write_bytes = write_bytes
+        self.io_seconds = io_seconds
+        self.memory_bytes = memory_bytes
+        self.saved_read_bytes = saved_read_bytes
+        self.saved_write_bytes = saved_write_bytes
+        self.elided_write_bytes = elided_write_bytes
+        self.baseline_read_bytes = baseline_read_bytes
+        self.baseline_write_bytes = baseline_write_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.read_bytes + self.write_bytes
+
+    def __repr__(self) -> str:
+        return (f"PlanCost(io={self.io_seconds:.1f}s, "
+                f"read={self.read_bytes / 1e9:.2f}GB, write={self.write_bytes / 1e9:.2f}GB, "
+                f"mem={self.memory_bytes / 1e6:.0f}MB)")
+
+
+class ScheduledEvent:
+    """One access instance with its time under the evaluated schedule."""
+
+    __slots__ = ("access", "point", "block", "time", "bytes", "saved", "elided")
+
+    def __init__(self, access: Access, point: tuple[int, ...],
+                 block: tuple[int, ...], time: tuple[Fraction, ...], nbytes: int):
+        self.access = access
+        self.point = point
+        self.block = block
+        self.time = time
+        self.bytes = nbytes
+        self.saved = False
+        self.elided = False
+
+    @property
+    def block_key(self) -> tuple:
+        return (self.access.array.name, self.block)
+
+    @property
+    def is_write(self) -> bool:
+        return self.access.is_write
+
+
+def collect_events(program: Program, params: Mapping[str, int],
+                   schedule: Schedule,
+                   block_bytes: Mapping[str, int] | None = None
+                   ) -> list[ScheduledEvent]:
+    """All access events ordered by the given schedule (reads before the
+    write within one instance)."""
+    events: list[ScheduledEvent] = []
+    for stmt in program.statements:
+        for point in stmt.instances(params):
+            base_time = schedule.time_vector(stmt, point, params)
+            for access in stmt.accesses:
+                if not access.guard_holds(point, params):
+                    continue
+                nbytes = (block_bytes or {}).get(access.array.name,
+                                                 access.array.block_bytes)
+                events.append(ScheduledEvent(
+                    access, tuple(point), access.block_at(point, params),
+                    base_time + (Fraction(access.micro),), nbytes))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+class PlanTrace:
+    """Annotated execution trace of one plan: ordered events with their
+    saved/elided verdicts, plus the residency intervals of shared blocks.
+
+    Both the cost evaluator and the code generator are built on this, so the
+    engine executes exactly what the optimizer costed.
+    """
+
+    __slots__ = ("events", "held")
+
+    def __init__(self, events: list[ScheduledEvent],
+                 held: list[tuple]):
+        self.events = events
+        self.held = held
+
+
+def trace_plan(program: Program, params: Mapping[str, int],
+               schedule: Schedule,
+               realized: Sequence[SharingOpportunity],
+               dead_write_elimination: bool = True,
+               block_bytes: Mapping[str, int] | None = None) -> PlanTrace:
+    """Annotate every access event with the plan's sharing decisions."""
+    events = collect_events(program, params, schedule, block_bytes)
+    index = {(ev.access.key(), ev.point): ev for ev in events}
+
+    held: list[tuple] = []
+    for opp in realized:
+        src, tgt = opp.co.src, opp.co.tgt
+        for (ps, pt) in opp.co.pairs(params):
+            es = index.get((src.key(), ps))
+            et = index.get((tgt.key(), pt))
+            if es is None or et is None:
+                continue
+            kind = (src.type, tgt.type)
+            if kind == (AccessType.WRITE, AccessType.WRITE):
+                es.saved = True
+                continue
+            early, late = (es, et) if es.time <= et.time else (et, es)
+            late.saved = True
+            held.append((early.time, late.time, es.block_key, es.bytes))
+
+    _downgrade_unsound_write_saves(events)
+    if dead_write_elimination:
+        _elide_dead_writes(events)
+    return PlanTrace(events, held)
+
+
+def _downgrade_unsound_write_saves(events: list[ScheduledEvent]) -> None:
+    """Skipping a write is only sound if no later read needs the disk copy.
+
+    A W->W pair lets the earlier write stay in memory *provided* every read
+    of the block before the overwrite is itself served from memory (realized
+    W->R / R->R).  The paper's plans always pair W->W with the corresponding
+    W->R; for candidate sets that realize W->W alone we must keep the write,
+    sacrificing that saving rather than correctness.
+    """
+    by_block: dict[tuple, list[ScheduledEvent]] = {}
+    for ev in sorted(events, key=lambda e: e.time):
+        by_block.setdefault(ev.block_key, []).append(ev)
+    for chain in by_block.values():
+        for i, ev in enumerate(chain):
+            if not (ev.is_write and ev.saved):
+                continue
+            for later in chain[i + 1:]:
+                if later.is_write:
+                    break
+                if not later.saved:  # a disk read depends on this write
+                    ev.saved = False
+                    break
+
+
+def evaluate_plan(program: Program, params: Mapping[str, int],
+                  schedule: Schedule,
+                  realized: Sequence[SharingOpportunity],
+                  io_model: IOModel | None = None,
+                  dead_write_elimination: bool = True,
+                  block_bytes: Mapping[str, int] | None = None) -> PlanCost:
+    """Cost one plan: a schedule plus the sharing opportunities it realizes."""
+    io_model = io_model or IOModel()
+    trace = trace_plan(program, params, schedule, realized,
+                       dead_write_elimination, block_bytes)
+    events, held = trace.events, trace.held
+
+    baseline_reads = sum(e.bytes for e in events if not e.is_write)
+    baseline_writes = sum(e.bytes for e in events if e.is_write)
+
+    read_bytes = sum(e.bytes for e in events if not e.is_write and not e.saved)
+    write_bytes = sum(e.bytes for e in events
+                      if e.is_write and not e.saved and not e.elided)
+    saved_reads = baseline_reads - read_bytes
+    saved_writes = baseline_writes - write_bytes
+    elided = sum(e.bytes for e in events if e.is_write and e.elided and not e.saved)
+
+    memory = _memory_requirement(events, held)
+    return PlanCost(read_bytes, write_bytes,
+                    io_model.seconds(read_bytes, write_bytes), memory,
+                    saved_reads, saved_writes, elided,
+                    baseline_reads, baseline_writes)
+
+
+def _elide_dead_writes(events: list[ScheduledEvent]) -> None:
+    """Mark writes to intermediate arrays whose data never needs to reach disk.
+
+    A write can be elided when every read of its block before the next write
+    (in the plan's order) is served from memory, and the array is not a
+    program output.  Works backward so chains of fully-shared writes elide
+    together.
+    """
+    by_block: dict[tuple, list[ScheduledEvent]] = {}
+    for ev in events:
+        by_block.setdefault(ev.block_key, []).append(ev)
+    for chain in by_block.values():
+        if chain[0].access.array.kind is not ArrayKind.INTERMEDIATE:
+            continue
+        for i, ev in enumerate(chain):
+            if not ev.is_write or ev.saved:
+                continue
+            dependent_reads = []
+            for later in chain[i + 1:]:
+                if later.is_write:
+                    break
+                dependent_reads.append(later)
+            if all(r.saved for r in dependent_reads):
+                ev.elided = True
+
+
+def _memory_requirement(events: list[ScheduledEvent],
+                        held: list[tuple]) -> int:
+    """Max over scheduled times of touched-blocks + held-blocks bytes."""
+    # Group events by statement-instance time prefix (drop the micro digit):
+    # an instance needs all its operand blocks simultaneously.
+    by_instance: dict[tuple, dict[tuple, int]] = {}
+    for ev in events:
+        key = ev.time[:-1]
+        by_instance.setdefault(key, {})[ev.block_key] = ev.bytes
+    peak = 0
+    for t, touched in by_instance.items():
+        total = sum(touched.values())
+        seen = set(touched)
+        for (lo, hi, block_key, nbytes) in held:
+            if block_key in seen:
+                continue
+            if lo[:-1] <= t <= hi[:-1]:
+                total += nbytes
+                seen.add(block_key)
+        peak = max(peak, total)
+    return peak

@@ -1,0 +1,114 @@
+"""RIOTShare's top-level optimizer (Figure 2).
+
+``optimize`` runs the full pipeline for a program and concrete sizes:
+
+1. sharing-opportunity / dependence analysis (Section 4.3, 5.1),
+2. Apriori plan enumeration with FindSchedule legality tests (Section 5.3),
+3. cost evaluation of every legal plan (Section 5.4),
+4. selection of the cheapest plan that fits the memory cap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping, Sequence
+
+from ..analysis import ProgramAnalysis, analyze
+from ..exceptions import OptimizationError
+from ..ir import Program
+from .apriori import AprioriStats, enumerate_feasible_sets
+from .constraints import ConstraintCache
+from .costing import IOModel, evaluate_plan
+from .plan import Plan
+
+__all__ = ["OptimizationResult", "optimize", "Optimizer"]
+
+
+class OptimizationResult:
+    """All legal plans plus selection helpers."""
+
+    __slots__ = ("program", "params", "analysis", "plans", "stats",
+                 "io_model", "seconds")
+
+    def __init__(self, program: Program, params: Mapping[str, int],
+                 analysis: ProgramAnalysis, plans: Sequence[Plan],
+                 stats: AprioriStats, io_model: IOModel, seconds: float):
+        self.program = program
+        self.params = dict(params)
+        self.analysis = analysis
+        self.plans = list(plans)
+        self.stats = stats
+        self.io_model = io_model
+        self.seconds = seconds
+
+    @property
+    def original_plan(self) -> Plan:
+        return next(p for p in self.plans if p.is_original)
+
+    def best(self, memory_cap_bytes: int | None = None) -> Plan:
+        fitting = [p for p in self.plans if p.fits(memory_cap_bytes)]
+        if not fitting:
+            raise OptimizationError(
+                f"no plan fits the memory cap of {memory_cap_bytes} bytes "
+                f"(cheapest needs {min(p.cost.memory_bytes for p in self.plans)})")
+        return min(fitting, key=lambda p: (p.cost.io_seconds, p.index))
+
+    def plan_for(self, labels: Sequence[str]) -> Plan:
+        """The plan realizing exactly the given opportunity labels."""
+        want = frozenset(labels)
+        for p in self.plans:
+            if frozenset(p.realized_labels) == want:
+                return p
+        raise OptimizationError(f"no plan realizes exactly {sorted(want)}")
+
+    def __repr__(self) -> str:
+        return (f"OptimizationResult({self.program.name}: {len(self.plans)} plans, "
+                f"{self.stats!r})")
+
+
+class Optimizer:
+    """Reusable optimizer instance (caches Farkas constraint spaces)."""
+
+    def __init__(self, program: Program, io_model: IOModel | None = None,
+                 dead_write_elimination: bool = True):
+        self.program = program
+        self.io_model = io_model or IOModel()
+        self.dead_write_elimination = dead_write_elimination
+
+    def optimize(self, params: Mapping[str, int],
+                 memory_cap_bytes: int | None = None,
+                 max_set_size: int | None = None,
+                 max_candidates: int | None = None,
+                 block_bytes: Mapping[str, int] | None = None) -> OptimizationResult:
+        t0 = time.perf_counter()
+        analysis = analyze(self.program, param_values=params)
+        cache = ConstraintCache(self.program)
+        feasible, stats = enumerate_feasible_sets(analysis, cache, max_set_size,
+                                                  max_candidates)
+        by_index = {o.index: o for o in analysis.opportunities}
+        plans: list[Plan] = []
+        for plan_id, (idx_set, schedule) in enumerate(feasible):
+            realized = [by_index[i] for i in sorted(idx_set)]
+            cost = evaluate_plan(self.program, params, schedule, realized,
+                                 self.io_model,
+                                 dead_write_elimination=self.dead_write_elimination,
+                                 block_bytes=block_bytes)
+            plans.append(Plan(plan_id, schedule, realized, cost))
+        seconds = time.perf_counter() - t0
+        result = OptimizationResult(self.program, params, analysis, plans,
+                                    stats, self.io_model, seconds)
+        _ = memory_cap_bytes  # selection is a query on the result
+        return result
+
+
+def optimize(program: Program, params: Mapping[str, int],
+             io_model: IOModel | None = None,
+             memory_cap_bytes: int | None = None,
+             max_set_size: int | None = None,
+             max_candidates: int | None = None,
+             dead_write_elimination: bool = True,
+             block_bytes: Mapping[str, int] | None = None) -> OptimizationResult:
+    """One-shot convenience wrapper around :class:`Optimizer`."""
+    opt = Optimizer(program, io_model, dead_write_elimination)
+    return opt.optimize(params, memory_cap_bytes, max_set_size, max_candidates,
+                        block_bytes)

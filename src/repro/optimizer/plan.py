@@ -1,0 +1,43 @@
+"""Plan objects: a schedule, the sharing opportunities it realizes, its cost."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis import SharingOpportunity
+from ..ir import Schedule
+from .costing import PlanCost
+
+__all__ = ["Plan"]
+
+
+class Plan:
+    """One legal execution plan produced by the optimizer."""
+
+    __slots__ = ("index", "schedule", "realized", "cost")
+
+    def __init__(self, index: int, schedule: Schedule,
+                 realized: Sequence[SharingOpportunity], cost: PlanCost):
+        self.index = index
+        self.schedule = schedule
+        self.realized = tuple(realized)
+        self.cost = cost
+
+    @property
+    def realized_labels(self) -> list[str]:
+        return [o.label for o in self.realized]
+
+    @property
+    def is_original(self) -> bool:
+        return not self.realized
+
+    def fits(self, memory_cap_bytes: int | None) -> bool:
+        return memory_cap_bytes is None or self.cost.memory_bytes <= memory_cap_bytes
+
+    def summary(self) -> str:
+        shared = ", ".join(self.realized_labels) or "(none)"
+        return (f"Plan {self.index}: io={self.cost.io_seconds:.1f}s "
+                f"mem={self.cost.memory_bytes / 1e6:.1f}MB shares=[{shared}]")
+
+    def __repr__(self) -> str:
+        return f"Plan(#{self.index}, {len(self.realized)} opportunities, {self.cost!r})"

@@ -1,0 +1,95 @@
+"""Parametric cost formulas (the Remark of Section 5.4).
+
+The paper evaluates schedules symbolically: "a schedule's memory requirement
+and I/O cost are represented as polynomials ... in the global parameters",
+so changing array sizes means plugging new values in, not re-optimizing.
+This module provides that view for the quantities that drive plan costs:
+
+* per-access baseline I/O volume — ``(block count formula) x block bytes``;
+* per-opportunity saved-I/O pair counts.
+
+Formulas come from :func:`repro.polyhedral.counting.symbolic_count`, which
+covers the box/guarded-box/equality-chain domains block-granularity
+programs produce; anything outside that class reports ``None`` and callers
+fall back to exact enumeration (which the optimizer uses anyway — formulas
+are a reporting/what-if tool, never a source of approximation).
+
+Use with an analysis produced *without* parameter bindings
+(``analyze(program)``), otherwise the context equalities collapse every
+formula to a constant.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..analysis import ProgramAnalysis, SharingOpportunity
+from ..ir import Access, Program
+from ..polyhedral.counting import CountFormula, symbolic_count
+
+__all__ = ["access_count_formula", "opportunity_pair_formula",
+           "symbolic_io_report"]
+
+
+def access_count_formula(access: Access, program: Program) -> CountFormula | None:
+    """Number of I/Os the access performs (baseline), as a parameter formula."""
+    domain = access.domain(program.param_context)
+    return symbolic_count(domain, tuple(program.params))
+
+
+def opportunity_pair_formula(opp: SharingOpportunity,
+                             program: Program) -> CountFormula | None:
+    """Number of realized-savings pairs, as a parameter formula.
+
+    Unions are summed per disjunct; possibly-overlapping disjuncts make the
+    sum unsound, so they yield None (reduced one-one extents are disjoint in
+    practice)."""
+    disjuncts = opp.co.extent.disjuncts
+    if not disjuncts:
+        return CountFormula([])
+    formulas = []
+    for i, d in enumerate(disjuncts):
+        for other in disjuncts[i + 1:]:
+            if not d.intersect(other).is_rational_empty():
+                return None
+        f = symbolic_count(d, tuple(program.params))
+        if f is None:
+            return None
+        formulas.append(f)
+    if len(formulas) == 1:
+        return formulas[0]
+    return _SumFormula(formulas)
+
+
+class _SumFormula:
+    """Sum of CountFormulas (for multi-disjunct extents)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+    def evaluate(self, params: Mapping[str, int]) -> int:
+        return sum(p.evaluate(params) for p in self.parts)
+
+    def __str__(self) -> str:
+        return " + ".join(f"({p})" for p in self.parts)
+
+
+def symbolic_io_report(program: Program, analysis: ProgramAnalysis) -> str:
+    """Human-readable parametric I/O report (the paper-style polynomials)."""
+    lines = [f"Parametric I/O formulas for {program.name} "
+             f"(block I/Os; multiply by block bytes for volume)", ""]
+    lines.append("baseline accesses:")
+    for stmt in program.statements:
+        for access in stmt.accesses:
+            f = access_count_formula(access, program)
+            shown = str(f) if f is not None else "(enumerated)"
+            lines.append(f"  {access!r:40s} {shown}")
+    lines.append("")
+    lines.append("sharing-opportunity pair counts (saved I/Os when realized):")
+    for opp in analysis.opportunities:
+        f = opportunity_pair_formula(opp, program)
+        shown = str(f) if f is not None else "(enumerated)"
+        lines.append(f"  {opp.label:24s} {shown}")
+    return "\n".join(lines)

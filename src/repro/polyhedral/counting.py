@@ -1,0 +1,163 @@
+"""Symbolic integer-point counting for separable parametric polyhedra.
+
+Section 5.4's Remark: costs are "polynomials (piecewise quasipolynomials to
+be exact) in the global parameters", so re-optimizing for new sizes is
+unnecessary — plug the new values in.  Full quasipolynomial counting needs
+Barvinok's machinery; the domains that appear in this system at block
+granularity (boxes, guarded boxes, and equality-linked chains) fall in a
+much simpler class that this module handles exactly:
+
+1. equalities are substituted away (a determined variable contributes a
+   factor of 1);
+2. redundant bounds are removed, then variables whose remaining bounds
+   involve only parameters are peeled off; the count is the product of
+   their ``max(0, hi - lo + 1)`` widths.
+
+``symbolic_count`` returns a :class:`CountFormula` — evaluable, printable,
+exactly matching enumeration on its supported class — or None when the
+polyhedron is outside the class, e.g. genuinely triangular domains
+(callers then fall back to exact enumeration).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping
+
+from ..exceptions import PolyhedralError
+from .expr_free import AffinePoly, Max0
+from .polyhedron import Polyhedron
+
+__all__ = ["CountFormula", "symbolic_count"]
+
+
+class CountFormula:
+    """A product of max(0, affine) factors and polynomial factors."""
+
+    __slots__ = ("factors",)
+
+    def __init__(self, factors):
+        self.factors = list(factors)
+
+    def evaluate(self, params: Mapping[str, int]) -> int:
+        total = Fraction(1)
+        for f in self.factors:
+            total *= f.evaluate(params)
+            if total == 0:
+                return 0
+        if total.denominator != 1:
+            raise PolyhedralError(f"non-integer count {total}")
+        return int(total)
+
+    def __str__(self) -> str:
+        if not self.factors:
+            return "1"
+        return " * ".join(str(f) for f in self.factors)
+
+    def __repr__(self) -> str:
+        return f"CountFormula({self})"
+
+
+def symbolic_count(poly: Polyhedron, params: tuple[str, ...]) -> CountFormula | None:
+    """Count integer points as a formula over ``params``, or None.
+
+    ``params`` names the symbolic dimensions; every other dimension of the
+    polyhedron's space is counted.
+    """
+    poly = poly.remove_redundancy()
+    names = list(poly.space.names)
+    count_vars = [n for n in names if n not in params]
+
+    eqs = [list(r) for r in poly.eqs]
+    ineqs = [list(r) for r in poly.ineqs]
+    idx = {n: i for i, n in enumerate(names)}
+
+    # 1. Substitute +-1-pivot equalities on counted variables.
+    determined: set[str] = set()
+    progress = True
+    while progress:
+        progress = False
+        for r in eqs:
+            for v in count_vars:
+                if v in determined:
+                    continue
+                if abs(r[idx[v]]) == 1:
+                    pivot = r
+                    j = idx[v]
+                    eqs = [_subst(q, j, pivot) for q in eqs if q is not pivot]
+                    ineqs = [_subst(q, j, pivot) for q in ineqs]
+                    determined.add(v)
+                    progress = True
+                    break
+            if progress:
+                break
+    for r in eqs:
+        if any(r[idx[v]] for v in count_vars if v not in determined):
+            return None  # equality with non-unit pivot: outside the class
+    free = [v for v in count_vars if v not in determined]
+
+    # 2/3. Peel free variables innermost-first; each must have bounds over
+    # params only, or over params + exactly one not-yet-peeled variable with
+    # coefficient 1 (triangular coupling), which we telescope.
+    factors = []
+    remaining = list(free)
+    while remaining:
+        v = _peelable(remaining, ineqs, idx, params)
+        if v is None:
+            return None
+        j = idx[v]
+        lows = [r for r in ineqs if r[j] > 0]
+        highs = [r for r in ineqs if r[j] < 0]
+        neutral = [r for r in ineqs if r[j] == 0]
+        if len(lows) != 1 or len(highs) != 1:
+            return None
+        lo_r, hi_r = lows[0], highs[0]
+        if abs(lo_r[j]) != 1 or abs(hi_r[j]) != 1:
+            return None
+        # lo_r: v + a(p) >= 0  => v >= -a(p);  hi_r: -v + b(p) >= 0 => v <= b(p)
+        width_row = [lo_r[k] + hi_r[k] for k in range(len(lo_r))]
+        width_row[j] = 0
+        if any(width_row[idx[u]] for u in remaining if u != v):
+            return None  # width depends on an unpeeled variable
+        width = AffinePoly.from_row(width_row, names, constant_shift=1)
+        factors.append(Max0(width))
+        ineqs = neutral
+        remaining.remove(v)
+
+    # Leftover inequalities may only involve parameters.  Those are treated
+    # as *preconditions* (they are the program's parameter context, e.g.
+    # n >= 1), not folded into the count: the formula is valid whenever the
+    # caller evaluates it inside the declared context.
+    for r in ineqs:
+        if any(r[idx[n]] for n in names if n not in params):
+            return None
+        if not any(r[idx[p]] for p in params) and r[-1] < 0:
+            return None  # constant contradiction: the domain is empty
+    return CountFormula(factors)
+
+
+def _subst(row, j, pivot):
+    c = row[j]
+    if c == 0:
+        return list(row)
+    f = c * pivot[j]
+    return [a - f * b for a, b in zip(row, pivot)]
+
+
+def _peelable(remaining, ineqs, idx, params):
+    """A variable whose bound rows involve no other unpeeled variable."""
+    for v in remaining:
+        j = idx[v]
+        ok = True
+        for r in ineqs:
+            if r[j] == 0:
+                continue
+            for u in remaining:
+                if u != v and r[idx[u]] != 0:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok and any(r[j] for r in ineqs):
+            return v
+    return None

@@ -1,0 +1,72 @@
+"""Tiny symbolic terms for the counting module: affine polynomials over
+parameters and max(0, .) guards.
+
+Kept separate from :mod:`repro.ir.expr` (which carries program semantics):
+these are pure arithmetic carriers for :mod:`repro.polyhedral.counting`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+__all__ = ["AffinePoly", "Max0"]
+
+
+class AffinePoly:
+    """sum(coeff_p * p) + const over parameter names."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[str, Fraction], const: Fraction):
+        self.coeffs = {k: Fraction(v) for k, v in coeffs.items() if v}
+        self.const = Fraction(const)
+
+    @classmethod
+    def from_row(cls, row: Sequence, names: Sequence[str],
+                 constant_shift: int = 0) -> "AffinePoly":
+        coeffs = {}
+        for name, c in zip(names, row[:-1]):
+            if c:
+                coeffs[name] = Fraction(c)
+        return cls(coeffs, Fraction(row[-1]) + constant_shift)
+
+    def evaluate(self, params: Mapping[str, int]) -> Fraction:
+        total = self.const
+        for name, c in self.coeffs.items():
+            if name not in params:
+                raise KeyError(f"unbound parameter {name!r}")
+            total += c * params[name]
+        return total
+
+    def __str__(self) -> str:
+        parts = []
+        for name in sorted(self.coeffs):
+            c = self.coeffs[name]
+            if c == 1:
+                parts.append(f"+{name}")
+            elif c == -1:
+                parts.append(f"-{name}")
+            else:
+                parts.append(f"{'+' if c > 0 else ''}{c}*{name}")
+        if self.const or not parts:
+            parts.append(f"{'+' if self.const >= 0 else ''}{self.const}")
+        return "".join(parts).lstrip("+")
+
+
+class Max0:
+    """max(0, inner) — the width factor of a possibly-empty range."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: AffinePoly):
+        self.inner = inner
+
+    def evaluate(self, params: Mapping[str, int]) -> Fraction:
+        return max(Fraction(0), self.inner.evaluate(params))
+
+    def __str__(self) -> str:
+        text = str(self.inner)
+        if self.inner.coeffs:
+            return f"max(0, {text})"
+        return text if self.inner.const >= 0 else "0"

@@ -1,0 +1,162 @@
+"""Affine form of the Farkas lemma (Lemma 1 in the paper).
+
+Given a nonempty polyhedron ``P`` over variables ``y`` and a *symbolic*
+affine form
+
+    psi(y) = sum_u  u * t_u(y)  +  t_0(y)
+
+whose unknowns ``u`` are schedule coefficients and whose ``t_u`` are known
+affine functions of ``y``, the lemma characterizes exactly the assignments of
+``u`` for which ``psi(y) >= 0`` for every ``y`` in ``P``:
+
+    psi(y) === lambda_0 + sum_k lambda_k (a_k . y + b_k),   lambda >= 0
+
+Matching coefficients of ``y`` turns this into linear equalities over
+``(u, lambda)``; eliminating the multipliers by Fourier-Motzkin yields a
+polyhedron in ``u``-space.  Equality constraints of ``P`` get free (sign-
+unrestricted) multipliers, which our polyhedron layer supports natively.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from ..exceptions import EmptyPolyhedronError, PolyhedralError
+from .matrix import Rational, as_fraction
+from .polyhedron import Polyhedron, Space
+
+__all__ = ["SymbolicForm", "farkas_nonneg", "farkas_equals_const"]
+
+
+class SymbolicForm:
+    """psi(y) = sum_u u * t_u(y) + t_0(y) over a fixed y-space.
+
+    ``terms[u]`` and ``const`` are rows of length ``y_space.dim + 1``
+    (coefficients over y plus a constant), exactly like polyhedron rows.
+    """
+
+    __slots__ = ("y_space", "terms", "const")
+
+    def __init__(self, y_space: Space,
+                 terms: Mapping[str, Sequence[Rational]] | None = None,
+                 const: Sequence[Rational] | None = None):
+        self.y_space = y_space
+        width = y_space.dim + 1
+        self.terms: dict[str, list[Fraction]] = {}
+        for u, row in (terms or {}).items():
+            if len(row) != width:
+                raise PolyhedralError(f"term row for {u} has width {len(row)} != {width}")
+            self.terms[u] = [as_fraction(v) for v in row]
+        if const is None:
+            self.const = [Fraction(0)] * width
+        else:
+            if len(const) != width:
+                raise PolyhedralError(f"const row width {len(const)} != {width}")
+            self.const = [as_fraction(v) for v in const]
+
+    def add_term(self, u: str, row: Sequence[Rational]) -> None:
+        """Accumulate ``u * row(y)`` into the form."""
+        width = self.y_space.dim + 1
+        if len(row) != width:
+            raise PolyhedralError("term row width mismatch")
+        cur = self.terms.setdefault(u, [Fraction(0)] * width)
+        for i, v in enumerate(row):
+            cur[i] += as_fraction(v)
+
+    def add_const(self, row: Sequence[Rational]) -> None:
+        for i, v in enumerate(row):
+            self.const[i] += as_fraction(v)
+
+    def shift(self, delta: Rational) -> "SymbolicForm":
+        """psi(y) + delta (a new form)."""
+        out = SymbolicForm(self.y_space, self.terms, self.const)
+        out.const[-1] += as_fraction(delta)
+        return out
+
+    def negate(self) -> "SymbolicForm":
+        out = SymbolicForm(self.y_space)
+        for u, row in self.terms.items():
+            out.terms[u] = [-v for v in row]
+        out.const = [-v for v in self.const]
+        return out
+
+    def evaluate(self, u_values: Mapping[str, Rational],
+                 y_values: Sequence[Rational]) -> Fraction:
+        """Concrete value of psi given schedule coefficients and a y point."""
+        ys = [as_fraction(v) for v in y_values] + [Fraction(1)]
+        total = sum((c * y for c, y in zip(self.const, ys)), Fraction(0))
+        for u, row in self.terms.items():
+            coeff = as_fraction(u_values.get(u, 0))
+            if coeff:
+                total += coeff * sum((c * y for c, y in zip(row, ys)), Fraction(0))
+        return total
+
+    def u_names(self) -> list[str]:
+        return sorted(self.terms)
+
+
+def farkas_nonneg(poly: Polyhedron, form: SymbolicForm, u_space: Space) -> Polyhedron:
+    """Constraints on ``u`` such that ``form(y) >= 0`` for all y in ``poly``.
+
+    ``poly`` must be nonempty (the lemma requires it); raises
+    :class:`EmptyPolyhedronError` otherwise.  The result lives in
+    ``u_space``; unknowns of ``form`` must all belong to ``u_space``.
+    """
+    if poly.space != form.y_space:
+        raise PolyhedralError(f"form space {form.y_space} != polyhedron space {poly.space}")
+    for u in form.terms:
+        u_space.index(u)  # raises if missing
+    if poly.is_rational_empty():
+        raise EmptyPolyhedronError("Farkas lemma requires a nonempty polyhedron")
+    # Fewer constraints in P means fewer multipliers to eliminate below.
+    poly = poly.remove_redundancy()
+
+    ydim = poly.space.dim
+    n_ineq = len(poly.ineqs)
+    n_eq = len(poly.eqs)
+    lam_names = ["__lamc"] + [f"__lam{i}" for i in range(n_ineq)]
+    mu_names = [f"__mu{j}" for j in range(n_eq)]
+    full = Space(u_space.names + tuple(lam_names) + tuple(mu_names))
+
+    def blank() -> list[Fraction]:
+        return [Fraction(0)] * (full.dim + 1)
+
+    eq_rows: list[list[Fraction]] = []
+    # One matching equation per y variable (k < ydim) and one for the constant
+    # (k == ydim).
+    for k in range(ydim + 1):
+        row = blank()
+        for u, trow in form.terms.items():
+            row[full.index(u)] += trow[k]
+        # constant contribution of the u-free part goes into the row constant
+        row[-1] += form.const[k]
+        if k == ydim:
+            row[full.index("__lamc")] -= 1
+        for i, ineq in enumerate(poly.ineqs):
+            row[full.index(f"__lam{i}")] -= ineq[k]
+        for j, eq in enumerate(poly.eqs):
+            row[full.index(f"__mu{j}")] -= eq[k]
+        eq_rows.append(row)
+
+    ineq_rows: list[list[Fraction]] = []
+    for name in lam_names:
+        row = blank()
+        row[full.index(name)] = Fraction(1)
+        ineq_rows.append(row)
+
+    system = Polyhedron(full, eqs=eq_rows, ineqs=ineq_rows)
+    shadow, _ = system.project_out(lam_names + mu_names)
+    # Reorder the shadow into u_space order (project_out preserves order of
+    # the surviving names, which is already u_space order by construction).
+    if shadow.space != u_space:
+        shadow = shadow.align(u_space)
+    return shadow
+
+
+def farkas_equals_const(poly: Polyhedron, form: SymbolicForm, u_space: Space,
+                        value: Rational) -> Polyhedron:
+    """Constraints on ``u`` such that ``form(y) == value`` for all y in poly."""
+    ge = farkas_nonneg(poly, form.shift(-as_fraction(value)), u_space)
+    le = farkas_nonneg(poly, form.negate().shift(as_fraction(value)), u_space)
+    return ge.intersect(le)

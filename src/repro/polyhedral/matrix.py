@@ -1,0 +1,246 @@
+"""Exact rational linear algebra over :class:`fractions.Fraction`.
+
+This module is the arithmetic bedrock of the polyhedral library.  Everything
+is exact: no floating point appears anywhere in the analysis or the
+optimizer, which is what lets the optimizer make *precise* legality and cost
+claims (the paper's central argument for optimizing at the memory level
+rather than the cache level).
+
+Matrices are small (schedule rows, iteration-domain constraints), so the
+implementation favours clarity over asymptotic cleverness: plain
+fraction-free-ish Gaussian elimination, O(n^3).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+Rational = int | Fraction
+
+__all__ = [
+    "Rational",
+    "as_fraction",
+    "normalize_integer_row",
+    "row_gcd",
+    "RationalMatrix",
+]
+
+
+def as_fraction(value: Rational) -> Fraction:
+    """Coerce an int or Fraction to Fraction."""
+    if isinstance(value, Fraction):
+        return value
+    return Fraction(value)
+
+
+def row_gcd(row: Sequence[int]) -> int:
+    """Greatest common divisor of the absolute values in ``row`` (0 if all zero)."""
+    g = 0
+    for v in row:
+        g = _gcd(g, abs(int(v)))
+        if g == 1:
+            return 1
+    return g
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a
+
+
+def normalize_integer_row(row: Sequence[Rational]) -> tuple[int, ...]:
+    """Scale a rational row to a primitive integer row (cleared denominators,
+    divided by the gcd).  The zero row maps to itself.
+    """
+    fracs = [as_fraction(v) for v in row]
+    denom = 1
+    for f in fracs:
+        denom = denom * f.denominator // _gcd(denom, f.denominator)
+    ints = [int(f * denom) for f in fracs]
+    g = row_gcd(ints)
+    if g > 1:
+        ints = [v // g for v in ints]
+    return tuple(ints)
+
+
+class RationalMatrix:
+    """A dense matrix of Fractions with exact elimination routines.
+
+    Rows are tuples of Fractions; the matrix is immutable from the outside
+    (operations return new matrices) which keeps reasoning simple in the
+    optimizer where matrices are shared across search branches.
+    """
+
+    __slots__ = ("rows", "ncols")
+
+    def __init__(self, rows: Iterable[Sequence[Rational]], ncols: int | None = None):
+        materialized = [tuple(as_fraction(v) for v in row) for row in rows]
+        if materialized:
+            widths = {len(r) for r in materialized}
+            if len(widths) != 1:
+                raise ValueError(f"ragged rows: widths {sorted(widths)}")
+            inferred = widths.pop()
+            if ncols is not None and ncols != inferred:
+                raise ValueError(f"ncols {ncols} != row width {inferred}")
+            self.ncols = inferred
+        else:
+            if ncols is None:
+                raise ValueError("empty matrix requires explicit ncols")
+            self.ncols = ncols
+        self.rows: tuple[tuple[Fraction, ...], ...] = tuple(materialized)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def nrows(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, idx: int) -> tuple[Fraction, ...]:
+        return self.rows[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RationalMatrix) and self.rows == other.rows and self.ncols == other.ncols
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.ncols))
+
+    def __repr__(self) -> str:
+        body = "; ".join(" ".join(str(v) for v in row) for row in self.rows)
+        return f"RationalMatrix({self.nrows}x{self.ncols}: {body})"
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "RationalMatrix":
+        return cls([[Fraction(int(i == j)) for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "RationalMatrix":
+        return cls([[Fraction(0)] * ncols for _ in range(nrows)], ncols=ncols)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def transpose(self) -> "RationalMatrix":
+        return RationalMatrix(
+            [[self.rows[r][c] for r in range(self.nrows)] for c in range(self.ncols)],
+            ncols=self.nrows,
+        )
+
+    def matmul(self, other: "RationalMatrix") -> "RationalMatrix":
+        if self.ncols != other.nrows:
+            raise ValueError(f"shape mismatch {self.nrows}x{self.ncols} @ {other.nrows}x{other.ncols}")
+        ot = other.transpose()
+        return RationalMatrix(
+            [[_dot(row, col) for col in ot.rows] for row in self.rows],
+            ncols=other.ncols,
+        )
+
+    def matvec(self, vec: Sequence[Rational]) -> tuple[Fraction, ...]:
+        v = tuple(as_fraction(x) for x in vec)
+        if len(v) != self.ncols:
+            raise ValueError(f"vector length {len(v)} != ncols {self.ncols}")
+        return tuple(_dot(row, v) for row in self.rows)
+
+    def stack(self, other: "RationalMatrix") -> "RationalMatrix":
+        if self.ncols != other.ncols:
+            raise ValueError("column mismatch in stack")
+        return RationalMatrix(self.rows + other.rows, ncols=self.ncols)
+
+    # -- elimination -------------------------------------------------------
+
+    def rref(self) -> tuple["RationalMatrix", list[int]]:
+        """Reduced row echelon form and the list of pivot column indices."""
+        rows = [list(r) for r in self.rows]
+        pivots: list[int] = []
+        r = 0
+        for c in range(self.ncols):
+            pivot_row = next((i for i in range(r, len(rows)) if rows[i][c] != 0), None)
+            if pivot_row is None:
+                continue
+            rows[r], rows[pivot_row] = rows[pivot_row], rows[r]
+            inv = 1 / rows[r][c]
+            rows[r] = [v * inv for v in rows[r]]
+            for i in range(len(rows)):
+                if i != r and rows[i][c] != 0:
+                    factor = rows[i][c]
+                    rows[i] = [a - factor * b for a, b in zip(rows[i], rows[r])]
+            pivots.append(c)
+            r += 1
+            if r == len(rows):
+                break
+        return RationalMatrix(rows, ncols=self.ncols), pivots
+
+    def rank(self) -> int:
+        _, pivots = self.rref()
+        return len(pivots)
+
+    def null_space(self) -> list[tuple[Fraction, ...]]:
+        """A basis (list of vectors) of the right null space {x : M x = 0}."""
+        rref, pivots = self.rref()
+        free_cols = [c for c in range(self.ncols) if c not in pivots]
+        basis = []
+        for fc in free_cols:
+            vec = [Fraction(0)] * self.ncols
+            vec[fc] = Fraction(1)
+            for r, pc in enumerate(pivots):
+                vec[pc] = -rref.rows[r][fc]
+            basis.append(tuple(vec))
+        return basis
+
+    def row_space_basis(self) -> list[tuple[Fraction, ...]]:
+        """A basis of the row space (nonzero rows of the RREF)."""
+        rref, pivots = self.rref()
+        return [rref.rows[i] for i in range(len(pivots))]
+
+    def solve(self, rhs: Sequence[Rational]) -> tuple[Fraction, ...] | None:
+        """One solution x of ``M x = rhs``, or None if inconsistent.
+
+        Free variables are set to zero.
+        """
+        b = [as_fraction(v) for v in rhs]
+        if len(b) != self.nrows:
+            raise ValueError("rhs length mismatch")
+        aug = RationalMatrix(
+            [tuple(row) + (b[i],) for i, row in enumerate(self.rows)],
+            ncols=self.ncols + 1,
+        )
+        rref, pivots = aug.rref()
+        if self.ncols in pivots:  # pivot in the augmented column => inconsistent
+            return None
+        x = [Fraction(0)] * self.ncols
+        for r, pc in enumerate(pivots):
+            x[pc] = rref.rows[r][self.ncols]
+        return tuple(x)
+
+    def in_row_space(self, vec: Sequence[Rational]) -> bool:
+        """Is ``vec`` a linear combination of this matrix's rows?"""
+        v = tuple(as_fraction(x) for x in vec)
+        if len(v) != self.ncols:
+            raise ValueError("vector length mismatch")
+        return self.stack(RationalMatrix([v])).rank() == self.rank()
+
+    def inverse(self) -> "RationalMatrix":
+        if self.nrows != self.ncols:
+            raise ValueError("inverse of non-square matrix")
+        n = self.nrows
+        aug = RationalMatrix(
+            [tuple(self.rows[i]) + tuple(RationalMatrix.identity(n).rows[i]) for i in range(n)],
+            ncols=2 * n,
+        )
+        rref, pivots = aug.rref()
+        if pivots != list(range(n)):
+            raise ValueError("matrix is singular")
+        return RationalMatrix([row[n:] for row in rref.rows], ncols=n)
+
+
+def _dot(a: Sequence[Fraction], b: Sequence[Fraction]) -> Fraction:
+    total = Fraction(0)
+    for x, y in zip(a, b):
+        if x and y:
+            total += x * y
+    return total

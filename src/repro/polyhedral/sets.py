@@ -1,0 +1,203 @@
+"""Finite unions of polyhedra sharing one space.
+
+Extent polyhedra of co-accesses (Definition 1) are naturally *unions*: the
+lexicographic order ``Theta_s x < Theta_s' x'`` expands into one disjunct per
+depth.  The no-write-in-between rule (Section 5.1) needs set *subtraction*.
+This module provides both, plus the usual union/intersection/emptiness
+operations, over lists of :class:`Polyhedron` disjuncts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..exceptions import SpaceMismatchError
+from .matrix import Rational
+from .polyhedron import Polyhedron, Space
+
+__all__ = ["PolyhedralSet"]
+
+
+class PolyhedralSet:
+    """A union of convex integer polyhedra over a common space."""
+
+    __slots__ = ("space", "disjuncts")
+
+    def __init__(self, space: Space, disjuncts: Iterable[Polyhedron] = ()):
+        self.space = space
+        kept = []
+        for d in disjuncts:
+            if d.space != space:
+                raise SpaceMismatchError(f"disjunct space {d.space} != {space}")
+            if not d.is_rational_empty():
+                kept.append(d)
+        self.disjuncts: tuple[Polyhedron, ...] = tuple(kept)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, space: Space) -> "PolyhedralSet":
+        return cls(space, [])
+
+    @classmethod
+    def from_polyhedron(cls, poly: Polyhedron) -> "PolyhedralSet":
+        return cls(poly.space, [poly])
+
+    @classmethod
+    def universe(cls, space: Space) -> "PolyhedralSet":
+        return cls(space, [Polyhedron.universe(space)])
+
+    # -- protocol ------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        if not self.disjuncts:
+            return f"{{ {', '.join(self.space.names)} : false }}"
+        return " UNION ".join(repr(d) for d in self.disjuncts)
+
+    def __iter__(self):
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    # -- predicates ------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return all(d.is_empty() for d in self.disjuncts)
+
+    def contains_point(self, point: Sequence[Rational]) -> bool:
+        return any(d.contains_point(point) for d in self.disjuncts)
+
+    def is_subset(self, other: "PolyhedralSet") -> bool:
+        """Exact on integer points (uses enumeration-free convex checks where
+        possible, falls back to pointwise checks for small sets)."""
+        for d in self.disjuncts:
+            if any(d.is_subset(o) for o in other.disjuncts):
+                continue
+            # d may still be covered by the union; do the exact (costlier)
+            # check via subtraction.
+            if not PolyhedralSet(self.space, [d]).subtract(other).is_empty():
+                return False
+        return True
+
+    # -- algebra ------------------------------------------------------------------
+
+    def union(self, other: "PolyhedralSet") -> "PolyhedralSet":
+        if self.space != other.space:
+            raise SpaceMismatchError(f"{self.space} vs {other.space}")
+        return PolyhedralSet(self.space, self.disjuncts + other.disjuncts)
+
+    def intersect(self, other: "PolyhedralSet | Polyhedron") -> "PolyhedralSet":
+        if isinstance(other, Polyhedron):
+            other = PolyhedralSet.from_polyhedron(other)
+        if self.space != other.space:
+            raise SpaceMismatchError(f"{self.space} vs {other.space}")
+        out = []
+        for a in self.disjuncts:
+            for b in other.disjuncts:
+                out.append(a.intersect(b))
+        return PolyhedralSet(self.space, out)
+
+    def subtract(self, other: "PolyhedralSet | Polyhedron") -> "PolyhedralSet":
+        """Integer set difference self \\ other.
+
+        Complementing one convex polyhedron yields a union of strict
+        half-space complements; for integers ``not (a.x + c >= 0)`` is
+        ``-a.x - c - 1 >= 0``.
+        """
+        if isinstance(other, Polyhedron):
+            other = PolyhedralSet.from_polyhedron(other)
+        if self.space != other.space:
+            raise SpaceMismatchError(f"{self.space} vs {other.space}")
+        current = list(self.disjuncts)
+        for q in other.disjuncts:
+            nxt: list[Polyhedron] = []
+            for p in current:
+                nxt.extend(_subtract_convex(p, q))
+            current = nxt
+        return PolyhedralSet(self.space, current)
+
+    # -- transformations --------------------------------------------------------------
+
+    def rename(self, mapping: Mapping[str, str]) -> "PolyhedralSet":
+        new = [d.rename(mapping) for d in self.disjuncts]
+        space = Space([mapping.get(n, n) for n in self.space.names])
+        return PolyhedralSet(space, new)
+
+    def align(self, space: Space) -> "PolyhedralSet":
+        return PolyhedralSet(space, [d.align(space) for d in self.disjuncts])
+
+    def bind(self, values: Mapping[str, Rational]) -> "PolyhedralSet":
+        bound = [d.bind(values) for d in self.disjuncts]
+        space = bound[0].space if bound else Space(
+            [n for n in self.space.names if n not in values])
+        return PolyhedralSet(space, bound)
+
+    def exists(self, names: Iterable[str]) -> "PolyhedralSet":
+        names = list(names)
+        return PolyhedralSet(Space([n for n in self.space.names if n not in names]),
+                             [d.exists(names) for d in self.disjuncts])
+
+    def project_out(self, names: Iterable[str]) -> tuple["PolyhedralSet", bool]:
+        names = list(names)
+        shadows = []
+        exact = True
+        for d in self.disjuncts:
+            s, e = d.project_out(names)
+            shadows.append(s)
+            exact = exact and e
+        return (PolyhedralSet(Space([n for n in self.space.names if n not in names]),
+                              shadows), exact)
+
+    def coalesce(self) -> "PolyhedralSet":
+        """Drop disjuncts contained in other disjuncts (cheap convex test)."""
+        kept: list[Polyhedron] = []
+        for i, d in enumerate(self.disjuncts):
+            covered = False
+            for j, other in enumerate(self.disjuncts):
+                if i != j and d.is_subset(other) and not (j < i and other.is_subset(d)):
+                    covered = True
+                    break
+            if not covered:
+                kept.append(d)
+        return PolyhedralSet(self.space, kept)
+
+    # -- enumeration -------------------------------------------------------------------
+
+    def integer_points(self, limit: int = 2_000_000) -> list[tuple[int, ...]]:
+        """All integer points of the union, deduplicated, sorted."""
+        seen: set[tuple[int, ...]] = set()
+        for d in self.disjuncts:
+            seen.update(d.integer_points(limit))
+            if len(seen) > limit:
+                break
+        return sorted(seen)
+
+    def count_integer_points(self, limit: int = 2_000_000) -> int:
+        return len(self.integer_points(limit))
+
+
+def _subtract_convex(p: Polyhedron, q: Polyhedron) -> list[Polyhedron]:
+    """p \\ q for convex p, q: standard constraint-negation decomposition."""
+    out: list[Polyhedron] = []
+    accumulated = p
+    # Treat each equality of q as two inequalities.
+    rows: list[tuple[tuple[int, ...], bool]] = []
+    for eq in q.eqs:
+        rows.append((eq, True))
+    for ineq in q.ineqs:
+        rows.append((ineq, False))
+    for row, is_eq in rows:
+        if is_eq:
+            # not (a.x + c = 0) splits into a.x + c >= 1 or -a.x - c >= 1
+            pos = tuple(row[:-1]) + (row[-1] - 1,)
+            neg = tuple(-v for v in row[:-1]) + (-row[-1] - 1,)
+            out.append(accumulated.add_constraints(ineqs=[pos]))
+            out.append(accumulated.add_constraints(ineqs=[neg]))
+            accumulated = accumulated.add_constraints(eqs=[row])
+        else:
+            # not (a.x + c >= 0)  is  -a.x - c - 1 >= 0
+            negated = tuple(-v for v in row[:-1]) + (-row[-1] - 1,)
+            out.append(accumulated.add_constraints(ineqs=[negated]))
+            accumulated = accumulated.add_constraints(ineqs=[row])
+    return [d for d in out if not d.is_rational_empty()]

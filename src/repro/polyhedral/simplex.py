@@ -1,0 +1,421 @@
+"""Exact two-phase simplex over rationals.
+
+Solves linear programs whose constraints come from polyhedra in our
+convention: a row ``(a_1, ..., a_n, c)`` encodes ``a.x + c >= 0`` (inequality)
+or ``a.x + c = 0`` (equality), with *free* (sign-unrestricted) variables.
+
+The solver is used by the polyhedron layer for
+
+* rational feasibility / emptiness tests,
+* redundancy removal after Fourier-Motzkin projection,
+* variable bound computation (min/max of x_i over the polyhedron), which
+  drives integer branch-and-bound and point enumeration.
+
+Bland's rule is used throughout, so the solver cannot cycle.  Everything is
+exact: a presolve pass substitutes away +-1-pivot equalities, and the
+tableau itself is kept in integer form (one denominator per row) so a pivot
+costs a single gcd pass per row instead of per-element Fraction overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Sequence
+
+from .matrix import Rational, as_fraction
+
+__all__ = ["LPStatus", "LPResult", "solve_lp", "is_feasible"]
+
+
+class LPStatus(enum.Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+class LPResult:
+    """Outcome of an LP solve: status, optimal value, and a witness point."""
+
+    __slots__ = ("status", "value", "point")
+
+    def __init__(self, status: LPStatus, value: Fraction | None = None,
+                 point: tuple[Fraction, ...] | None = None):
+        self.status = status
+        self.value = value
+        self.point = point
+
+    def __repr__(self) -> str:
+        return f"LPResult({self.status.value}, value={self.value}, point={self.point})"
+
+
+def is_feasible(eqs: Sequence[Sequence[Rational]],
+                ineqs: Sequence[Sequence[Rational]],
+                nvars: int) -> bool:
+    """Rational feasibility of {x : eqs(x) = 0, ineqs(x) >= 0}."""
+    result = solve_lp(eqs, ineqs, nvars, objective=None)
+    return result.status is LPStatus.OPTIMAL
+
+
+def solve_lp(eqs: Sequence[Sequence[Rational]],
+             ineqs: Sequence[Sequence[Rational]],
+             nvars: int,
+             objective: Sequence[Rational] | None = None,
+             maximize: bool = False) -> LPResult:
+    """Optimize ``objective . x`` over {x : eqs = 0, ineqs >= 0}.
+
+    ``objective`` has length ``nvars`` (no constant term); ``None`` means a
+    pure feasibility check (any feasible point is returned).  Variables are
+    free; internally each x_i is split as x_i = u_i - v_i with u, v >= 0.
+
+    A presolve pass substitutes away equality rows with a +-1 pivot (exact,
+    and the dominant case in polyhedra produced by dependence analysis),
+    which typically shrinks the tableau by an order of magnitude.
+    """
+    for row in list(eqs) + list(ineqs):
+        if len(row) != nvars + 1:
+            raise ValueError(f"constraint row width {len(row)} != nvars+1 = {nvars + 1}")
+    return _presolved_lp(eqs, ineqs, nvars, objective, maximize)
+
+
+def _presolved_lp(eqs, ineqs, nvars, objective, maximize) -> LPResult:
+    reduced_eqs, reduced_ineqs, keep, elim, feasible = _presolve(eqs, ineqs, nvars)
+    if not feasible:
+        return LPResult(LPStatus.INFEASIBLE)
+
+    if objective is None:
+        red_obj = None
+    else:
+        # Rewrite the objective over the kept variables by substituting the
+        # eliminated ones; track the constant offset.
+        obj_row = [as_fraction(v) for v in objective] + [Fraction(0)]
+        for var, row in elim:
+            obj_row = _substitute(obj_row, var, row)
+        red_obj = [obj_row[j] for j in keep]
+        obj_const = obj_row[-1]
+
+    result = _raw_lp([_project_row(r, keep) for r in reduced_eqs],
+                     [_project_row(r, keep) for r in reduced_ineqs],
+                     len(keep), red_obj, maximize)
+    if result.status is not LPStatus.OPTIMAL:
+        return result
+
+    # Reconstruct the full point by back-substitution.
+    full = [Fraction(0)] * nvars
+    for j, v in zip(keep, result.point):
+        full[j] = v
+    for var, row in reversed(elim):
+        # row: var appears with coefficient +-1; row . x + c = 0.
+        total = row[-1]
+        for k, c in enumerate(row[:-1]):
+            if k != var and c:
+                total += c * full[k]
+        full[var] = -total / row[var]
+    value = result.value
+    if objective is not None:
+        value = sum((as_fraction(o) * x for o, x in zip(objective, full)), Fraction(0))
+    return LPResult(LPStatus.OPTIMAL, value, tuple(full))
+
+
+def _substitute(row: list[Fraction], var: int, pivot: list[Fraction]) -> list[Fraction]:
+    """Eliminate ``var`` from ``row`` using pivot (pivot[var] is +-1)."""
+    c = row[var]
+    if not c:
+        return row
+    f = c / pivot[var]
+    return [a - f * b for a, b in zip(row, pivot)]
+
+
+def _presolve(eqs, ineqs, nvars):
+    """Substitute away +-1-pivot equality variables.
+
+    Returns (eqs', ineqs', keep_indices, elim_list, feasible) where rows stay
+    in the original full-width coordinate system (eliminated columns zeroed).
+    """
+    cur_eqs = [[as_fraction(v) for v in r] for r in eqs]
+    cur_ineqs = [[as_fraction(v) for v in r] for r in ineqs]
+    eliminated: set[int] = set()
+    elim: list[tuple[int, list[Fraction]]] = []
+    while True:
+        pivot_row = None
+        pivot_var = None
+        for r in cur_eqs:
+            for j in range(nvars):
+                if j not in eliminated and abs(r[j]) == 1:
+                    pivot_row, pivot_var = r, j
+                    break
+            if pivot_row is not None:
+                break
+        if pivot_row is None:
+            break
+        cur_eqs = [_substitute(r, pivot_var, pivot_row)
+                   for r in cur_eqs if r is not pivot_row]
+        cur_ineqs = [_substitute(r, pivot_var, pivot_row) for r in cur_ineqs]
+        eliminated.add(pivot_var)
+        elim.append((pivot_var, pivot_row))
+
+    # Constant rows: contradictions mean infeasible, tautologies are dropped.
+    kept_eqs, kept_ineqs = [], []
+    for r in cur_eqs:
+        if any(r[:-1]):
+            kept_eqs.append(r)
+        elif r[-1] != 0:
+            return [], [], [], [], False
+    for r in cur_ineqs:
+        if any(r[:-1]):
+            kept_ineqs.append(r)
+        elif r[-1] < 0:
+            return [], [], [], [], False
+    keep = [j for j in range(nvars) if j not in eliminated]
+    return kept_eqs, kept_ineqs, keep, elim, True
+
+
+def _project_row(row: list[Fraction], keep: list[int]) -> list[Fraction]:
+    return [row[j] for j in keep] + [row[-1]]
+
+
+def _raw_lp(eqs: Sequence[Sequence[Rational]],
+            ineqs: Sequence[Sequence[Rational]],
+            nvars: int,
+            objective: Sequence[Rational] | None = None,
+            maximize: bool = False) -> LPResult:
+    """The unpresolved exact simplex (standard-form construction)."""
+
+    # Standard form: columns are u_0..u_{n-1}, v_0..v_{n-1}, slacks.
+    # Each constraint a.x + c (>=|=) 0 becomes a.u - a.v - s = -c  (s >= 0, ineq)
+    # or a.u - a.v = -c (eq).  We then make every RHS nonnegative.
+    ncols = 2 * nvars + len(ineqs)
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+    for k, row in enumerate(list(eqs) + list(ineqs)):
+        coeffs = [as_fraction(v) for v in row[:nvars]]
+        const = as_fraction(row[nvars])
+        body = coeffs + [-c for c in coeffs] + [Fraction(0)] * len(ineqs)
+        if k >= len(eqs):  # inequality: subtract slack
+            body[2 * nvars + (k - len(eqs))] = Fraction(-1)
+        b = -const
+        if b < 0:
+            body = [-v for v in body]
+            b = -b
+        rows.append(body)
+        rhs.append(b)
+
+    tableau, basis = _phase_one(rows, rhs, ncols)
+    if tableau is None:
+        return LPResult(LPStatus.INFEASIBLE)
+
+    if objective is None:
+        point = _extract_point(tableau, basis, nvars, ncols)
+        return LPResult(LPStatus.OPTIMAL, Fraction(0), point)
+
+    obj = [as_fraction(v) for v in objective]
+    if len(obj) != nvars:
+        raise ValueError("objective length mismatch")
+    if maximize:
+        obj = [-v for v in obj]
+    # cost vector over u, v, slacks: c.u - c.v
+    cost = obj + [-v for v in obj] + [Fraction(0)] * (ncols - 2 * nvars)
+    if not tableau:
+        # No constraints at all: feasible, and any nonzero objective is unbounded.
+        if any(v != 0 for v in obj):
+            return LPResult(LPStatus.UNBOUNDED)
+        return LPResult(LPStatus.OPTIMAL, Fraction(0), tuple(Fraction(0) for _ in range(nvars)))
+    status = _phase_two(tableau, basis, cost)
+    if status is LPStatus.UNBOUNDED:
+        return LPResult(LPStatus.UNBOUNDED)
+    point = _extract_point(tableau, basis, nvars, ncols)
+    value = sum((as_fraction(o) * x for o, x in zip(objective, point)), Fraction(0))
+    return LPResult(LPStatus.OPTIMAL, value, point)
+
+
+# -- internals --------------------------------------------------------------
+
+
+# The tableau is kept in integer form: each row is a list of ints whose true
+# value is nums / den with den > 0 (the last entry is the RHS).  One gcd pass
+# per updated row replaces per-element Fraction normalization, which is where
+# the naive implementation spent nearly all of its time.
+
+from math import gcd as _gcd_int
+
+
+def _to_int_row(fracs: list[Fraction]) -> tuple[list[int], int]:
+    den = 1
+    for f in fracs:
+        den = den * f.denominator // _gcd_int(den, f.denominator)
+    return [int(f * den) for f in fracs], den
+
+
+def _reduce_row(nums: list[int], den: int) -> tuple[list[int], int]:
+    g = den
+    for v in nums:
+        if v:
+            g = _gcd_int(g, abs(v))
+            if g == 1:
+                return nums, den
+    if g > 1:
+        nums = [v // g for v in nums]
+        den //= g
+    return nums, den
+
+
+class _IRow:
+    __slots__ = ("nums", "den")
+
+    def __init__(self, nums: list[int], den: int = 1):
+        self.nums = nums
+        self.den = den
+
+    def value(self, j: int) -> Fraction:
+        return Fraction(self.nums[j], self.den)
+
+
+def _phase_one(rows: list[list[Fraction]], rhs: list[Fraction], ncols: int):
+    """Find a basic feasible solution using artificial variables.
+
+    Returns (tableau, basis) or (None, None) if infeasible.  The tableau is a
+    list of integer rows ``[coeffs..., rhs]`` restricted to the ncols real
+    columns after artificials are driven out.
+    """
+    m = len(rows)
+    total = ncols + m  # + artificials
+    tableau: list[_IRow] = []
+    for i in range(m):
+        nums, den = _to_int_row(rows[i] + [Fraction(0)] * m + [rhs[i]])
+        art = den  # coefficient 1 for this row's artificial, scaled by den
+        nums[ncols + i] = art
+        tableau.append(_IRow(nums, den))
+    basis = [ncols + i for i in range(m)]
+
+    # Phase-1 objective: minimize sum of artificials.
+    cost = [0] * total
+    for j in range(ncols, total):
+        cost[j] = 1
+    zrow = _reduced_cost_row(tableau, basis, cost, total)
+    _simplex_iterate(tableau, basis, zrow, total)
+
+    if zrow.nums[total] != 0:  # optimum of phase-1 > 0 => infeasible
+        return None, None
+
+    # Drive remaining artificials out of the basis (degenerate rows).
+    for i in range(m):
+        if basis[i] >= ncols:
+            pivot_col = next((j for j in range(ncols) if tableau[i].nums[j] != 0), None)
+            if pivot_col is None:
+                continue  # redundant row; harmless to keep
+            _pivot(tableau, basis, i, pivot_col, total)
+
+    # Strip artificial columns.
+    stripped: list[_IRow] = []
+    new_basis: list[int] = []
+    for i in range(m):
+        nums = tableau[i].nums[:ncols] + [tableau[i].nums[total]]
+        if basis[i] < ncols or any(nums[:ncols]):
+            n2, d2 = _reduce_row(nums, tableau[i].den)
+            stripped.append(_IRow(n2, d2))
+            new_basis.append(basis[i])
+    return stripped, new_basis
+
+
+def _phase_two(tableau: list[_IRow], basis: list[int],
+               cost: list[Fraction]) -> LPStatus:
+    ncols = len(tableau[0].nums) - 1
+    # Integerize the cost vector.
+    cnums, _cden = _to_int_row([as_fraction(c) for c in cost])
+    zrow = _reduced_cost_row(tableau, basis, cnums, ncols)
+    return _simplex_iterate(tableau, basis, zrow, ncols)
+
+
+def _reduced_cost_row(tableau: list[_IRow], basis: list[int],
+                      cost: list[int], ncols: int) -> _IRow:
+    """z-row: reduced costs (cost - c_B . B^-1 A) and objective value."""
+    znums = list(cost[:ncols]) + [0]
+    zden = 1
+    for i, b in enumerate(basis):
+        cb = cost[b] if b < len(cost) else 0
+        if cb == 0:
+            continue
+        row = tableau[i]
+        # z' = z - cb * row  (common denominator zden * row.den)
+        new_den = zden * row.den
+        znums = [zn * row.den - cb * rn * zden
+                 for zn, rn in zip(znums, row.nums)]
+        zden = new_den
+        znums, zden = _reduce_row(znums, zden)
+    return _IRow(znums, zden)
+
+
+def _simplex_iterate(tableau: list[_IRow], basis: list[int], zrow: _IRow,
+                     ncols: int) -> LPStatus:
+    """Run simplex (min) with Bland's rule; mutates tableau/basis/zrow."""
+    m = len(tableau)
+    while True:
+        znums = zrow.nums
+        enter = next((j for j in range(ncols) if znums[j] < 0), None)
+        if enter is None:
+            return LPStatus.OPTIMAL
+        # Ratio test rhs/a, a > 0 (Bland: smallest basis index on ties).
+        # Denominators cancel inside one row; compare across rows by
+        # cross-multiplication of nonnegative quantities.
+        leave = None
+        best_num = best_den = None  # ratio = best_num / best_den, both >= 0
+        for i in range(m):
+            a = tableau[i].nums[enter]
+            if a > 0:
+                num, den = tableau[i].nums[-1], a
+                if leave is None:
+                    better = True
+                else:
+                    lhs = num * best_den
+                    rhs = best_num * den
+                    better = lhs < rhs or (lhs == rhs and basis[i] < basis[leave])
+                if better:
+                    best_num, best_den = num, den
+                    leave = i
+        if leave is None:
+            return LPStatus.UNBOUNDED
+        _pivot(tableau, basis, leave, enter, ncols, zrow)
+
+
+def _pivot(tableau: list[_IRow], basis: list[int], row: int, col: int,
+           ncols: int, zrow: _IRow | None = None) -> None:
+    prow = tableau[row]
+    p = prow.nums[col]
+    # New pivot row = old / (p / den) = nums / p  (sign-fix so den > 0).
+    if p > 0:
+        new_nums, new_den = list(prow.nums), p
+    else:
+        new_nums, new_den = [-v for v in prow.nums], -p
+    new_nums, new_den = _reduce_row(new_nums, new_den)
+    pivot_row = _IRow(new_nums, new_den)
+    tableau[row] = pivot_row
+
+    prn = pivot_row.nums
+    prd = pivot_row.den
+    for i in range(len(tableau)):
+        if i == row:
+            continue
+        r = tableau[i]
+        f = r.nums[col]
+        if f == 0:
+            continue
+        nums = [a * prd - f * b for a, b in zip(r.nums, prn)]
+        nums, den = _reduce_row(nums, r.den * prd)
+        tableau[i] = _IRow(nums, den)
+    if zrow is not None and zrow.nums[col] != 0:
+        f = zrow.nums[col]
+        nums = [a * prd - f * b for a, b in zip(zrow.nums, prn)]
+        nums, den = _reduce_row(nums, zrow.den * prd)
+        zrow.nums, zrow.den = nums, den
+    basis[row] = col
+
+
+def _extract_point(tableau: list[_IRow], basis: list[int], nvars: int,
+                   ncols: int) -> tuple[Fraction, ...]:
+    values = [Fraction(0)] * ncols
+    if not tableau:
+        return tuple(Fraction(0) for _ in range(nvars))
+    for i, b in enumerate(basis):
+        if b < ncols:
+            values[b] = Fraction(tableau[i].nums[-1], tableau[i].den)
+    return tuple(values[i] - values[nvars + i] for i in range(nvars))

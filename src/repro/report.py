@@ -1,0 +1,74 @@
+"""Reporting helpers: plan-space figures as CSV and ASCII scatter plots.
+
+The paper's Figures 3(a)-6(a) are memory-vs-I/O scatter plots of the plan
+space.  ``plan_space_csv`` emits the underlying series for external
+plotting; ``plan_space_ascii`` renders a quick terminal view used by the
+benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from .optimizer import OptimizationResult, Plan
+
+__all__ = ["plan_space_csv", "plan_space_ascii", "predicted_vs_actual_csv"]
+
+
+def plan_space_csv(result: OptimizationResult) -> str:
+    """CSV: plan, memory_bytes, io_seconds, n_opportunities, realized."""
+    out = io.StringIO()
+    out.write("plan,memory_bytes,io_seconds,n_opportunities,realized\n")
+    for plan in sorted(result.plans, key=lambda p: p.index):
+        labels = ";".join(plan.realized_labels)
+        out.write(f"{plan.index},{plan.cost.memory_bytes},"
+                  f"{plan.cost.io_seconds:.6f},{len(plan.realized)},"
+                  f"\"{labels}\"\n")
+    return out.getvalue()
+
+
+def plan_space_ascii(result: OptimizationResult, width: int = 64,
+                     height: int = 16) -> str:
+    """Terminal scatter plot of the plan space (memory vs I/O time)."""
+    plans = result.plans
+    mems = [p.cost.memory_bytes for p in plans]
+    ios = [p.cost.io_seconds for p in plans]
+    lo_m, hi_m = min(mems), max(mems)
+    lo_t, hi_t = min(ios), max(ios)
+
+    def col(m):
+        if hi_m == lo_m:
+            return width // 2
+        return round((m - lo_m) / (hi_m - lo_m) * (width - 1))
+
+    def row(t):
+        if hi_t == lo_t:
+            return height // 2
+        return round((t - lo_t) / (hi_t - lo_t) * (height - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    best = result.best()
+    for p in plans:
+        r, c = row(p.cost.io_seconds), col(p.cost.memory_bytes)
+        grid[r][c] = "*" if p.index == best.index else ("0" if p.is_original else "o")
+    lines = [f"I/O time (s): {lo_t:.1f} (top) .. {hi_t:.1f} (bottom); "
+             f"memory: {lo_m / 1e6:.1f} .. {hi_m / 1e6:.1f} MB",
+             "legend: 0 = original plan, * = best plan, o = other plans",
+             "+" + "-" * width + "+"]
+    for r in grid:
+        lines.append("|" + "".join(r) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def predicted_vs_actual_csv(rows: Sequence[tuple]) -> str:
+    """CSV for the (b)-figures: plan, predicted/actual I/O s, CPU s.
+
+    ``rows`` is a sequence of (label, predicted_io_s, actual_io_s, cpu_s).
+    """
+    out = io.StringIO()
+    out.write("plan,predicted_io_seconds,actual_io_seconds,cpu_seconds\n")
+    for label, pred, actual, cpu in rows:
+        out.write(f"\"{label}\",{pred:.6f},{actual:.6f},{cpu:.6f}\n")
+    return out.getvalue()

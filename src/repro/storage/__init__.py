@@ -1,0 +1,28 @@
+"""Storage substrate: RIOTStore [26] formats + buffer manager + simulated disk.
+
+Public surface:
+
+* :class:`SimulatedDisk` / :class:`IOStats` — real files, byte-accurate
+  accounting, bandwidth-model timing;
+* :class:`DAFMatrix` — Directly Addressable File (dense blocked matrices);
+* :class:`LABTree` — Linearized Array B-tree (sparse-capable B+-tree format);
+* :class:`BlockLayout` — column-major block/element layout arithmetic;
+* :class:`BufferPool` — explicitly capped memory with pinning (Section 4.2).
+"""
+
+from .blocks import BlockLayout
+from .buffer import BufferedBlock, BufferPool
+from .daf import DAFMatrix
+from .disk import DiskFile, IOStats, SimulatedDisk
+from .labtree import LABTree
+
+__all__ = [
+    "BlockLayout",
+    "BufferPool",
+    "BufferedBlock",
+    "DAFMatrix",
+    "LABTree",
+    "SimulatedDisk",
+    "DiskFile",
+    "IOStats",
+]

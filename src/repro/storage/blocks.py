@@ -1,0 +1,102 @@
+"""Block layout arithmetic for dense blocked matrices.
+
+The paper's storage scheme (Section 6): matrices are stored in large logical
+blocks laid out on disk in column-major order of their block coordinates;
+elements within a block are column-major too.  Because every element has a
+predetermined position, no indexes are stored.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import StorageError
+
+__all__ = ["BlockLayout"]
+
+
+class BlockLayout:
+    """Maps block coordinates of an (n-dimensional) blocked array to linear
+    block indices and byte offsets, column-major."""
+
+    __slots__ = ("grid", "block_shape", "dtype", "block_bytes")
+
+    def __init__(self, grid: Sequence[int], block_shape: Sequence[int],
+                 dtype: np.dtype | str = np.float64):
+        self.grid = tuple(int(g) for g in grid)
+        self.block_shape = tuple(int(b) for b in block_shape)
+        if len(self.grid) != len(self.block_shape):
+            raise StorageError("grid / block_shape rank mismatch")
+        if any(g <= 0 for g in self.grid) or any(b <= 0 for b in self.block_shape):
+            raise StorageError("grid and block_shape must be positive")
+        self.dtype = np.dtype(dtype)
+        self.block_bytes = int(np.prod(self.block_shape)) * self.dtype.itemsize
+
+    @property
+    def rank(self) -> int:
+        return len(self.grid)
+
+    @property
+    def num_blocks(self) -> int:
+        return int(np.prod(self.grid))
+
+    @property
+    def total_shape(self) -> tuple[int, ...]:
+        return tuple(g * b for g, b in zip(self.grid, self.block_shape))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_blocks * self.block_bytes
+
+    def check_coords(self, coords: Sequence[int]) -> tuple[int, ...]:
+        c = tuple(int(x) for x in coords)
+        if len(c) != self.rank:
+            raise StorageError(f"block coords {c} have rank {len(c)} != {self.rank}")
+        for x, g in zip(c, self.grid):
+            if not 0 <= x < g:
+                raise StorageError(f"block coords {c} outside grid {self.grid}")
+        return c
+
+    def linearize(self, coords: Sequence[int]) -> int:
+        """Column-major linear index: the first coordinate varies fastest."""
+        c = self.check_coords(coords)
+        idx = 0
+        for x, g in zip(reversed(c), reversed(self.grid)):
+            idx = idx * g + x
+        # reversed twice: the loop above is row-major over reversed dims,
+        # which is exactly column-major over the original dims.
+        return idx
+
+    def delinearize(self, index: int) -> tuple[int, ...]:
+        if not 0 <= index < self.num_blocks:
+            raise StorageError(f"linear block index {index} out of range")
+        coords = []
+        for g in self.grid:
+            coords.append(index % g)
+            index //= g
+        return tuple(coords)
+
+    def offset_of(self, coords: Sequence[int]) -> int:
+        return self.linearize(coords) * self.block_bytes
+
+    def iter_blocks(self) -> Iterable[tuple[int, ...]]:
+        for i in range(self.num_blocks):
+            yield self.delinearize(i)
+
+    def block_to_bytes(self, block: np.ndarray) -> bytes:
+        if block.shape != self.block_shape:
+            raise StorageError(f"block shape {block.shape} != {self.block_shape}")
+        return np.ascontiguousarray(block.astype(self.dtype, copy=False),
+                                    dtype=self.dtype).tobytes(order="F")
+
+    def bytes_to_block(self, data: bytes) -> np.ndarray:
+        if len(data) != self.block_bytes:
+            raise StorageError(f"payload of {len(data)} bytes != block size {self.block_bytes}")
+        return np.frombuffer(data, dtype=self.dtype).reshape(
+            self.block_shape, order="F").copy()
+
+    def __repr__(self) -> str:
+        return (f"BlockLayout(grid={self.grid}, block={self.block_shape}, "
+                f"dtype={self.dtype.name})")

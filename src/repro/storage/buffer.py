@@ -1,0 +1,160 @@
+"""Buffer manager with an explicit memory cap (Section 4.2).
+
+The paper argues for explicit application-managed memory instead of letting
+virtual memory thrash: plans declare exactly which blocks stay resident and
+for how long.  This pool enforces that contract:
+
+* blocks are keyed by ``(store name, block coords)``;
+* ``fetch`` returns a resident block or loads it through the store
+  (counting I/O on the simulated disk);
+* ``pin``/``unpin`` protect blocks the plan retains for realized sharing;
+* unpinned blocks are evicted LRU when space is needed;
+* exceeding the cap with pinned blocks raises :class:`BufferPoolError` —
+  the optimizer's memory estimate was supposed to prevent that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import BufferPoolError
+
+__all__ = ["BufferPool", "BufferedBlock"]
+
+
+class BufferedBlock:
+    """A resident block: payload + pin count + dirty flag."""
+
+    __slots__ = ("key", "data", "pins", "dirty", "nbytes")
+
+    def __init__(self, key: tuple, data: np.ndarray):
+        self.key = key
+        self.data = data
+        self.pins = 0
+        self.dirty = False
+        self.nbytes = int(data.nbytes)
+
+    def __repr__(self) -> str:
+        return f"BufferedBlock({self.key}, pins={self.pins}, dirty={self.dirty})"
+
+
+class BufferPool:
+    """LRU pool of matrix blocks under a hard byte cap."""
+
+    def __init__(self, cap_bytes: int | None = None):
+        if cap_bytes is not None and cap_bytes <= 0:
+            raise BufferPoolError("cap must be positive (or None for unlimited)")
+        self.cap_bytes = cap_bytes
+        self._blocks: "OrderedDict[tuple, BufferedBlock]" = OrderedDict()
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- residency ------------------------------------------------------------
+
+    def contains(self, key: tuple) -> bool:
+        return key in self._blocks
+
+    def fetch(self, key: tuple, loader: Callable[[], np.ndarray]) -> BufferedBlock:
+        """Resident block for ``key``, loading via ``loader`` on a miss."""
+        blk = self._blocks.get(key)
+        if blk is not None:
+            self.hits += 1
+            self._blocks.move_to_end(key)
+            return blk
+        self.misses += 1
+        data = loader()
+        return self._admit(key, data)
+
+    def put(self, key: tuple, data: np.ndarray, dirty: bool = False) -> BufferedBlock:
+        """Install (or replace) a block produced in memory."""
+        old = self._blocks.pop(key, None)
+        if old is not None:
+            self.used_bytes -= old.nbytes
+        blk = self._admit(key, data)
+        if old is not None:
+            blk.pins = old.pins
+        blk.dirty = dirty
+        return blk
+
+    def _admit(self, key: tuple, data: np.ndarray) -> BufferedBlock:
+        blk = BufferedBlock(key, data)
+        self._make_room(blk.nbytes)
+        self._blocks[key] = blk
+        self.used_bytes += blk.nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        return blk
+
+    def _make_room(self, incoming: int) -> None:
+        if self.cap_bytes is None:
+            return
+        if incoming > self.cap_bytes:
+            raise BufferPoolError(
+                f"block of {incoming} bytes exceeds pool cap {self.cap_bytes}")
+        while self.used_bytes + incoming > self.cap_bytes:
+            victim = next((b for b in self._blocks.values() if b.pins == 0), None)
+            if victim is None:
+                raise BufferPoolError(
+                    f"memory cap {self.cap_bytes} exceeded with all "
+                    f"{len(self._blocks)} blocks pinned "
+                    f"(need {incoming}, used {self.used_bytes})")
+            if victim.dirty:
+                raise BufferPoolError(
+                    f"evicting dirty block {victim.key}: the plan failed to "
+                    f"schedule its write-back")
+            del self._blocks[victim.key]
+            self.used_bytes -= victim.nbytes
+            self.evictions += 1
+
+    # -- pinning -----------------------------------------------------------------
+
+    def pin(self, key: tuple) -> None:
+        try:
+            self._blocks[key].pins += 1
+        except KeyError:
+            raise BufferPoolError(f"pin of non-resident block {key}") from None
+
+    def unpin(self, key: tuple) -> None:
+        try:
+            blk = self._blocks[key]
+        except KeyError:
+            raise BufferPoolError(f"unpin of non-resident block {key}") from None
+        if blk.pins <= 0:
+            raise BufferPoolError(f"unpin without pin on {key}")
+        blk.pins -= 1
+
+    def release(self, key: tuple) -> None:
+        """Drop a block regardless of LRU position (pins must be zero)."""
+        blk = self._blocks.get(key)
+        if blk is None:
+            return
+        if blk.pins > 0:
+            raise BufferPoolError(f"release of pinned block {key}")
+        del self._blocks[key]
+        self.used_bytes -= blk.nbytes
+
+    def mark_clean(self, key: tuple) -> None:
+        blk = self._blocks.get(key)
+        if blk is not None:
+            blk.dirty = False
+
+    # -- introspection --------------------------------------------------------------
+
+    def resident_keys(self) -> list[tuple]:
+        return list(self._blocks)
+
+    def pinned_bytes(self) -> int:
+        return sum(b.nbytes for b in self._blocks.values() if b.pins > 0)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.cap_bytes is None else f"{self.cap_bytes}B"
+        return (f"BufferPool({len(self._blocks)} blocks, {self.used_bytes}B used, "
+                f"cap {cap}, peak {self.peak_bytes}B)")

@@ -1,0 +1,106 @@
+"""DAF — Directly Addressable File (RIOTStore [26]).
+
+The simplest of the two RIOTStore formats: one flat file per matrix, blocks
+at computed offsets (column-major block order, column-major elements within
+a block, no stored indexes).  Reads and writes are whole blocks, the
+program's unit of I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import StorageError
+from .blocks import BlockLayout
+from .disk import SimulatedDisk
+
+__all__ = ["DAFMatrix"]
+
+_MAGIC = b"DAF1"
+_HEADER_BYTES = 64
+
+
+class DAFMatrix:
+    """A dense blocked matrix stored in a directly addressable file.
+
+    A tiny fixed header records the geometry so files are self-describing;
+    header I/O is not counted against the plan (metadata, not data).
+    """
+
+    def __init__(self, disk: SimulatedDisk, name: str, layout: BlockLayout):
+        self.disk = disk
+        self.name = name
+        self.layout = layout
+        self.file = disk.open(name + ".daf")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, disk: SimulatedDisk, name: str, grid: Sequence[int],
+               block_shape: Sequence[int], dtype=np.float64) -> "DAFMatrix":
+        layout = BlockLayout(grid, block_shape, dtype)
+        if layout.rank != 2:
+            raise StorageError("DAF stores 2-d matrices")
+        mat = cls(disk, name, layout)
+        mat._write_header()
+        # Preallocate the data region so short-read errors surface early.
+        mat.file.truncate(_HEADER_BYTES + layout.total_bytes)
+        return mat
+
+    @classmethod
+    def open(cls, disk: SimulatedDisk, name: str) -> "DAFMatrix":
+        header = disk.open(name + ".daf").read_at(0, _HEADER_BYTES, count=False)
+        if header[:4] != _MAGIC:
+            raise StorageError(f"{name}: not a DAF file")
+        vals = np.frombuffer(header[4:60], dtype=np.int64)
+        grid = (int(vals[0]), int(vals[1]))
+        block_shape = (int(vals[2]), int(vals[3]))
+        itemsize = int(vals[4])
+        dtype = {8: np.float64, 4: np.float32}.get(itemsize)
+        if dtype is None:
+            raise StorageError(f"{name}: unsupported itemsize {itemsize}")
+        return cls(disk, name, BlockLayout(grid, block_shape, dtype))
+
+    def _write_header(self) -> None:
+        vals = np.array([*self.layout.grid, *self.layout.block_shape,
+                         self.layout.dtype.itemsize, 0, 0], dtype=np.int64)
+        header = _MAGIC + vals.tobytes() + b"\0" * (_HEADER_BYTES - 4 - vals.nbytes)
+        self.file.write_at(0, header[:_HEADER_BYTES], count=False)
+
+    # -- block I/O -------------------------------------------------------------
+
+    def write_block(self, coords: Sequence[int], block: np.ndarray,
+                    count: bool = True) -> None:
+        offset = _HEADER_BYTES + self.layout.offset_of(coords)
+        self.file.write_at(offset, self.layout.block_to_bytes(block), count=count)
+
+    def read_block(self, coords: Sequence[int], count: bool = True) -> np.ndarray:
+        offset = _HEADER_BYTES + self.layout.offset_of(coords)
+        return self.layout.bytes_to_block(
+            self.file.read_at(offset, self.layout.block_bytes, count=count))
+
+    # -- whole-matrix helpers (loading inputs / verifying outputs) ---------------------
+
+    def write_matrix(self, matrix: np.ndarray, count: bool = False) -> None:
+        """Store a full dense matrix (used to load inputs; uncounted by default)."""
+        if matrix.shape != self.layout.total_shape:
+            raise StorageError(
+                f"{self.name}: matrix shape {matrix.shape} != {self.layout.total_shape}")
+        br, bc = self.layout.block_shape
+        for (bi, bj) in self.layout.iter_blocks():
+            self.write_block((bi, bj),
+                             matrix[bi * br:(bi + 1) * br, bj * bc:(bj + 1) * bc],
+                             count=count)
+
+    def read_matrix(self, count: bool = False) -> np.ndarray:
+        out = np.empty(self.layout.total_shape, dtype=self.layout.dtype)
+        br, bc = self.layout.block_shape
+        for (bi, bj) in self.layout.iter_blocks():
+            out[bi * br:(bi + 1) * br, bj * bc:(bj + 1) * bc] = \
+                self.read_block((bi, bj), count=count)
+        return out
+
+    def __repr__(self) -> str:
+        return f"DAFMatrix({self.name}, {self.layout!r})"

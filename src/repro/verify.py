@@ -1,0 +1,90 @@
+"""Plan verification utilities.
+
+Independent checks of what the optimizer promises (used by the test suite,
+and available to downstream users who want to audit a plan before running
+it on real data):
+
+* :func:`check_legality` — every dependence pair executes in order under
+  the plan's schedule (Definition 2's requirement on legal schedules);
+* :func:`check_realization` — every realized sharing pair is scheduled the
+  way Table 1 demands (same time up to the constant dimension for non-self
+  pairs; consecutive at the last depth for self pairs);
+* :func:`check_injectivity` — distinct statement instances get distinct
+  times (the dimensionality constraint of Section 5.2);
+* :func:`verify_plan` — all of the above.
+
+All checks are concrete (for bound parameters) and raise
+:class:`~repro.exceptions.ScheduleError` with a precise counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .analysis import ProgramAnalysis
+from .exceptions import ScheduleError
+from .ir import Program, lex_less
+from .optimizer.plan import Plan
+
+__all__ = ["check_legality", "check_realization", "check_injectivity",
+           "verify_plan"]
+
+
+def check_legality(program: Program, params: Mapping[str, int],
+                   plan: Plan, analysis: ProgramAnalysis) -> None:
+    """Every dependence pair must execute in order under the plan."""
+    for dep in analysis.dependences:
+        src_s = dep.co.src.statement
+        tgt_s = dep.co.tgt.statement
+        for (ps, pt) in dep.co.pairs(params):
+            ts = plan.schedule.time_vector(src_s, ps, params)
+            tt = plan.schedule.time_vector(tgt_s, pt, params)
+            if not lex_less(ts, tt):
+                raise ScheduleError(
+                    f"plan {plan.index} violates dependence {dep.label}: "
+                    f"{src_s.name}@{ps} (t={ts}) !< {tgt_s.name}@{pt} (t={tt})")
+
+
+def check_realization(program: Program, params: Mapping[str, int],
+                      plan: Plan) -> None:
+    """Realized pairs must be adjacent per Table 1."""
+    for opp in plan.realized:
+        src_s = opp.co.src.statement
+        tgt_s = opp.co.tgt.statement
+        for (ps, pt) in opp.co.pairs(params):
+            ts = plan.schedule.time_vector(src_s, ps, params)
+            tt = plan.schedule.time_vector(tgt_s, pt, params)
+            if opp.is_self:
+                if ts[:-2] != tt[:-2] or abs(ts[-2] - tt[-2]) != 1:
+                    raise ScheduleError(
+                        f"plan {plan.index}: self opportunity {opp.label} "
+                        f"pair {ps}->{pt} not consecutive ({ts} vs {tt})")
+            else:
+                if ts[:-1] != tt[:-1] or ts[-1] == tt[-1]:
+                    raise ScheduleError(
+                        f"plan {plan.index}: opportunity {opp.label} pair "
+                        f"{ps}->{pt} not co-scheduled ({ts} vs {tt})")
+
+
+def check_injectivity(program: Program, params: Mapping[str, int],
+                      plan: Plan) -> None:
+    """Distinct statement instances must map to distinct times."""
+    seen: dict[tuple, tuple] = {}
+    for stmt in program.statements:
+        for point in stmt.instances(params):
+            t = plan.schedule.time_vector(stmt, point, params)
+            key = tuple(t)
+            if key in seen and seen[key] != (stmt.name, point):
+                other = seen[key]
+                raise ScheduleError(
+                    f"plan {plan.index}: time {key} assigned to both "
+                    f"{other[0]}@{other[1]} and {stmt.name}@{point}")
+            seen[key] = (stmt.name, point)
+
+
+def verify_plan(program: Program, params: Mapping[str, int], plan: Plan,
+                analysis: ProgramAnalysis) -> None:
+    """Run every check; raises on the first violation."""
+    check_injectivity(program, params, plan)
+    check_legality(program, params, plan, analysis)
+    check_realization(program, params, plan)

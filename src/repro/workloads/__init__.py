@@ -1,0 +1,14 @@
+"""Workload configurations for the paper's experiments (Tables 2-4)."""
+
+from .configs import (WorkloadConfig, add_multiply_config, generate_inputs,
+                      linreg_config, two_matmul_config)
+from .generator import random_program
+
+__all__ = [
+    "WorkloadConfig",
+    "add_multiply_config",
+    "two_matmul_config",
+    "linreg_config",
+    "generate_inputs",
+    "random_program",
+]

@@ -1,0 +1,125 @@
+"""Workload configurations reproducing Tables 2, 3 and 4.
+
+Every configuration carries two block geometries:
+
+* the **paper scale** — the exact block shapes of the tables (used for the
+  optimizer's predicted-seconds numbers, computed symbolically-exactly at
+  block granularity, so no GB-sized data is ever touched);
+* the **run scale** — the same block-count grid with blocks shrunk by
+  ``scale`` per dimension (default 100), which the engine actually executes
+  against the simulated disk.
+
+Because every plan's I/O volume is linear in the block byte size, plan
+ordering and savings ratios are identical at both scales.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ir import Program
+from ..ops import add_multiply_program, linreg_program, two_matmul_program
+
+__all__ = ["WorkloadConfig", "add_multiply_config", "two_matmul_config",
+           "linreg_config", "generate_inputs"]
+
+
+class WorkloadConfig:
+    """One experiment configuration: program, sizes, and both geometries."""
+
+    def __init__(self, name: str, program: Program, params: Mapping[str, int],
+                 paper_block_bytes: Mapping[str, int],
+                 input_names: tuple[str, ...], table: str):
+        self.name = name
+        self.program = program
+        self.params = dict(params)
+        self.paper_block_bytes = dict(paper_block_bytes)
+        self.input_names = input_names
+        self.table = table
+
+    def run_block_bytes(self) -> dict[str, int]:
+        return {name: arr.block_bytes for name, arr in self.program.arrays.items()}
+
+    def paper_total_gib(self, array: str) -> float:
+        arr = self.program.arrays[array]
+        return (arr.total_blocks(self.params) * self.paper_block_bytes[array]) / 2 ** 30
+
+    def __repr__(self) -> str:
+        return f"WorkloadConfig({self.name}, {self.table}, params={self.params})"
+
+
+def _bytes2d(rows: int, cols: int) -> int:
+    return rows * cols * 8
+
+
+def add_multiply_config(scale: int = 100) -> WorkloadConfig:
+    """Table 2: A,B,C 6000x4000-element blocks in a 12x12 grid; D 4000x5000
+    in 12x1; E 6000x5000 in 12x1 (n3 = 1)."""
+    prog = add_multiply_program(block_rows=6000 // scale, block_cols=4000 // scale,
+                                d_cols=5000 // scale)
+    params = {"n1": 12, "n2": 12, "n3": 1}
+    paper = {
+        "A": _bytes2d(6000, 4000), "B": _bytes2d(6000, 4000),
+        "C": _bytes2d(6000, 4000),
+        "D": _bytes2d(4000, 5000), "E": _bytes2d(6000, 5000),
+    }
+    return WorkloadConfig("add_multiply", prog, params, paper,
+                          ("A", "B", "D"), "Table 2")
+
+
+def two_matmul_config(config: str = "A", scale: int = 100) -> WorkloadConfig:
+    """Table 3: two matrix multiplications, configurations A and B."""
+    if config == "A":
+        # A 8000x7000 blocks, 6x6; B,D 7000x3000, 6x10; C,E 8000x3000, 6x10.
+        prog = two_matmul_program(a_shape=(8000 // scale, 7000 // scale),
+                                  b_shape=(7000 // scale, 3000 // scale),
+                                  d_shape=(7000 // scale, 3000 // scale))
+        params = {"n1": 6, "n2": 10, "n3": 6, "n4": 10}
+        paper = {"A": _bytes2d(8000, 7000),
+                 "B": _bytes2d(7000, 3000), "D": _bytes2d(7000, 3000),
+                 "C": _bytes2d(8000, 3000), "E": _bytes2d(8000, 3000)}
+    elif config == "B":
+        # A 2000x8000, 18x6; B 8000x6000, 6x4; C 2000x6000, 18x4;
+        # D 8000x7000, 6x4; E 2000x7000, 18x4.
+        prog = two_matmul_program(a_shape=(2000 // scale, 8000 // scale),
+                                  b_shape=(8000 // scale, 6000 // scale),
+                                  d_shape=(8000 // scale, 7000 // scale))
+        params = {"n1": 18, "n2": 4, "n3": 6, "n4": 4}
+        paper = {"A": _bytes2d(2000, 8000), "B": _bytes2d(8000, 6000),
+                 "C": _bytes2d(2000, 6000), "D": _bytes2d(8000, 7000),
+                 "E": _bytes2d(2000, 7000)}
+    else:
+        raise ValueError(f"unknown two-matmul configuration {config!r}")
+    return WorkloadConfig(f"two_matmul_{config}", prog, params, paper,
+                          ("A", "B", "D"), "Table 3")
+
+
+def linreg_config(scale: int = 100) -> WorkloadConfig:
+    """Table 4: X 60000x4000 blocks in 25x1; Y & friends 60000x400 in 25x1;
+    U,W 4000x4000 single-block; V,Bhat 4000x400 single-block."""
+    prog = linreg_program(x_block=(60000 // scale, 4000 // scale),
+                          y_cols=400 // scale)
+    params = {"n": 25}
+    paper = {
+        "X": _bytes2d(60000, 4000),
+        "Y": _bytes2d(60000, 400), "Yhat": _bytes2d(60000, 400),
+        "E": _bytes2d(60000, 400),
+        "U": _bytes2d(4000, 4000), "W": _bytes2d(4000, 4000),
+        "V": _bytes2d(4000, 400), "Bhat": _bytes2d(4000, 400),
+        "R": _bytes2d(1, 400),
+    }
+    return WorkloadConfig("linreg", prog, params, paper, ("X", "Y"), "Table 4")
+
+
+def generate_inputs(config: WorkloadConfig, seed: int = 0,
+                    rng: np.random.Generator | None = None
+                    ) -> dict[str, np.ndarray]:
+    """Random dense inputs at run scale for every input array."""
+    rng = rng or np.random.default_rng(seed)
+    out = {}
+    for name in config.input_names:
+        arr = config.program.arrays[name]
+        out[name] = rng.standard_normal(arr.shape_elems(config.params))
+    return out

@@ -1,0 +1,88 @@
+"""Random static-control program generator (fuzzing support).
+
+Generates small random programs in the class of Section 4.1 — nested loops
+with affine block accesses, optional guards, read-modify-write
+accumulations — used by the property-based tests to cross-validate the
+symbolic analysis against the brute-force oracle on programs nobody
+hand-picked.
+
+Programs are *analyzable* by construction (static control, affine
+everything); they are not meant to be executed (kernels are placeholders).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..ir import ArrayKind, Program, ProgramBuilder
+
+__all__ = ["random_program"]
+
+_SUBSCRIPT_PATTERNS = [
+    lambda vs: vs[0],                 # i
+    lambda vs: f"{vs[0]} + 1",        # shifted
+    lambda vs: f"n - 1 - {vs[0]}",    # reversed
+    lambda vs: vs[-1],                # innermost
+]
+
+
+def random_program(seed: int, n_statements: int = 2, max_depth: int = 2,
+                   n_arrays: int = 3, allow_guards: bool = True) -> Program:
+    """A random but well-formed static-control program.
+
+    The single parameter ``n`` bounds every loop; arrays are 1-d or 2-d
+    with ``n``-sized block grids.  Each statement writes one array and
+    reads one or two, with subscripts drawn from a small affine pattern
+    pool.  Determinism: same seed, same program.
+    """
+    rng = random.Random(seed)
+    b = ProgramBuilder(f"fuzz{seed}", params=("n",),
+                       param_assumptions=("n - 2",))  # n >= 2
+    arrays = []
+    for a in range(n_arrays):
+        rank = rng.choice([1, 2])
+        dims = ("n",) * rank
+        kind = ArrayKind.INTERMEDIATE if a else ArrayKind.OUTPUT
+        arrays.append(b.array(f"A{a}", dims=dims, block_shape=(2,) * rank,
+                              kind=kind))
+
+    def subscripts(ref, loop_vars):
+        out = []
+        for _ in range(ref.array.rank):
+            if loop_vars:
+                pattern = rng.choice(_SUBSCRIPT_PATTERNS)
+                out.append(pattern(rng.sample(loop_vars, len(loop_vars))))
+            else:
+                out.append("0")
+        return tuple(out)
+
+    for s in range(n_statements):
+        depth = rng.randint(1, max_depth)
+        loop_vars = [f"v{s}_{d}" for d in range(depth)]
+
+        def emit(level: int):
+            if level == depth:
+                target = rng.choice(arrays)
+                write_subs = subscripts(target, loop_vars)
+                reads = []
+                for _ in range(rng.randint(1, 2)):
+                    src = rng.choice(arrays)
+                    ref = src[subscripts(src, loop_vars)]
+                    if allow_guards and rng.random() < 0.25:
+                        ref = ref.when(f"{rng.choice(loop_vars)} - 1")
+                    reads.append(ref)
+                if rng.random() < 0.4:  # read-modify-write accumulation
+                    guard_var = loop_vars[-1]
+                    reads.append(target[write_subs].when(f"{guard_var} - 1"))
+                b.statement(f"s{s + 1}", kernel="nop",
+                            write=target[write_subs], reads=reads)
+                return
+            v = loop_vars[level]
+            lo = 0
+            hi = "n" if rng.random() < 0.8 else "n - 1"
+            with b.loop(v, lo, hi):
+                emit(level + 1)
+
+        emit(0)
+    return b.build()

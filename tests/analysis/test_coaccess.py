@@ -1,0 +1,125 @@
+"""Tests for co-access extents (Definition 1), validated against the
+concrete oracle on Example 1 and the Section-4.3 reverse-access program."""
+
+import pytest
+
+from repro.analysis import ConcreteAnalyzer, build_extent, enumerate_coaccesses
+from repro.ir import AccessType, Schedule
+from tests.fixtures import example1_program, reverse_access_program
+
+PARAMS = {"n1": 2, "n2": 2, "n3": 2}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def sched(prog):
+    return Schedule.original(prog)
+
+
+@pytest.fixture(scope="module")
+def oracle(prog, sched):
+    return ConcreteAnalyzer(prog, PARAMS, sched)
+
+
+def _access(prog, stmt, type_, array):
+    s = prog.statement(stmt)
+    for a in s.accesses:
+        if a.type.value == type_ and a.array.name == array:
+            return a
+    raise AssertionError(f"no access {stmt}{type_}{array}")
+
+
+def _extent_pairs(prog, sched, src, tgt):
+    extent = build_extent(prog, sched, src, tgt)
+    sd = src.statement.depth
+    td = tgt.statement.depth
+    pts = extent.bind(PARAMS).integer_points()
+    return {(p[:sd], p[sd:sd + td]) for p in pts}
+
+
+class TestExtentMatchesOracle:
+    @pytest.mark.parametrize("src_spec,tgt_spec", [
+        (("s1", "W", "C"), ("s2", "R", "C")),
+        (("s2", "R", "C"), ("s1", "W", "C")),
+        (("s2", "W", "E"), ("s2", "R", "E")),
+        (("s2", "R", "E"), ("s2", "W", "E")),
+        (("s2", "W", "E"), ("s2", "W", "E")),
+        (("s2", "R", "D"), ("s2", "R", "D")),
+        (("s2", "R", "C"), ("s2", "R", "C")),
+        (("s1", "R", "A"), ("s1", "R", "A")),
+    ])
+    def test_pairs_equal_brute_force(self, prog, sched, oracle, src_spec, tgt_spec):
+        src = _access(prog, *src_spec)
+        tgt = _access(prog, *tgt_spec)
+        symbolic = _extent_pairs(prog, sched, src, tgt)
+        concrete = oracle.coaccess_pairs(src, tgt, statement_strict=True)
+        assert symbolic == concrete
+
+    def test_reverse_direction_is_empty(self, prog, sched):
+        """s2RC -> s1WC: no s2 instance precedes any s1 instance."""
+        src = _access(prog, "s2", "R", "C")
+        tgt = _access(prog, "s1", "W", "C")
+        assert _extent_pairs(prog, sched, src, tgt) == set()
+
+    def test_guarded_access_restricts_extent(self, prog, sched, oracle):
+        """The read of E exists only for k >= 1."""
+        src = _access(prog, "s2", "W", "E")
+        tgt = _access(prog, "s2", "R", "E")
+        pairs = _extent_pairs(prog, sched, src, tgt)
+        assert pairs  # nonempty
+        for _, tgt_pt in pairs:
+            assert tgt_pt[2] >= 1
+
+
+class TestEnumerate:
+    def test_enumerate_filters_types(self, prog, sched):
+        rr = enumerate_coaccesses(
+            prog, sched, types=[(AccessType.READ, AccessType.READ)])
+        assert rr
+        assert all(c.type_str == "R->R" for c in rr)
+
+    def test_labels(self, prog, sched):
+        cos = enumerate_coaccesses(prog, sched)
+        labels = {c.label() for c in cos}
+        assert "s1WC->s2RC" in labels
+        assert "s2WE->s2RE" in labels
+
+    def test_is_self_flag(self, prog, sched):
+        cos = enumerate_coaccesses(prog, sched)
+        by_label = {c.label(): c for c in cos}
+        assert by_label["s2WE->s2RE"].is_self
+        assert not by_label["s1WC->s2RC"].is_self
+
+
+class TestReverseProgram:
+    """Section 4.3: two opposite-direction dependences through array A."""
+
+    def setup_method(self):
+        self.prog = reverse_access_program()
+        self.sched = Schedule.original(self.prog)
+        self.params = {"n": 5}
+        self.oracle = ConcreteAnalyzer(self.prog, self.params, self.sched)
+
+    def test_both_directions_nonempty(self):
+        s1w = _access(self.prog, "s1", "W", "A")
+        s2r = _access(self.prog, "s2", "R", "A")
+        fwd = build_extent(self.prog, self.sched, s1w, s2r).bind(self.params)
+        bwd = build_extent(self.prog, self.sched, s2r, s1w).bind(self.params)
+        fwd_pairs = {(p[0], p[1]) for p in fwd.integer_points()}
+        bwd_pairs = {(p[0], p[1]) for p in bwd.integer_points()}
+        # P(s1WA->s2RA) = {(i, i') : i + i' = n-1, 0 <= i <= (n-1)/2}
+        assert fwd_pairs == {(0, 4), (1, 3), (2, 2)}
+        # P(s2RA->s1WA) = {(i', i) : i' + i = n-1, 0 <= i' <= (n-2)/2}
+        assert bwd_pairs == {(0, 4), (1, 3)}
+
+    def test_matches_oracle(self):
+        s1w = _access(self.prog, "s1", "W", "A")
+        s2r = _access(self.prog, "s2", "R", "A")
+        fwd = build_extent(self.prog, self.sched, s1w, s2r).bind(self.params)
+        sym = {(p[0:1], p[1:2]) for p in fwd.integer_points()}
+        conc = self.oracle.coaccess_pairs(s1w, s2r, statement_strict=True)
+        assert sym == conc

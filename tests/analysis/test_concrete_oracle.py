@@ -1,0 +1,105 @@
+"""Tests for the concrete instance-level analyzer itself (the oracle)."""
+
+import pytest
+
+from repro.analysis import ConcreteAnalyzer
+from repro.ir import Schedule, lex_less
+from tests.fixtures import example1_program, reverse_access_program
+
+P = {"n1": 2, "n2": 2, "n3": 2}
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ConcreteAnalyzer(example1_program(), P)
+
+
+class TestEventEnumeration:
+    def test_event_counts(self, oracle):
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        s1_events = n1 * n2 * 3                       # A, B reads + C write
+        s2_events = n1 * n3 * n2 * 3 + n1 * n3 * (n2 - 1)
+        assert len(oracle.events) == s1_events + s2_events
+
+    def test_events_are_ordered(self, oracle):
+        times = [e.time for e in oracle.events]
+        for a, b in zip(times, times[1:]):
+            assert a == b or lex_less(a, b)
+
+    def test_seq_assigned(self, oracle):
+        assert [e.seq for e in oracle.events] == list(range(len(oracle.events)))
+
+    def test_guarded_reads_excluded(self, oracle):
+        e_reads = [e for e in oracle.events
+                   if e.array.name == "E" and not e.is_write]
+        # k = 0 reads don't exist.
+        assert all(e.point[2] >= 1 for e in e_reads)
+
+    def test_events_for_block(self, oracle):
+        evs = oracle.events_for_block("C", (0, 0))
+        # written once by s1, read n3 times by s2
+        assert sum(e.is_write for e in evs) == 1
+        assert sum(not e.is_write for e in evs) == P["n3"]
+
+
+class TestReuseChains:
+    def test_chain_per_block(self, oracle):
+        chains = oracle.reuse_chains()
+        c_chain = chains[("C", (0, 0))]
+        assert c_chain[0].is_write  # s1 writes before s2 reads
+        assert all(not e.is_write for e in c_chain[1:])
+
+    def test_chains_ordered(self, oracle):
+        for chain in oracle.reuse_chains().values():
+            seqs = [e.seq for e in chain]
+            assert seqs == sorted(seqs)
+
+
+class TestBaseline:
+    def test_baseline_bytes_formula(self, oracle):
+        prog = example1_program()
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        ab = prog.arrays["A"].block_bytes
+        d = prog.arrays["D"].block_bytes
+        e = prog.arrays["E"].block_bytes
+        reads, writes = oracle.baseline_io_bytes()
+        assert reads == (2 * n1 * n2 * ab + n1 * n2 * n3 * ab
+                         + n1 * n2 * n3 * d + n1 * n3 * (n2 - 1) * e)
+        assert writes == n1 * n2 * ab + n1 * n2 * n3 * e
+
+
+class TestAgainstAlternateSchedule:
+    def test_oracle_respects_custom_schedule(self):
+        """Feeding a transformed schedule reorders the oracle's event list."""
+        prog = example1_program()
+        orig = Schedule.original(prog)
+        oracle_orig = ConcreteAnalyzer(prog, P, orig)
+        # Swap the two loop dimensions of s1 in a hand-built schedule.
+        from repro.ir import AffineExpr
+        rows = dict(orig.rows)
+        rows["s1"] = (AffineExpr.constant(0), AffineExpr.var("k"),
+                      AffineExpr.constant(0), AffineExpr.var("i"),
+                      AffineExpr.constant(0))
+        swapped = Schedule(rows)
+        oracle_swapped = ConcreteAnalyzer(prog, P, swapped)
+        def instance_order(oracle):
+            seen = []
+            for e in oracle.events:
+                if e.access.statement.name == "s1" and e.point not in seen:
+                    seen.append(e.point)
+            return seen
+
+        assert instance_order(oracle_orig) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert instance_order(oracle_swapped) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+
+class TestReverseExample:
+    def test_opposite_direction_pairs(self):
+        prog = reverse_access_program()
+        oracle = ConcreteAnalyzer(prog, {"n": 5})
+        s1w = next(a for a in prog.statement("s1").accesses if a.is_write)
+        s2r = prog.statement("s2").reads[0]
+        fwd = oracle.coaccess_pairs(s1w, s2r)
+        bwd = oracle.coaccess_pairs(s2r, s1w)
+        assert len(fwd) == 3 and len(bwd) == 2
+        assert not (fwd & {(b, a) for (a, b) in bwd})

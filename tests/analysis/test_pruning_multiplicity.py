@@ -1,0 +1,158 @@
+"""Tests for no-write-in-between pruning and multiplicity reduction,
+cross-validated against the concrete oracle."""
+
+import pytest
+
+from repro.analysis import (ConcreteAnalyzer, CoAccess, analyze, build_extent,
+                            classify_multiplicity, is_functional,
+                            no_write_in_between, reduce_to_one_one)
+from repro.ir import Schedule
+from tests.fixtures import example1_program
+
+PARAMS = {"n1": 2, "n2": 2, "n3": 2}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def sched(prog):
+    return Schedule.original(prog)
+
+
+@pytest.fixture(scope="module")
+def oracle(prog, sched):
+    return ConcreteAnalyzer(prog, PARAMS, sched)
+
+
+@pytest.fixture(scope="module")
+def analysis(prog):
+    return analyze(prog, param_values=PARAMS)
+
+
+def _access(prog, stmt, type_, array):
+    for a in prog.statement(stmt).accesses:
+        if a.type.value == type_ and a.array.name == array:
+            return a
+    raise AssertionError
+
+
+def _pairs(co, params=PARAMS):
+    return set(co.pairs(params))
+
+
+class TestNoWriteInBetween:
+    @pytest.mark.parametrize("src_spec,tgt_spec", [
+        (("s2", "W", "E"), ("s2", "R", "E")),
+        (("s2", "W", "E"), ("s2", "W", "E")),
+        (("s2", "R", "E"), ("s2", "R", "E")),
+        (("s1", "W", "C"), ("s2", "R", "C")),
+        (("s2", "R", "D"), ("s2", "R", "D")),
+    ])
+    def test_matches_oracle(self, prog, sched, oracle, src_spec, tgt_spec):
+        src = _access(prog, *src_spec)
+        tgt = _access(prog, *tgt_spec)
+        co = CoAccess(src, tgt, build_extent(prog, sched, src, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        assert _pairs(pruned) == oracle.nwib_pairs(src, tgt, statement_strict=True)
+
+    def test_e_write_read_becomes_consecutive(self, prog, sched):
+        """After NWIB, W->R on E pairs only consecutive k's."""
+        src = _access(prog, "s2", "W", "E")
+        tgt = _access(prog, "s2", "R", "E")
+        co = CoAccess(src, tgt, build_extent(prog, sched, src, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        for (s, t) in _pairs(pruned):
+            assert t == (s[0], s[1], s[2] + 1)
+
+    def test_e_read_read_fully_killed(self, prog, sched):
+        """Reads of E at k and k+1 are separated by the write at k."""
+        tgt = _access(prog, "s2", "R", "E")
+        co = CoAccess(tgt, tgt, build_extent(prog, sched, tgt, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        assert pruned.extent.is_empty()
+
+
+class TestMultiplicity:
+    def test_wc_rc_is_one_many_before_reduction(self, prog, sched):
+        src = _access(prog, "s1", "W", "C")
+        tgt = _access(prog, "s2", "R", "C")
+        co = CoAccess(src, tgt, build_extent(prog, sched, src, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        mult = classify_multiplicity(pruned)
+        assert mult.src == "one"   # each target (read) has exactly one writer
+        assert mult.tgt == "many"  # one write is read n3 times
+
+    def test_reduction_pins_first_read(self, prog, sched):
+        src = _access(prog, "s1", "W", "C")
+        tgt = _access(prog, "s2", "R", "C")
+        co = CoAccess(src, tgt, build_extent(prog, sched, src, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        reduced, ok = reduce_to_one_one(pruned)
+        assert ok
+        assert classify_multiplicity(reduced).is_one_one
+        # Every write is paired with its j=0 read (Figure 1(b) pipelining).
+        pairs = _pairs(reduced)
+        assert pairs == {((i, k), (i, 0, k)) for i in range(2) for k in range(2)}
+
+    def test_reduction_preserves_source_coverage(self, prog, sched):
+        """Reduction must not drop any source instance (Remark A.1)."""
+        src = _access(prog, "s1", "W", "C")
+        tgt = _access(prog, "s2", "R", "C")
+        co = CoAccess(src, tgt, build_extent(prog, sched, src, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        reduced, _ = reduce_to_one_one(pruned)
+        before = {s for (s, _) in _pairs(pruned)}
+        after = {s for (s, _) in _pairs(reduced)}
+        assert before == after
+
+    def test_rd_chain_reduction(self, prog, sched):
+        """s2RD->s2RD (many-many over i<i') reduces to consecutive i's."""
+        acc = _access(prog, "s2", "R", "D")
+        co = CoAccess(acc, acc, build_extent(prog, sched, acc, acc))
+        pruned = no_write_in_between(prog, sched, co)
+        reduced, ok = reduce_to_one_one(pruned)
+        assert ok
+        for (s, t) in _pairs(reduced):
+            assert t == (s[0] + 1, s[1], s[2])
+
+    def test_is_functional_detects_functions(self, prog, sched):
+        acc = _access(prog, "s2", "W", "E")
+        tgt = _access(prog, "s2", "R", "E")
+        co = CoAccess(acc, tgt, build_extent(prog, sched, acc, tgt))
+        pruned = no_write_in_between(prog, sched, co)
+        src_vars = ["s_" + v for v in acc.statement.loop_vars]
+        tgt_vars = ["t_" + v for v in tgt.statement.loop_vars]
+        assert is_functional(pruned.extent, determined=tgt_vars, given=src_vars)
+        assert is_functional(pruned.extent, determined=src_vars, given=tgt_vars)
+
+
+class TestAnalyzeExample1:
+    def test_opportunity_set_n3_2(self, analysis):
+        labels = {o.label for o in analysis.opportunities}
+        assert labels == {"s1WC->s2RC", "s2WE->s2WE", "s2WE->s2RE",
+                          "s2RC->s2RC", "s2RD->s2RD"}
+
+    def test_all_reduced(self, analysis):
+        assert all(o.reduced for o in analysis.opportunities)
+
+    def test_dependence_set(self, analysis):
+        labels = {d.label for d in analysis.dependences}
+        # Flow of C into s2, E accumulation chains.
+        assert "s1WC->s2RC" in labels
+        assert "s2WE->s2RE" in labels
+        assert "s2WE->s2WE" in labels
+        # No reversed flow.
+        assert "s2RC->s1WC" not in labels
+
+    def test_opportunity_set_n3_1(self, prog):
+        an = analyze(prog, param_values={"n1": 2, "n2": 2, "n3": 1})
+        labels = {o.label for o in an.opportunities}
+        # Paper Section 6.1: with n3 = 1, s2RC->s2RC does not exist.
+        assert labels == {"s1WC->s2RC", "s2WE->s2WE", "s2WE->s2RE", "s2RD->s2RD"}
+
+    def test_lookup_raises_on_missing(self, analysis):
+        with pytest.raises(KeyError):
+            analysis.opportunity("s9WZ->s9RZ")

@@ -1,0 +1,81 @@
+"""Tests for code generation: executable plans and pseudo-C rendering."""
+
+import pytest
+
+from repro.codegen import IOAction, build_executable_plan, render_c
+from repro.optimizer import optimize
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+class TestDeadWriteElimination:
+    def test_c_never_written_when_n3_is_1(self, prog, result):
+        """Footnote 8: in the best plan with n3 = 1, the intermediate C is
+        fully pipelined and its write is elided."""
+        best = result.best()
+        ep = build_executable_plan(prog, P, best)
+        c_writes = [inst.write for inst in ep.instances
+                    if inst.write and inst.write.access.array.name == "C"]
+        assert c_writes
+        assert all(w.action is IOAction.WRITE_SKIP for w in c_writes)
+
+    def test_output_e_is_written(self, prog, result):
+        """E is a program output: its final write per block must hit disk."""
+        best = result.best()
+        ep = build_executable_plan(prog, P, best)
+        final_write_per_block = {}
+        for inst in ep.instances:
+            w = inst.write
+            if w and w.access.array.name == "E":
+                final_write_per_block[w.block] = w.action
+        assert final_write_per_block
+        assert all(a is IOAction.WRITE for a in final_write_per_block.values())
+
+    def test_plan0_writes_c(self, prog, result):
+        ep = build_executable_plan(prog, P, result.original_plan)
+        c_writes = [inst.write for inst in ep.instances
+                    if inst.write and inst.write.access.array.name == "C"]
+        assert all(w.action is IOAction.WRITE for w in c_writes)
+
+
+class TestPipelining:
+    def test_best_plan_reuses_c(self, prog, result):
+        ep = build_executable_plan(prog, P, result.best())
+        c_reads = [pa for inst in ep.instances for pa in inst.reads
+                   if pa.access.array.name == "C"]
+        assert c_reads
+        assert all(pa.action is IOAction.REUSE for pa in c_reads)
+
+    def test_plan0_has_no_reuse(self, prog, result):
+        ep = build_executable_plan(prog, P, result.original_plan)
+        summary = ep.io_summary()
+        assert summary["reuse"] == 0
+        assert summary["write_skip"] == 0
+
+
+class TestRenderC:
+    def test_renders_loops_and_annotations(self, prog, result):
+        text = render_c(build_executable_plan(prog, P, result.best()))
+        assert "for (" in text
+        assert "reuse (in memory)" in text
+        assert "// s1" in text and "// s2" in text
+
+    def test_lists_realized_opportunities(self, prog, result):
+        text = render_c(build_executable_plan(prog, P, result.best()))
+        assert "s1WC->s2RC" in text
+
+    def test_original_plan_renders_reads_writes_only(self, prog, result):
+        text = render_c(build_executable_plan(prog, P, result.original_plan))
+        assert "reuse" not in text
+        assert "keep in memory" not in text

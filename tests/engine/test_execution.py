@@ -1,0 +1,128 @@
+"""Integration tests: engine executes every optimizer plan correctly, with
+byte-exact agreement between predicted and measured I/O and memory."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import IOAction, build_executable_plan
+from repro.engine import reference_outputs, run_program
+from repro.exceptions import BufferPoolError, ExecutionError
+from repro.optimizer import optimize
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 2}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+@pytest.fixture(scope="module")
+def inputs(prog):
+    rng = np.random.default_rng(7)
+    return {n: rng.standard_normal(prog.arrays[n].shape_elems(P))
+            for n in ("A", "B", "D")}
+
+
+@pytest.fixture(scope="module")
+def truth(inputs):
+    return (inputs["A"] + inputs["B"]) @ inputs["D"]
+
+
+class TestReference:
+    def test_reference_matches_dense_formula(self, prog, inputs, truth):
+        ref = reference_outputs(prog, P, inputs)
+        assert np.allclose(ref["E"], truth)
+        assert np.allclose(ref["C"], inputs["A"] + inputs["B"])
+
+    def test_reference_missing_input_raises(self, prog):
+        with pytest.raises(ExecutionError):
+            reference_outputs(prog, P, {})
+
+
+class TestAllPlansExecute:
+    def test_every_plan_correct_and_io_exact(self, prog, result, inputs, truth,
+                                             tmp_path_factory):
+        for plan in result.plans:
+            td = tmp_path_factory.mktemp(f"plan{plan.index}")
+            report, outputs = run_program(prog, P, plan, td, inputs)
+            assert np.allclose(outputs["E"], truth), f"plan {plan.index} wrong"
+            assert report.io.read_bytes == plan.cost.read_bytes
+            assert report.io.write_bytes == plan.cost.write_bytes
+            assert report.peak_memory_bytes == plan.cost.memory_bytes
+
+    def test_best_plan_saves_io(self, result):
+        assert result.best().cost.total_bytes < result.original_plan.cost.total_bytes
+
+
+class TestMemoryCap:
+    def test_exact_cap_suffices(self, prog, result, inputs, tmp_path):
+        best = result.best()
+        report, _ = run_program(prog, P, best, tmp_path, inputs,
+                                memory_cap_bytes=best.cost.memory_bytes)
+        assert report.peak_memory_bytes <= best.cost.memory_bytes
+
+    def test_too_small_cap_fails(self, prog, result, inputs, tmp_path):
+        best = result.best()
+        with pytest.raises(BufferPoolError):
+            run_program(prog, P, best, tmp_path, inputs,
+                        memory_cap_bytes=best.cost.memory_bytes - 1)
+
+
+class TestStoreFormats:
+    def test_labtree_backend(self, prog, result, inputs, truth, tmp_path):
+        best = result.best()
+        report, outputs = run_program(prog, P, best, tmp_path, inputs,
+                                      store_format="labtree")
+        assert np.allclose(outputs["E"], truth)
+        assert report.io.read_bytes == best.cost.read_bytes
+
+    def test_unknown_format_rejected(self, prog, result, inputs, tmp_path):
+        with pytest.raises(ExecutionError):
+            run_program(prog, P, result.best(), tmp_path, inputs,
+                        store_format="csv")
+
+    def test_missing_input_rejected(self, prog, result, tmp_path):
+        with pytest.raises(ExecutionError):
+            run_program(prog, P, result.best(), tmp_path, {})
+
+
+class TestExecutablePlanStructure:
+    def test_io_summary_consistent_with_cost(self, prog, result):
+        for plan in result.plans:
+            ep = build_executable_plan(prog, P, plan)
+            counts = ep.io_summary()
+            ab = prog.arrays["A"].block_bytes
+            # Reads: every READ is one block I/O; block sizes differ per
+            # array so compare via bytes recomputed from the planned accesses.
+            read_bytes = sum(pa.access.array.block_bytes
+                             for inst in ep.instances for pa in inst.reads
+                             if pa.action is IOAction.READ)
+            write_bytes = sum(inst.write.access.array.block_bytes
+                              for inst in ep.instances
+                              if inst.write and inst.write.action is IOAction.WRITE)
+            assert read_bytes == plan.cost.read_bytes
+            assert write_bytes == plan.cost.write_bytes
+
+    def test_pins_are_balanced(self, prog, result):
+        for plan in result.plans:
+            ep = build_executable_plan(prog, P, plan)
+            opened = sum(pa.pin_after for inst in ep.instances
+                         for pa in inst.reads + ([inst.write] if inst.write else []))
+            closed = sum(pa.unpin_before for inst in ep.instances
+                         for pa in inst.reads + ([inst.write] if inst.write else []))
+            assert opened == closed
+
+    def test_plan_instances_cover_all_domain_points(self, prog, result):
+        ep = build_executable_plan(prog, P, result.best())
+        per_stmt = {}
+        for inst in ep.instances:
+            per_stmt.setdefault(inst.stmt.name, set()).add(inst.point)
+        for stmt in prog.statements:
+            assert per_stmt[stmt.name] == set(stmt.instances(P))

@@ -1,0 +1,101 @@
+"""Unit tests for the block kernels."""
+
+import numpy as np
+import pytest
+
+from repro.engine import run_kernel
+from repro.exceptions import ExecutionError
+
+
+def test_add():
+    a, b = np.ones((2, 2)), np.full((2, 2), 2.0)
+    assert np.array_equal(run_kernel("add", [a, b], (2, 2)), np.full((2, 2), 3.0))
+
+
+def test_sub():
+    a, b = np.ones((2, 2)), np.full((2, 2), 2.0)
+    assert np.array_equal(run_kernel("sub", [a, b], (2, 2)), np.full((2, 2), -1.0))
+
+
+def test_copy():
+    a = np.arange(4.0).reshape(2, 2)
+    out = run_kernel("copy", [a], (2, 2))
+    assert np.array_equal(out, a)
+    assert out is not a
+
+
+def test_gemm_nn_without_accumulator_starts_at_zero():
+    a = np.eye(3)
+    b = np.arange(9.0).reshape(3, 3)
+    assert np.array_equal(run_kernel("gemm_nn", [a, b], (3, 3)), b)
+
+
+def test_gemm_nn_accumulates():
+    a = np.eye(2)
+    b = np.ones((2, 2))
+    acc = np.full((2, 2), 5.0)
+    assert np.array_equal(run_kernel("gemm_nn", [a, b, acc], (2, 2)),
+                          np.full((2, 2), 6.0))
+
+
+def test_matmul_acc_alias():
+    a, b = np.eye(2), np.ones((2, 2))
+    assert np.array_equal(run_kernel("matmul_acc", [a, b], (2, 2)),
+                          run_kernel("gemm_nn", [a, b], (2, 2)))
+
+
+def test_gemm_tn():
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    b = np.eye(2)
+    assert np.array_equal(run_kernel("gemm_tn", [a, b], (2, 2)), a.T)
+
+
+def test_gemm_nt():
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    b = np.eye(2)
+    assert np.array_equal(run_kernel("gemm_nt", [a, b], (2, 2)), a)
+
+
+def test_syrk_tn():
+    x = np.array([[1.0, 2.0], [3.0, 4.0]])
+    assert np.allclose(run_kernel("syrk_tn", [x], (2, 2)), x.T @ x)
+
+
+def test_inverse():
+    m = np.array([[2.0, 0.0], [0.0, 4.0]])
+    assert np.allclose(run_kernel("inverse", [m], (2, 2)),
+                       np.diag([0.5, 0.25]))
+
+
+def test_colsumsq_acc():
+    e = np.array([[1.0, 2.0], [3.0, 4.0]])
+    out = run_kernel("colsumsq_acc", [e], (1, 2))
+    assert np.allclose(out, [[10.0, 20.0]])
+    out2 = run_kernel("colsumsq_acc", [e, out], (1, 2))
+    assert np.allclose(out2, [[20.0, 40.0]])
+
+
+def test_scale():
+    a = np.ones((2, 2))
+    s = np.array([[3.0]])
+    assert np.array_equal(run_kernel("scale", [a, s], (2, 2)), np.full((2, 2), 3.0))
+
+
+def test_unknown_kernel_raises():
+    with pytest.raises(ExecutionError):
+        run_kernel("nope", [], (1, 1))
+
+
+def test_wrong_arity_raises():
+    with pytest.raises(ExecutionError):
+        run_kernel("add", [np.ones((2, 2))], (2, 2))
+
+
+def test_wrong_shape_raises():
+    with pytest.raises(ExecutionError):
+        run_kernel("copy", [np.ones((2, 3))], (2, 2))
+
+
+def test_bad_accumulator_arity():
+    with pytest.raises(ExecutionError):
+        run_kernel("gemm_nn", [np.eye(2)], (2, 2))

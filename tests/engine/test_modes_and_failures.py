@@ -1,0 +1,98 @@
+"""Engine policy modes and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import build_executable_plan
+from repro.engine import execute_plan, run_program
+from repro.exceptions import ExecutionError, StorageError
+from repro.optimizer import IOModel, optimize
+from repro.storage import DAFMatrix, SimulatedDisk
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+@pytest.fixture(scope="module")
+def inputs(prog):
+    rng = np.random.default_rng(4)
+    return {n: rng.standard_normal(prog.arrays[n].shape_elems(P))
+            for n in ("A", "B", "D")}
+
+
+class TestOpportunisticMode:
+    def test_lru_mode_never_exceeds_predicted_io(self, prog, result, inputs,
+                                                 tmp_path_factory):
+        """With classic LRU residency (plan_exact=False), incidental buffer
+        hits can only reduce I/O below the plan-exact prediction."""
+        for plan in (result.original_plan, result.best()):
+            td = tmp_path_factory.mktemp(f"op{plan.index}")
+            report, outputs = run_program(prog, P, plan, td, inputs,
+                                          plan_exact=False)
+            assert report.io.read_bytes <= plan.cost.read_bytes
+            assert report.io.write_bytes <= plan.cost.write_bytes
+            truth = (inputs["A"] + inputs["B"]) @ inputs["D"]
+            assert np.allclose(outputs["E"], truth)
+
+    def test_opportunistic_beats_plan0_exact(self, prog, result, inputs,
+                                             tmp_path):
+        """LRU with unlimited memory turns repeated reads into hits."""
+        report, _ = run_program(prog, P, result.original_plan, tmp_path,
+                                inputs, plan_exact=False)
+        assert report.pool_hits > 0
+
+
+class TestFailureInjection:
+    def test_truncated_store_detected(self, prog, result, inputs, tmp_path):
+        """A short file surfaces as a StorageError, not silent corruption."""
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 2), (4, 4))
+            m.file.truncate(64 + 2 * m.layout.block_bytes)  # half the blocks
+            m.read_block((0, 0))  # still intact
+            with pytest.raises(StorageError, match="short read"):
+                m.read_block((1, 1))
+
+    def test_reuse_without_residency_is_a_plan_bug(self, prog, result,
+                                                   inputs, tmp_path):
+        """Stripping pins from an executable plan must be caught at the
+        first REUSE, proving the engine trusts nothing."""
+        best = result.best()
+        ep = build_executable_plan(prog, P, best)
+        has_reuse = False
+        for inst in ep.instances:
+            for pa in inst.reads + ([inst.write] if inst.write else []):
+                pa.pin_after = 0
+                pa.unpin_before = 0
+                from repro.codegen import IOAction
+                if pa.action is IOAction.REUSE:
+                    has_reuse = True
+        if not has_reuse:
+            pytest.skip("best plan has no REUSE")
+        with SimulatedDisk(tmp_path) as disk:
+            stores = {}
+            for name, arr in prog.arrays.items():
+                store = DAFMatrix.create(disk, name, arr.num_blocks(P),
+                                         arr.block_shape)
+                stores[name] = store
+                if name in inputs:
+                    store.write_matrix(inputs[name], count=False)
+                else:
+                    store.write_matrix(np.zeros(arr.shape_elems(P)), count=False)
+            with pytest.raises(ExecutionError, match="REUSE of non-resident"):
+                execute_plan(ep, stores, disk)
+
+    def test_zero_byte_cap_rejected(self, prog, result, inputs, tmp_path):
+        from repro.exceptions import BufferPoolError
+        with pytest.raises(BufferPoolError):
+            run_program(prog, P, result.best(), tmp_path, inputs,
+                        memory_cap_bytes=0)

@@ -1,0 +1,77 @@
+"""Shared program fixtures mirroring the paper's running examples.
+
+All block shapes are scaled down ~100x per dimension relative to Tables 2-4
+so tests run in milliseconds; block-count geometry matches the paper, which
+is what the optimizer reasons about.
+"""
+
+from repro.ir import ProgramBuilder
+
+
+def example1_program(block_rows=60, block_cols=40):
+    """The paper's Example 1: C = A + B; E = C D, at block granularity.
+
+    Statements:
+      s1: C[i,k] = A[i,k] + B[i,k]
+      s2: E[i,j] += C[i,k] * D[k,j]   (read of E guarded by k >= 1)
+    """
+    b = ProgramBuilder("example1", params=("n1", "n2", "n3"))
+    a = b.array("A", dims=("n1", "n2"), block_shape=(block_rows, block_cols))
+    bb = b.array("B", dims=("n1", "n2"), block_shape=(block_rows, block_cols))
+    c = b.array("C", dims=("n1", "n2"), block_shape=(block_rows, block_cols),
+                kind="intermediate")
+    d = b.array("D", dims=("n2", "n3"), block_shape=(block_cols, 50))
+    e = b.array("E", dims=("n1", "n3"), block_shape=(block_rows, 50),
+                kind="output")
+    with b.loop("i", 0, "n1"):
+        with b.loop("k", 0, "n2"):
+            b.statement("s1", kernel="add",
+                        write=c["i", "k"], reads=[a["i", "k"], bb["i", "k"]])
+    with b.loop("i", 0, "n1"):
+        with b.loop("j", 0, "n3"):
+            with b.loop("k", 0, "n2"):
+                b.statement("s2", kernel="matmul_acc",
+                            write=e["i", "j"],
+                            reads=[c["i", "k"], d["k", "j"],
+                                   e["i", "j"].when("k - 1")])
+    return b.build()
+
+
+def reverse_access_program():
+    """Section 4.3's opposite-direction dependence example:
+
+        for i in [0, n): A[i] = B[i]; C[i] = A[n-1-i]
+    """
+    b = ProgramBuilder("reverse", params=("n",))
+    a = b.array("A", dims=("n",), block_shape=(10,), kind="intermediate")
+    bb = b.array("B", dims=("n",), block_shape=(10,))
+    c = b.array("C", dims=("n",), block_shape=(10,), kind="output")
+    with b.loop("i", 0, "n"):
+        b.statement("s1", kernel="copy", write=a["i"], reads=[bb["i"]])
+        b.statement("s2", kernel="copy", write=c["i"], reads=[a["n - 1 - i"]])
+    return b.build()
+
+
+def two_matmul_program(blk=60):
+    """Section 6.2: C = A B; E = A D."""
+    b = ProgramBuilder("two_matmul", params=("n1", "n2", "n3", "n4"))
+    a = b.array("A", dims=("n1", "n3"), block_shape=(blk, blk))
+    bm = b.array("B", dims=("n3", "n2"), block_shape=(blk, blk))
+    c = b.array("C", dims=("n1", "n2"), block_shape=(blk, blk), kind="output")
+    d = b.array("D", dims=("n3", "n4"), block_shape=(blk, blk))
+    e = b.array("E", dims=("n1", "n4"), block_shape=(blk, blk), kind="output")
+    with b.loop("i", 0, "n1"):
+        with b.loop("j", 0, "n2"):
+            with b.loop("k", 0, "n3"):
+                b.statement("s1", kernel="matmul_acc",
+                            write=c["i", "j"],
+                            reads=[a["i", "k"], bm["k", "j"],
+                                   c["i", "j"].when("k - 1")])
+    with b.loop("i", 0, "n1"):
+        with b.loop("j", 0, "n4"):
+            with b.loop("k", 0, "n3"):
+                b.statement("s2", kernel="matmul_acc",
+                            write=e["i", "j"],
+                            reads=[a["i", "k"], d["k", "j"],
+                                   e["i", "j"].when("k - 1")])
+    return b.build()

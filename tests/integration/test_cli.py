@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLE1_SRC = """
+for (i = 0; i < n1; ++i)
+  for (k = 0; k < n2; ++k)
+    C[i,k] = A[i,k] + B[i,k];
+for (i = 0; i < n1; ++i)
+  for (j = 0; j < n3; ++j)
+    for (k = 0; k < n2; ++k)
+      E[i,j] += C[i,k] * D[k,j];
+"""
+
+DECLS = {
+    "params": ["n1", "n2", "n3"],
+    "bindings": {"n1": 2, "n2": 2, "n3": 1},
+    "arrays": {
+        "A": {"dims": ["n1", "n2"], "block_shape": [6, 4]},
+        "B": {"dims": ["n1", "n2"], "block_shape": [6, 4]},
+        "C": {"dims": ["n1", "n2"], "block_shape": [6, 4], "kind": "intermediate"},
+        "D": {"dims": ["n2", "n3"], "block_shape": [4, 5]},
+        "E": {"dims": ["n1", "n3"], "block_shape": [6, 5], "kind": "output"},
+    },
+}
+
+
+@pytest.fixture()
+def files(tmp_path):
+    src = tmp_path / "prog.c"
+    src.write_text(EXAMPLE1_SRC)
+    decls = tmp_path / "decls.json"
+    decls.write_text(json.dumps(DECLS))
+    return str(src), str(decls)
+
+
+def test_optimize_command(files, capsys):
+    src, decls = files
+    assert main(["optimize", src, decls]) == 0
+    out = capsys.readouterr().out
+    assert "sharing opportunities" in out
+    assert "best plan under cap" in out
+    assert "s1WC->s2RC" in out
+
+
+def test_explain_command_prints_code(files, capsys):
+    src, decls = files
+    assert main(["explain", src, decls]) == 0
+    out = capsys.readouterr().out
+    assert "for (" in out
+    assert "reuse (in memory)" in out
+
+
+def test_memory_cap_changes_choice(files, capsys):
+    src, decls = files
+    assert main(["optimize", src, decls, "--memory-cap", "400000"]) == 0
+    out = capsys.readouterr().out
+    assert "best plan under cap" in out
+
+
+def test_missing_bindings_rejected(tmp_path, files):
+    src, _ = files
+    bad = dict(DECLS)
+    bad = {**DECLS, "bindings": {}}
+    decls = tmp_path / "bad.json"
+    decls.write_text(json.dumps(bad))
+    with pytest.raises(SystemExit):
+        main(["optimize", src, str(decls)])
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--blocks", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "result correct: True" in out
+    assert "byte-exact vs prediction: True" in out

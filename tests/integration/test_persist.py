@@ -1,0 +1,93 @@
+"""Tests for plan persistence (save / reload / re-cost / execute)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import analyze, optimize, run_program
+from repro.exceptions import ReproError
+from repro.persist import (load_plan, save_plan, schedule_from_dict,
+                           schedule_to_dict)
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+class TestScheduleRoundtrip:
+    def test_roundtrip_preserves_times(self, prog, result):
+        best = result.best()
+        data = schedule_to_dict(best.schedule)
+        back = schedule_from_dict(json.loads(json.dumps(data)))
+        for stmt in prog.statements:
+            for point in stmt.instances(P):
+                assert (back.time_vector(stmt, point, P)
+                        == best.schedule.time_vector(stmt, point, P))
+
+    def test_meta_carried(self, result):
+        data = schedule_to_dict(result.best().schedule)
+        back = schedule_from_dict(data)
+        assert back.meta.get("realized") == result.best().schedule.meta.get("realized")
+
+
+class TestSaveLoad:
+    def test_reloaded_plan_costs_identically(self, prog, result, tmp_path):
+        best = result.best()
+        path = tmp_path / "plan.json"
+        save_plan(path, best, prog)
+        analysis = analyze(prog, param_values=P)
+        loaded = load_plan(path, prog, analysis, P, result.io_model)
+        assert loaded.cost.read_bytes == best.cost.read_bytes
+        assert loaded.cost.write_bytes == best.cost.write_bytes
+        assert loaded.cost.memory_bytes == best.cost.memory_bytes
+        assert sorted(loaded.realized_labels) == sorted(best.realized_labels)
+
+    def test_reloaded_plan_executes(self, prog, result, tmp_path):
+        best = result.best()
+        path = tmp_path / "plan.json"
+        save_plan(path, best, prog)
+        analysis = analyze(prog, param_values=P)
+        loaded = load_plan(path, prog, analysis, P, result.io_model)
+        rng = np.random.default_rng(2)
+        inputs = {n: rng.standard_normal(prog.arrays[n].shape_elems(P))
+                  for n in ("A", "B", "D")}
+        report, outputs = run_program(prog, P, loaded, tmp_path / "work", inputs)
+        assert np.allclose(outputs["E"],
+                           (inputs["A"] + inputs["B"]) @ inputs["D"])
+        assert report.io.read_bytes == loaded.cost.read_bytes
+
+    def test_recost_at_new_params(self, prog, result, tmp_path):
+        """The Remark's workflow: same schedule template, new sizes."""
+        best = result.best()
+        path = tmp_path / "plan.json"
+        save_plan(path, best, prog)
+        bigger = {"n1": 3, "n2": 3, "n3": 1}
+        analysis = analyze(prog, param_values=bigger)
+        loaded = load_plan(path, prog, analysis, bigger, result.io_model)
+        assert loaded.cost.read_bytes > best.cost.read_bytes  # more blocks
+
+    def test_wrong_program_rejected(self, prog, result, tmp_path):
+        from repro.ops import linreg_program
+        path = tmp_path / "plan.json"
+        save_plan(path, result.best(), prog)
+        other = linreg_program()
+        analysis = analyze(other, param_values={"n": 2})
+        with pytest.raises(ReproError, match="saved for program"):
+            load_plan(path, other, analysis, {"n": 2})
+
+    def test_garbage_rejected(self, prog, result, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "nope"}))
+        analysis = analyze(prog, param_values=P)
+        with pytest.raises(ReproError, match="not a saved plan"):
+            load_plan(path, prog, analysis, P)

@@ -1,0 +1,94 @@
+"""Property-based end-to-end tests: random small programs through the whole
+pipeline — analysis cross-checked against the concrete oracle, every plan
+legal, numerically correct, and byte-exact on I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import optimize, reference_outputs, run_program
+from repro.analysis import ConcreteAnalyzer, analyze
+from repro.ir import Schedule, lex_less
+from repro.ops import add_multiply_program, two_matmul_program
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n1=st.integers(1, 3), n2=st.integers(1, 3), n3=st.integers(1, 2))
+def test_example1_plans_always_legal_and_exact(n1, n2, n3):
+    """For random block grids: every plan orders every dependence pair and
+    predicts cost >= the best plan's."""
+    prog = add_multiply_program(block_rows=6, block_cols=4, d_cols=5)
+    params = {"n1": n1, "n2": n2, "n3": n3}
+    result = optimize(prog, params)
+    analysis = result.analysis
+    for plan in result.plans:
+        for dep in analysis.dependences:
+            for (ps, pt) in dep.co.pairs(params):
+                ts = plan.schedule.time_vector(dep.co.src.statement, ps, params)
+                tt = plan.schedule.time_vector(dep.co.tgt.statement, pt, params)
+                assert lex_less(ts, tt)
+        assert plan.cost.read_bytes <= plan.cost.baseline_read_bytes
+        assert plan.cost.write_bytes <= plan.cost.baseline_write_bytes
+    best = result.best()
+    assert all(best.cost.io_seconds <= p.cost.io_seconds for p in result.plans)
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n1=st.integers(1, 2), n2=st.integers(1, 2), n3=st.integers(1, 2),
+       seed=st.integers(0, 100))
+def test_example1_execution_matches_reference(n1, n2, n3, seed, tmp_path_factory):
+    prog = add_multiply_program(block_rows=6, block_cols=4, d_cols=5)
+    params = {"n1": n1, "n2": n2, "n3": n3}
+    result = optimize(prog, params, max_set_size=3)
+    rng = np.random.default_rng(seed)
+    inputs = {n: rng.standard_normal(prog.arrays[n].shape_elems(params))
+              for n in ("A", "B", "D")}
+    truth = (inputs["A"] + inputs["B"]) @ inputs["D"]
+    best = result.best()
+    td = tmp_path_factory.mktemp("prop")
+    report, outputs = run_program(prog, params, best, td, inputs)
+    assert np.allclose(outputs["E"], truth)
+    assert report.io.read_bytes == best.cost.read_bytes
+    assert report.io.write_bytes == best.cost.write_bytes
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n1=st.integers(1, 2), n2=st.integers(1, 2),
+       n3=st.integers(1, 2), n4=st.integers(1, 2))
+def test_two_matmul_analysis_matches_oracle(n1, n2, n3, n4):
+    """Symbolic sharing-opportunity pair sets == brute-force NWIB pairs."""
+    prog = two_matmul_program((6, 5), (5, 4), (5, 3))
+    params = {"n1": n1, "n2": n2, "n3": n3, "n4": n4}
+    an = analyze(prog, param_values=params)
+    oracle = ConcreteAnalyzer(prog, params)
+    for dep in an.dependences:
+        sym = set(dep.co.pairs(params))
+        conc = oracle.nwib_pairs(dep.co.src, dep.co.tgt, statement_strict=True)
+        # Dependences use conservative NWIB: a superset of the exact pairs.
+        assert sym >= conc
+        # And never more than the raw co-access relation.
+        assert sym <= oracle.coaccess_pairs(dep.co.src, dep.co.tgt)
+    for opp in an.opportunities:
+        sym = set(opp.co.pairs(params))
+        conc = oracle.nwib_pairs(opp.co.src, opp.co.tgt, statement_strict=True)
+        # Opportunities are one-one reductions of the exact NWIB pairs.
+        assert sym <= conc
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 1000))
+def test_baseline_cost_equals_oracle_bytes(seed):
+    rng = np.random.default_rng(seed)
+    n1, n2, n3 = (int(rng.integers(1, 4)) for _ in range(3))
+    prog = add_multiply_program(block_rows=6, block_cols=4, d_cols=5)
+    params = {"n1": n1, "n2": n2, "n3": n3}
+    from repro.optimizer import evaluate_plan
+    cost = evaluate_plan(prog, params, Schedule.original(prog), [])
+    reads, writes = ConcreteAnalyzer(prog, params).baseline_io_bytes()
+    assert cost.read_bytes == reads
+    assert cost.write_bytes == writes

@@ -1,0 +1,70 @@
+"""Tests for the plan-verification utilities, including failure detection
+when fed deliberately broken schedules."""
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.ir import AffineExpr, Schedule
+from repro.optimizer import optimize
+from repro.optimizer.plan import Plan
+from repro.verify import (check_injectivity, check_legality,
+                          check_realization, verify_plan)
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 2}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+class TestAllPlansVerify:
+    def test_every_plan_passes_all_checks(self, prog, result):
+        for plan in result.plans:
+            verify_plan(prog, P, plan, result.analysis)
+
+
+class TestBrokenSchedulesAreCaught:
+    def _broken_plan(self, result, rows):
+        best = result.best()
+        return Plan(999, Schedule(rows), best.realized, best.cost)
+
+    def test_reversed_order_violates_dependences(self, prog, result):
+        """Running s2 before s1 breaks the flow of C."""
+        rows = dict(Schedule.original(prog).rows)
+        rows["s1"], rows["s2"] = \
+            (AffineExpr.constant(1),) + tuple(rows["s1"])[1:], \
+            (AffineExpr.constant(0),) + tuple(rows["s2"])[1:]
+        plan = self._broken_plan(result, rows)
+        with pytest.raises(ScheduleError, match="violates dependence"):
+            check_legality(prog, P, plan, result.analysis)
+
+    def test_non_injective_schedule_caught(self, prog, result):
+        """Dropping the k dimension collapses instances onto one time."""
+        orig = Schedule.original(prog)
+        rows = dict(orig.rows)
+        rows["s1"] = (AffineExpr.constant(0), AffineExpr.var("i"),
+                      AffineExpr.constant(0), AffineExpr.constant(0),
+                      AffineExpr.constant(0))
+        plan = self._broken_plan(result, rows)
+        with pytest.raises(ScheduleError, match="assigned to both"):
+            check_injectivity(prog, P, plan)
+
+    def test_unrealized_sharing_caught(self, prog, result):
+        """The original order does not co-schedule s1 with s2, so claiming
+        the s1WC->s2RC pipeline under it must fail Table 1's test."""
+        best = result.best()
+        if not any(o.label == "s1WC->s2RC" for o in best.realized):
+            pytest.skip("best plan does not pipeline C")
+        plan = Plan(999, Schedule.original(prog), best.realized, best.cost)
+        with pytest.raises(ScheduleError, match="not co-scheduled"):
+            check_realization(prog, P, plan)
+
+    def test_original_plan_is_fine(self, prog, result):
+        verify_plan(prog, P, result.original_plan, result.analysis)

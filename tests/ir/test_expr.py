@@ -1,0 +1,106 @@
+"""Unit tests for affine expressions and the mini-parser."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ProgramError
+from repro.ir import AffineExpr, affine
+from repro.polyhedral import Space
+
+
+class TestParsing:
+    def test_single_var(self):
+        assert affine("i") == AffineExpr.var("i")
+
+    def test_constant(self):
+        assert affine("42") == AffineExpr.constant(42)
+
+    def test_sum_and_difference(self):
+        e = affine("n1 - 1 - i")
+        assert e.coeffs == {"n1": 1, "i": -1}
+        assert e.const == -1
+
+    def test_scaled_var(self):
+        e = affine("2*k + 3")
+        assert e.coeffs == {"k": 2}
+        assert e.const == 3
+
+    def test_parentheses(self):
+        e = affine("2*(i - 1) + j")
+        assert e.coeffs == {"i": 2, "j": 1}
+        assert e.const == -2
+
+    def test_leading_minus(self):
+        assert affine("-i").coeffs == {"i": -1}
+
+    def test_primed_names(self):
+        e = affine("i' - i")
+        assert e.coeffs == {"i'": 1, "i": -1}
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProgramError):
+            affine("i @ j")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ProgramError):
+            affine("(i + 1")
+
+    def test_nonlinear_rejected(self):
+        with pytest.raises(ProgramError):
+            affine("i * j")
+
+
+class TestArithmetic:
+    def test_add(self):
+        e = affine("i") + affine("j") + 2
+        assert e.coeffs == {"i": 1, "j": 1}
+        assert e.const == 2
+
+    def test_sub_cancels(self):
+        e = affine("i") - affine("i")
+        assert e.is_constant() and e.const == 0
+
+    def test_mul_scalar(self):
+        e = affine("i + 1") * 3
+        assert e.coeffs == {"i": 3} and e.const == 3
+
+    def test_rsub(self):
+        e = 5 - affine("i")
+        assert e.coeffs == {"i": -1} and e.const == 5
+
+    def test_mul_by_constant_expr(self):
+        e = affine("i") * affine("3")
+        assert e.coeffs == {"i": 3}
+
+
+class TestEvaluation:
+    def test_evaluate(self):
+        e = affine("2*i - j + 1")
+        assert e.evaluate({"i": 3, "j": 4}) == 3
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(ProgramError):
+            affine("i").evaluate({})
+
+    def test_substitute(self):
+        e = affine("i + j").substitute({"i": affine("k + 1")})
+        assert e.coeffs == {"k": 1, "j": 1} and e.const == 1
+
+    def test_to_row(self):
+        space = Space(["i", "j"])
+        assert affine("2*j - 1").to_row(space) == [0, 2, -1]
+
+    def test_variables(self):
+        assert affine("i - j + n").variables() == {"i", "j", "n"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9),
+       st.integers(-5, 5), st.integers(-5, 5))
+def test_parse_evaluate_roundtrip(a, b, c, i, j):
+    text = f"{a}*i + {b}*j + {c}".replace("+ -", "- ")
+    e = affine(text)
+    assert e.evaluate({"i": i, "j": j}) == a * i + b * j + c

@@ -1,0 +1,166 @@
+"""Tests for the pseudo-code front end (Clan-role parser)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import reference_outputs
+from repro.exceptions import ProgramError
+from repro.ir.parser import ArraySpec, parse_program
+
+EXAMPLE1 = """
+for (i = 0; i < n1; ++i)
+  for (k = 0; k < n2; ++k)
+    C[i,k] = A[i,k] + B[i,k];   // s1
+for (i = 0; i < n1; ++i)
+  for (j = 0; j < n3; ++j)
+    for (k = 0; k < n2; ++k)
+      E[i,j] += C[i,k] * D[k,j];  // s2
+"""
+
+EXAMPLE1_ARRAYS = {
+    "A": ArraySpec(("n1", "n2"), (6, 4)),
+    "B": ArraySpec(("n1", "n2"), (6, 4)),
+    "C": ArraySpec(("n1", "n2"), (6, 4), kind="intermediate"),
+    "D": ArraySpec(("n2", "n3"), (4, 5)),
+    "E": ArraySpec(("n1", "n3"), (6, 5), kind="output"),
+}
+
+
+@pytest.fixture(scope="module")
+def example1():
+    return parse_program("example1", EXAMPLE1, ("n1", "n2", "n3"),
+                         EXAMPLE1_ARRAYS)
+
+
+class TestExample1Parse:
+    def test_statements(self, example1):
+        assert [s.name for s in example1.statements] == ["s1", "s2"]
+        assert example1.statement("s1").kernel == "add"
+        assert example1.statement("s2").kernel == "gemm_nn"
+
+    def test_depths(self, example1):
+        assert example1.statement("s1").depth == 2
+        assert example1.statement("s2").depth == 3
+
+    def test_accumulator_guard(self, example1):
+        """E's self-read exists only for k >= 1 (footnote 1)."""
+        s2 = example1.statement("s2")
+        e_reads = [a for a in s2.reads if a.array.name == "E"]
+        assert len(e_reads) == 1
+        dom = e_reads[0].domain().bind({"n1": 1, "n2": 3, "n3": 1})
+        assert sorted(p[2] for p in dom.integer_points()) == [1, 2]
+
+    def test_semantics_match_builder_version(self, example1):
+        params = {"n1": 2, "n2": 2, "n3": 2}
+        rng = np.random.default_rng(0)
+        inputs = {n: rng.standard_normal(example1.arrays[n].shape_elems(params))
+                  for n in ("A", "B", "D")}
+        out = reference_outputs(example1, params, inputs)
+        assert np.allclose(out["E"], (inputs["A"] + inputs["B"]) @ inputs["D"])
+
+    def test_optimizer_runs_on_parsed_program(self, example1):
+        from repro import optimize
+        result = optimize(example1, {"n1": 2, "n2": 2, "n3": 1})
+        assert len(result.plans) >= 8
+        assert set(result.best().realized_labels) == {
+            "s1WC->s2RC", "s2WE->s2RE", "s2WE->s2WE"}
+
+
+class TestSyntaxForms:
+    def test_le_bound_and_braces(self):
+        src = """
+        for (i = 0; i <= n - 1; ++i) {
+          Y[i] = X[i];
+        }
+        """
+        prog = parse_program("p", src, ("n",),
+                             {"X": ArraySpec(("n",), (4,)),
+                              "Y": ArraySpec(("n",), (4,), kind="output")})
+        dom = prog.statement("s1").domain.bind({"n": 3})
+        assert dom.count_integer_points() == 3
+
+    def test_if_guard(self):
+        src = """
+        for (i = 0; i < n; ++i)
+          if (i >= 2 && i < n - 1)
+            Y[i] = X[i];
+        """
+        prog = parse_program("p", src, ("n",),
+                             {"X": ArraySpec(("n",), (4,)),
+                              "Y": ArraySpec(("n",), (4,), kind="output")})
+        dom = prog.statement("s1").domain.bind({"n": 6})
+        assert sorted(p[0] for p in dom.integer_points()) == [2, 3, 4]
+
+    def test_if_equality(self):
+        src = """
+        for (i = 0; i < n; ++i)
+          if (i == 0)
+            Y[i] = X[i];
+        """
+        prog = parse_program("p", src, ("n",),
+                             {"X": ArraySpec(("n",), (4,)),
+                              "Y": ArraySpec(("n",), (4,), kind="output")})
+        dom = prog.statement("s1").domain.bind({"n": 6})
+        assert dom.count_integer_points() == 1
+
+    def test_reverse_subscripts(self):
+        src = """
+        for (i = 0; i < n; ++i) {
+          A[i] = B[i];          // s1
+          C[i] = A[n - 1 - i];  // s2
+        }
+        """
+        prog = parse_program("rev", src, ("n",),
+                             {"A": ArraySpec(("n",), (4,), kind="intermediate"),
+                              "B": ArraySpec(("n",), (4,)),
+                              "C": ArraySpec(("n",), (4,), kind="output")})
+        (a_read,) = prog.statement("s2").reads
+        assert a_read.block_at((1,), {"n": 5}) == (3,)
+
+    def test_plus_equals_single_operand(self):
+        src = """
+        for (k = 0; k < n; ++k)
+          S[0] += X[k];
+        """
+        prog = parse_program("sum", src, ("n",),
+                             {"X": ArraySpec(("n",), (4,)),
+                              "S": ArraySpec((1,), (4,), kind="output")})
+        assert prog.statement("s1").kernel == "copy_acc"
+        params = {"n": 3}
+        x = np.arange(12.0)
+        out = reference_outputs(prog, params, {"X": x})
+        assert np.allclose(out["S"], x[0:4] + x[4:8] + x[8:12])
+
+
+class TestParserErrors:
+    def test_undeclared_array(self):
+        with pytest.raises(ProgramError):
+            parse_program("p", "Z[0] = Z[0];", (), {})
+
+    def test_unsupported_comparison(self):
+        src = "for (i = n; i > 0; ++i) Y[i] = Y[i];"
+        with pytest.raises(ProgramError):
+            parse_program("p", src, ("n",),
+                          {"Y": ArraySpec(("n",), (4,), kind="output")})
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProgramError):
+            parse_program("p", "for @ (", ("n",), {})
+
+    def test_multi_reduction_plus_equals_rejected(self):
+        src = """
+        for (i = 0; i < n; ++i)
+          for (j = 0; j < n; ++j)
+            S[0] += X[i,j];
+        """
+        with pytest.raises(ProgramError):
+            parse_program("p", src, ("n",),
+                          {"X": ArraySpec(("n", "n"), (2, 2)),
+                           "S": ArraySpec((1,), (2,), kind="output")})
+
+    def test_division_rejected(self):
+        src = "for (i = 0; i < n; ++i) Y[i] = X[i] / X[i];"
+        with pytest.raises(ProgramError):
+            parse_program("p", src, ("n",),
+                          {"X": ArraySpec(("n",), (4,)),
+                           "Y": ArraySpec(("n",), (4,), kind="output")})

@@ -1,0 +1,156 @@
+"""Unit tests for the program IR and the builder DSL (Example 1 shapes)."""
+
+import pytest
+
+from repro.exceptions import ProgramError
+from repro.ir import AccessType, ArrayKind, ProgramBuilder
+from repro.polyhedral import Space
+from tests.fixtures import example1_program, reverse_access_program
+
+
+class TestExample1Shape:
+    def setup_method(self):
+        self.prog = example1_program()
+
+    def test_statements(self):
+        assert [s.name for s in self.prog.statements] == ["s1", "s2"]
+
+    def test_depths(self):
+        assert self.prog.statement("s1").depth == 2
+        assert self.prog.statement("s2").depth == 3
+        assert self.prog.max_depth == 3
+
+    def test_domain_of_s1(self):
+        s1 = self.prog.statement("s1")
+        dom = s1.domain.bind({"n1": 3, "n2": 2, "n3": 1})
+        assert sorted(dom.integer_points()) == [
+            (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def test_one_write_per_statement(self):
+        for s in self.prog.statements:
+            assert sum(a.is_write for a in s.accesses) == 1
+
+    def test_guarded_read_of_e(self):
+        s2 = self.prog.statement("s2")
+        e_reads = [a for a in s2.reads if a.array.name == "E"]
+        assert len(e_reads) == 1
+        dom = e_reads[0].domain().bind({"n1": 1, "n2": 3, "n3": 1})
+        # k >= 1 only
+        assert sorted(dom.integer_points()) == [(0, 0, 1), (0, 0, 2)]
+
+    def test_access_block_at(self):
+        s2 = self.prog.statement("s2")
+        d_read = next(a for a in s2.reads if a.array.name == "D")
+        assert d_read.block_at((4, 2, 7), {"n1": 9, "n2": 9, "n3": 9}) == (7, 2)
+
+    def test_positions_are_textual_order(self):
+        s1, s2 = self.prog.statements
+        assert s1.position == (0, 0, 0)
+        assert s2.position == (1, 0, 0, 0)
+
+    def test_array_geometry(self):
+        a = self.prog.arrays["A"]
+        params = {"n1": 12, "n2": 12, "n3": 1}
+        assert a.num_blocks(params) == (12, 12)
+        assert a.total_blocks(params) == 144
+        assert a.block_bytes == 60 * 40 * 8
+        assert a.shape_elems(params) == (720, 480)
+
+    def test_kinds(self):
+        assert self.prog.arrays["C"].kind is ArrayKind.INTERMEDIATE
+        assert self.prog.arrays["E"].kind is ArrayKind.OUTPUT
+        assert self.prog.arrays["A"].kind is ArrayKind.INPUT
+
+    def test_validate_passes(self):
+        self.prog.validate()
+
+
+class TestBuilderErrors:
+    def test_two_writes_rejected(self):
+        from repro.ir.program import Access, Array, Statement
+        from repro.polyhedral import Polyhedron, Space
+        arr = Array("X", dims=[4], block_shape=(4,))
+        dom = Polyhedron.box(Space(["i"]), {"i": (0, 3)})
+        w1 = Access(arr, AccessType.WRITE, ["i"])
+        w2 = Access(arr, AccessType.WRITE, ["i"])
+        with pytest.raises(ProgramError):
+            Statement("s", ["i"], dom, [w1, w2])
+
+    def test_shadowed_loop_var_rejected(self):
+        b = ProgramBuilder("bad", params=("n",))
+        with pytest.raises(ProgramError):
+            with b.loop("i", 0, "n"):
+                with b.loop("i", 0, "n"):
+                    pass
+
+    def test_loop_var_collides_with_param(self):
+        b = ProgramBuilder("bad", params=("n",))
+        with pytest.raises(ProgramError):
+            with b.loop("n", 0, 5):
+                pass
+
+    def test_duplicate_array_rejected(self):
+        b = ProgramBuilder("bad", params=("n",))
+        b.array("X", dims=("n",), block_shape=(4,))
+        with pytest.raises(ProgramError):
+            b.array("X", dims=("n",), block_shape=(4,))
+
+    def test_build_with_open_loop_rejected(self):
+        b = ProgramBuilder("bad", params=("n",))
+        cm = b.loop("i", 0, "n")
+        cm.__enter__()
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_out_of_scope_subscript_rejected(self):
+        b = ProgramBuilder("bad", params=("n",))
+        x = b.array("X", dims=("n",), block_shape=(4,))
+        with pytest.raises(ProgramError):
+            with b.loop("i", 0, "n"):
+                b.statement("s", write=x["q"])  # q is not in scope
+            b.build()
+
+    def test_subscript_rank_mismatch(self):
+        b = ProgramBuilder("bad", params=("n",))
+        x = b.array("X", dims=("n", "n"), block_shape=(4, 4))
+        with pytest.raises(ProgramError):
+            with b.loop("i", 0, "n"):
+                b.statement("s", write=x["i"])
+
+
+class TestGuardContext:
+    def test_guard_restricts_domain(self):
+        b = ProgramBuilder("guarded", params=("n",))
+        x = b.array("X", dims=("n",), block_shape=(4,), kind="output")
+        with b.loop("i", 0, "n"):
+            with b.guard("i - 2"):  # i >= 2
+                b.statement("s", kernel="touch", write=x["i"])
+        prog = b.build()
+        dom = prog.statement("s").domain.bind({"n": 5})
+        assert sorted(dom.integer_points()) == [(2,), (3,), (4,)]
+
+    def test_guard_is_scoped(self):
+        b = ProgramBuilder("guarded", params=("n",))
+        x = b.array("X", dims=("n",), block_shape=(4,), kind="output")
+        with b.loop("i", 0, "n"):
+            with b.guard("i - 2"):
+                b.statement("s1", kernel="touch", write=x["i"])
+            b.statement("s2", kernel="touch", write=x["i"])
+        prog = b.build()
+        assert prog.statement("s2").domain.bind({"n": 5}).count_integer_points() == 5
+
+
+class TestReverseProgram:
+    def test_builds(self):
+        prog = reverse_access_program()
+        assert len(prog.statements) == 2
+        s1, s2 = prog.statements
+        # Same loop: positions share the loop beta, differ in trailing slot.
+        assert s1.position == (0, 0)
+        assert s2.position == (0, 1)
+
+    def test_reverse_subscript(self):
+        prog = reverse_access_program()
+        s2 = prog.statement("s2")
+        (a_read,) = s2.reads
+        assert a_read.block_at((1,), {"n": 5}) == (3,)

@@ -1,0 +1,129 @@
+"""Unit tests for schedules: original 2d+1 form, evaluation, precedence."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.exceptions import ScheduleError
+from repro.ir import AffineExpr, Schedule, affine, lex_less, precedence_disjuncts
+from repro.polyhedral import Polyhedron, Space
+from tests.fixtures import example1_program
+
+PARAMS = {"n1": 3, "n2": 2, "n3": 2}
+
+
+class TestOriginalSchedule:
+    def setup_method(self):
+        self.prog = example1_program()
+        self.sched = Schedule.original(self.prog)
+
+    def test_row_counts(self):
+        assert len(self.sched.rows["s1"]) == 5   # 2d+1, d=2
+        assert len(self.sched.rows["s2"]) == 7   # 2d+1, d=3
+
+    def test_time_vectors_order_statements(self):
+        s1 = self.prog.statement("s1")
+        s2 = self.prog.statement("s2")
+        t1 = self.sched.time_vector(s1, (2, 1), PARAMS)     # last s1 instance
+        t2 = self.sched.time_vector(s2, (0, 0, 0), PARAMS)  # first s2 instance
+        assert lex_less(t1, t2)
+        assert not lex_less(t2, t1)
+
+    def test_time_vectors_within_statement(self):
+        s2 = self.prog.statement("s2")
+        a = self.sched.time_vector(s2, (0, 0, 1), PARAMS)
+        b = self.sched.time_vector(s2, (0, 1, 0), PARAMS)
+        assert lex_less(a, b)
+
+    def test_access_micro_ordering(self):
+        """Within one instance the write happens after the reads."""
+        s2 = self.prog.statement("s2")
+        write = s2.write
+        read = s2.reads[0]
+        tw = self.sched.access_time_vector(write, (0, 0, 0), PARAMS)
+        tr = self.sched.access_time_vector(read, (0, 0, 0), PARAMS)
+        assert lex_less(tr, tw)
+
+    def test_equal_vectors_not_less(self):
+        s1 = self.prog.statement("s1")
+        t = self.sched.time_vector(s1, (1, 1), PARAMS)
+        assert not lex_less(t, t)
+
+
+class TestRowsInSpace:
+    def test_renaming_into_product_space(self):
+        prog = example1_program()
+        sched = Schedule.original(prog)
+        s1 = prog.statement("s1")
+        space = Space(["src_i", "src_k", "n1", "n2", "n3"])
+        rows = sched.rows_in_space(s1, space, rename={"i": "src_i", "k": "src_k"})
+        assert len(rows) == 5
+        # Row 1 is the i row: coefficient 1 on src_i.
+        assert rows[1][space.index("src_i")] == 1
+        assert rows[1][space.index("src_k")] == 0
+
+    def test_micro_row_appended(self):
+        prog = example1_program()
+        sched = Schedule.original(prog)
+        s1 = prog.statement("s1")
+        space = Space(["i", "k", "n1", "n2", "n3"])
+        rows = sched.rows_in_space(s1, space, micro=1)
+        assert len(rows) == 6
+        assert rows[-1][-1] == 1
+        assert all(v == 0 for v in rows[-1][:-1])
+
+
+class TestPrecedenceDisjuncts:
+    def _space(self):
+        return Space(["i", "ip"])
+
+    def _rows(self, exprs, space):
+        out = []
+        for e in exprs:
+            row = [Fraction(0)] * (space.dim + 1)
+            for name, c in affine(e).coeffs.items():
+                row[space.index(name)] = c
+            row[-1] = affine(e).const
+            out.append(row)
+        return out
+
+    def test_beta_decides_immediately(self):
+        space = self._space()
+        src = self._rows(["0", "i"], space)
+        tgt = self._rows(["1", "ip"], space)
+        # 0 < 1 at depth 0 with empty prefix: unconditionally ordered
+        assert precedence_disjuncts(src, tgt) is None
+
+    def test_beta_blocks_immediately(self):
+        space = self._space()
+        src = self._rows(["1", "i"], space)
+        tgt = self._rows(["0", "ip"], space)
+        assert precedence_disjuncts(src, tgt) == []
+
+    def test_equal_betas_fall_through(self):
+        space = self._space()
+        src = self._rows(["0", "i", "0"], space)
+        tgt = self._rows(["0", "ip", "1"], space)
+        disjuncts = precedence_disjuncts(src, tgt)
+        # depth 1: i < ip (one ineq); depth 2: i = ip and 0 < 1 (constant true)
+        assert len(disjuncts) == 2
+        d1, d2 = disjuncts
+        assert d1.ineqs and not d1.eqs
+        assert d2.eqs and not d2.ineqs
+
+    def test_same_statement_strict(self):
+        space = self._space()
+        src = self._rows(["0", "i", "0"], space)
+        tgt = self._rows(["0", "ip", "0"], space)
+        disjuncts = precedence_disjuncts(src, tgt)
+        # Only depth 1 can be strict; depth 2 equality-only prefix yields
+        # nothing (constants equal, no strict possible).
+        assert len(disjuncts) == 1
+        poly = Polyhedron(space, eqs=disjuncts[0].eqs, ineqs=disjuncts[0].ineqs)
+        assert poly.contains_point([0, 1])
+        assert not poly.contains_point([1, 1])
+        assert not poly.contains_point([2, 1])
+
+    def test_ambiguous_prefix_raises(self):
+        with pytest.raises(ScheduleError):
+            lex_less((Fraction(1),), (Fraction(1), Fraction(2)))

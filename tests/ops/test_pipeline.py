@@ -1,0 +1,144 @@
+"""Unit tests for the operator library (Pipeline) and canned programs."""
+
+import numpy as np
+import pytest
+
+from repro.engine import reference_outputs
+from repro.exceptions import ProgramError
+from repro.ir import ArrayKind
+from repro.ops import (Pipeline, add_multiply_program, linreg_program,
+                       two_matmul_program)
+
+
+class TestPipelineStructure:
+    def test_add_multiply_matches_example1(self):
+        prog = add_multiply_program()
+        assert [s.name for s in prog.statements] == ["s1", "s2"]
+        assert prog.statement("s1").kernel == "add"
+        assert prog.statement("s2").kernel == "gemm_nn"
+        assert prog.statement("s2").depth == 3
+
+    def test_intermediate_and_output_kinds(self):
+        prog = add_multiply_program()
+        assert prog.arrays["C"].kind is ArrayKind.INTERMEDIATE
+        assert prog.arrays["E"].kind is ArrayKind.OUTPUT
+
+    def test_linreg_is_seven_flat_loops(self):
+        """The paper: 'a sequence of 7 loop nests' — trivial unit-extent
+        dimensions must not become loops."""
+        prog = linreg_program()
+        depths = [s.depth for s in prog.statements]
+        assert len(prog.statements) == 7
+        assert depths == [1, 1, 0, 0, 1, 1, 1]
+
+    def test_linreg_kernels(self):
+        prog = linreg_program()
+        kernels = [s.kernel for s in prog.statements]
+        assert kernels == ["syrk_tn", "gemm_tn", "inverse", "gemm_nn",
+                           "gemm_nn", "sub", "colsumsq_acc"]
+
+    def test_syrk_single_read(self):
+        """X'X with a 1x1 result grid reads X once per instance."""
+        prog = linreg_program()
+        s1 = prog.statement("s1")
+        x_reads = [a for a in s1.reads if a.array.name == "X"]
+        assert len(x_reads) == 1
+
+    def test_accumulator_read_guarded(self):
+        prog = linreg_program()
+        s1 = prog.statement("s1")
+        u_reads = [a for a in s1.reads if a.array.name == "U"]
+        assert len(u_reads) == 1
+        assert u_reads[0].guard  # k >= 1
+
+    def test_two_matmul_share_a(self):
+        prog = two_matmul_program((80, 70), (70, 30), (70, 30))
+        a_readers = {a.statement.name for a in prog.all_accesses()
+                     if a.array.name == "A" and not a.is_write}
+        assert a_readers == {"s1", "s2"}
+
+
+class TestPipelineErrors:
+    def test_matmul_dim_mismatch(self):
+        p = Pipeline("bad", params=("n",))
+        a = p.input("A", blocks=("n", "n"), block_shape=(4, 4))
+        b = p.input("B", blocks=("n", "n"), block_shape=(5, 5))
+        with pytest.raises(ProgramError):
+            p.matmul(a, b)
+
+    def test_elementwise_geometry_mismatch(self):
+        p = Pipeline("bad", params=("n",))
+        a = p.input("A", blocks=("n", "n"), block_shape=(4, 4))
+        b = p.input("B", blocks=("n", 1), block_shape=(4, 4))
+        with pytest.raises(ProgramError):
+            p.add(a, b)
+
+    def test_double_transpose_rejected(self):
+        p = Pipeline("bad", params=("n",))
+        a = p.input("A", blocks=("n", "n"), block_shape=(4, 4))
+        with pytest.raises(ProgramError):
+            p.matmul(a, a, transpose_a=True, transpose_b=True)
+
+    def test_inverse_needs_single_block(self):
+        p = Pipeline("bad", params=("n",))
+        a = p.input("A", blocks=("n", "n"), block_shape=(4, 4))
+        with pytest.raises(ProgramError):
+            p.inverse(a)
+
+    def test_rss_needs_single_block_column(self):
+        p = Pipeline("bad", params=("n",))
+        a = p.input("A", blocks=("n", "n"), block_shape=(4, 4))
+        with pytest.raises(ProgramError):
+            p.rss(a)
+
+
+class TestSemantics:
+    """Reference-interpret each canned program and compare with numpy."""
+
+    def test_add_multiply(self):
+        prog = add_multiply_program(block_rows=6, block_cols=4, d_cols=5)
+        params = {"n1": 2, "n2": 3, "n3": 2}
+        rng = np.random.default_rng(0)
+        inputs = {n: rng.standard_normal(prog.arrays[n].shape_elems(params))
+                  for n in ("A", "B", "D")}
+        out = reference_outputs(prog, params, inputs)
+        assert np.allclose(out["E"], (inputs["A"] + inputs["B"]) @ inputs["D"])
+
+    def test_two_matmul(self):
+        prog = two_matmul_program((6, 5), (5, 4), (5, 3))
+        params = {"n1": 2, "n2": 2, "n3": 2, "n4": 2}
+        rng = np.random.default_rng(1)
+        inputs = {n: rng.standard_normal(prog.arrays[n].shape_elems(params))
+                  for n in ("A", "B", "D")}
+        out = reference_outputs(prog, params, inputs)
+        assert np.allclose(out["C"], inputs["A"] @ inputs["B"])
+        assert np.allclose(out["E"], inputs["A"] @ inputs["D"])
+
+    def test_linreg_against_lstsq(self):
+        prog = linreg_program(x_block=(30, 5), y_cols=2)
+        params = {"n": 4}
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal(prog.arrays["X"].shape_elems(params))
+        Y = rng.standard_normal(prog.arrays["Y"].shape_elems(params))
+        out = reference_outputs(prog, params, {"X": X, "Y": Y})
+        beta, *_ = np.linalg.lstsq(X, Y, rcond=None)
+        assert np.allclose(out["Bhat"], beta, atol=1e-8)
+        rss = ((Y - X @ beta) ** 2).sum(axis=0, keepdims=True)
+        assert np.allclose(out["R"], rss)
+
+    def test_transpose_flags(self):
+        p = Pipeline("t", params=("n",))
+        a = p.input("A", blocks=("n", "n"), block_shape=(3, 3))
+        b = p.input("B", blocks=("n", "n"), block_shape=(3, 3))
+        c = p.matmul(a, b, transpose_a=True, name="C")
+        d = p.matmul(a, b, transpose_b=True, name="D")
+        p.mark_output(c)
+        p.mark_output(d)
+        prog = p.build()
+        params = {"n": 2}
+        rng = np.random.default_rng(3)
+        am = rng.standard_normal((6, 6))
+        bm = rng.standard_normal((6, 6))
+        out = reference_outputs(prog, params, {"A": am, "B": bm})
+        assert np.allclose(out["C"], am.T @ bm)
+        assert np.allclose(out["D"], am @ bm.T)

@@ -1,0 +1,148 @@
+"""Tests for the relational / Pig-style operators (Sections 4.1 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro import optimize, run_program
+from repro.analysis import analyze
+from repro.engine import reference_outputs, run_kernel
+from repro.exceptions import ProgramError
+from repro.ops import RelationalPipeline
+
+
+def make_tables(rows_per_block=8, cols=3, blocks_r=3, blocks_s=2, seed=0):
+    rng = np.random.default_rng(seed)
+    r = np.floor(rng.uniform(0, 10, size=(rows_per_block * blocks_r, cols)))
+    s = np.floor(rng.uniform(0, 10, size=(rows_per_block * blocks_s, cols)))
+    # Avoid all-zero rows (the join's filtered-row sentinel).
+    r[:, 0] += 1
+    s[:, 0] += 1
+    return r, s
+
+
+class TestKernels:
+    def test_filter_ge_zeroes_rows(self):
+        blk = np.array([[5.0, 1.0], [2.0, 7.0], [9.0, 3.0]])
+        out = run_kernel("filter_ge", [blk], (3, 2),
+                         {"column": 0, "threshold": 4.0})
+        assert np.array_equal(out[0], blk[0])
+        assert np.array_equal(out[1], [0.0, 0.0])
+        assert np.array_equal(out[2], blk[2])
+
+    def test_foreach_affine(self):
+        blk = np.ones((2, 2))
+        out = run_kernel("foreach_affine", [blk], (2, 2),
+                         {"scale": 3.0, "shift": 1.0})
+        assert np.array_equal(out, np.full((2, 2), 4.0))
+
+    def test_colsum_acc(self):
+        blk = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = run_kernel("colsum_acc", [blk], (1, 2), {})
+        assert np.array_equal(out, [[4.0, 6.0]])
+
+    def test_join_count(self):
+        r = np.array([[1.0, 0.0], [2.0, 0.0], [2.0, 0.0]])
+        s = np.array([[2.0, 9.0], [3.0, 9.0]])
+        out = run_kernel("join_count", [r, s], (1, 1),
+                         {"left_key": 0, "right_key": 0})
+        assert out[0, 0] == 2.0
+
+    def test_join_ignores_filtered_rows(self):
+        r = np.array([[2.0, 1.0], [0.0, 0.0]])  # second row filtered out
+        s = np.array([[2.0, 5.0]])
+        out = run_kernel("join_count", [r, s], (1, 1), {})
+        assert out[0, 0] == 1.0
+
+
+class TestPipelineSemantics:
+    def test_scan_filter_aggregate(self):
+        p = RelationalPipeline("q1", params=("n",))
+        t = p.table("T", "n", block_rows=8, columns=3)
+        f = p.filter(t, column=0, threshold=5.0, name="F")
+        agg = p.aggregate(f, name="S")
+        p.mark_output(agg)
+        prog = p.build()
+        params = {"n": 3}
+        r, _ = make_tables()
+        out = reference_outputs(prog, params, {"T": r})
+        expected = r[r[:, 0] >= 5.0].sum(axis=0, keepdims=True)
+        assert np.allclose(out["S"], expected)
+
+    def test_nested_loop_join_counts(self):
+        p = RelationalPipeline("q2", params=("nr", "ns"))
+        r = p.table("R", "nr", block_rows=8, columns=3)
+        s = p.table("S", "ns", block_rows=8, columns=3)
+        j = p.nested_loop_join(r, s, name="J")
+        p.mark_output(j)
+        prog = p.build()
+        params = {"nr": 3, "ns": 2}
+        rm, sm = make_tables()
+        out = reference_outputs(prog, params, {"R": rm, "S": sm})
+        total = out["J"].sum()
+        expected = float(np.sum(rm[:, 0][:, None] == sm[:, 0][None, :]))
+        assert total == expected
+
+    def test_filter_column_out_of_range(self):
+        p = RelationalPipeline("bad", params=("n",))
+        t = p.table("T", "n", block_rows=4, columns=2)
+        with pytest.raises(ProgramError):
+            p.filter(t, column=5, threshold=0.0)
+
+
+class TestSharedScanOptimization:
+    """Two consumers of one table share its scan — the QPipe/cooperative-scan
+    effect, obtained by plan transformation instead of runtime detection."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        p = RelationalPipeline("q3", params=("n",))
+        t = p.table("T", "n", block_rows=8, columns=3)
+        s1 = p.aggregate(t, name="S1")
+        s2 = p.filter(t, column=1, threshold=5.0, name="F")
+        s3 = p.aggregate(s2, name="S2")
+        p.mark_output(s1)
+        p.mark_output(s3)
+        prog = p.build()
+        params = {"n": 4}
+        result = optimize(prog, params)
+        return prog, params, result
+
+    def test_scan_sharing_found(self, setup):
+        prog, params, result = setup
+        labels = {o.label for o in result.analysis.opportunities}
+        assert "s1RT->s2RT" in labels  # the shared scan of T
+
+    def test_best_plan_shares_the_scan(self, setup):
+        prog, params, result = setup
+        best = result.best()
+        assert "s1RT->s2RT" in best.realized_labels
+        t_bytes = prog.arrays["T"].block_bytes * 4
+        # T is read once, not twice.
+        assert best.cost.saved_read_bytes >= t_bytes
+
+    def test_best_plan_executes_correctly(self, setup, tmp_path):
+        prog, params, result = setup
+        rng = np.random.default_rng(3)
+        table = np.floor(rng.uniform(0, 10, size=(32, 3)))
+        report, out = run_program(prog, params, result.best(), tmp_path,
+                                  {"T": table})
+        assert np.allclose(out["S1"], table.sum(axis=0, keepdims=True))
+        keep = table[:, 1] >= 5.0
+        assert np.allclose(out["S2"], table[keep].sum(axis=0, keepdims=True))
+        assert report.io.read_bytes == result.best().cost.read_bytes
+
+    def test_nlj_inner_scan_sharing(self):
+        """NLJ: the inner table's blocks are re-read per outer block; the
+        optimizer finds the self R->R chain on S (and R pinning)."""
+        p = RelationalPipeline("q4", params=("nr", "ns"))
+        r = p.table("R", "nr", block_rows=8, columns=2)
+        s = p.table("S", "ns", block_rows=8, columns=2)
+        j = p.nested_loop_join(r, s, name="J")
+        p.mark_output(j)
+        prog = p.build()
+        result = optimize(prog, {"nr": 3, "ns": 3})
+        labels = {o.label for o in result.analysis.opportunities}
+        assert "s1RS->s1RS" in labels
+        assert "s1RR->s1RR" in labels
+        best = result.best()
+        assert best.cost.saved_read_bytes > 0

@@ -1,0 +1,131 @@
+"""Unit tests for the cost evaluator (Section 5.4)."""
+
+import pytest
+
+from repro.analysis import ConcreteAnalyzer, analyze
+from repro.ir import Schedule
+from repro.optimizer import IOModel, evaluate_plan, trace_plan
+from tests.fixtures import example1_program
+
+P = {"n1": 3, "n2": 2, "n3": 2}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def analysis(prog):
+    return analyze(prog, param_values=P)
+
+
+class TestIOModel:
+    def test_linear_time(self):
+        m = IOModel(read_bw=100, write_bw=50)
+        assert m.seconds(200, 100) == pytest.approx(2 + 2)
+
+    def test_default_paper_bandwidths(self):
+        m = IOModel()
+        assert m.seconds(96_000_000, 0) == pytest.approx(1.0)
+        assert m.seconds(0, 60_000_000) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            IOModel(read_bw=0)
+
+
+class TestBaselinePlan:
+    def test_baseline_matches_concrete_oracle(self, prog, analysis):
+        sched = Schedule.original(prog)
+        cost = evaluate_plan(prog, P, sched, [])
+        oracle = ConcreteAnalyzer(prog, P)
+        reads, writes = oracle.baseline_io_bytes()
+        assert cost.read_bytes == reads
+        assert cost.write_bytes == writes
+        assert cost.saved_read_bytes == 0
+        assert cost.saved_write_bytes == 0
+
+    def test_baseline_formula(self, prog):
+        """Paper Example 1 counting: A,B read once; C written once, read n3
+        times; D read n1 times; E written n2*n3 blocks' worth n2 times and
+        read (n2-1) times."""
+        sched = Schedule.original(prog)
+        cost = evaluate_plan(prog, P, sched, [])
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        ab = prog.arrays["A"].block_bytes
+        d = prog.arrays["D"].block_bytes
+        e = prog.arrays["E"].block_bytes
+        exp_reads = (2 * n1 * n2 * ab          # A and B once
+                     + n1 * n2 * n3 * ab       # C read per (i,j,k)
+                     + n1 * n2 * n3 * d        # D read per (i,j,k)
+                     + n1 * n3 * (n2 - 1) * e)  # E read for k >= 1
+        exp_writes = n1 * n2 * ab + n1 * n3 * n2 * e
+        assert cost.read_bytes == exp_reads
+        assert cost.write_bytes == exp_writes
+
+    def test_memory_is_per_instance_blocks(self, prog):
+        sched = Schedule.original(prog)
+        cost = evaluate_plan(prog, P, sched, [])
+        ab = prog.arrays["A"].block_bytes
+        d = prog.arrays["D"].block_bytes
+        e = prog.arrays["E"].block_bytes
+        # s2 touches C, D, E: the largest working set.
+        assert cost.memory_bytes == ab + d + e
+
+
+class TestRealizedSavings:
+    def test_we_re_pair_saves_e_reads(self, prog, analysis):
+        opp = analysis.opportunity("s2WE->s2RE")
+        sched = Schedule.original(prog)  # original order realizes self W->R
+        cost = evaluate_plan(prog, P, sched, [opp])
+        e = prog.arrays["E"].block_bytes
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        assert cost.saved_read_bytes == n1 * n3 * (n2 - 1) * e
+        # Memory: E block held across consecutive k.
+        base = evaluate_plan(prog, P, sched, [])
+        assert cost.memory_bytes >= base.memory_bytes
+
+    def test_ww_alone_yields_no_saving(self, prog, analysis):
+        """W->W without the covering W->R must not elide writes (the read in
+        between needs the disk copy) — the soundness downgrade."""
+        opp = analysis.opportunity("s2WE->s2WE")
+        sched = Schedule.original(prog)
+        cost = evaluate_plan(prog, P, sched, [opp])
+        assert cost.saved_write_bytes == 0
+
+    def test_ww_with_wr_saves_writes(self, prog, analysis):
+        ww = analysis.opportunity("s2WE->s2WE")
+        wr = analysis.opportunity("s2WE->s2RE")
+        sched = Schedule.original(prog)
+        cost = evaluate_plan(prog, P, sched, [ww, wr])
+        e = prog.arrays["E"].block_bytes
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        # All writes but the last per (i, j) are saved.
+        assert cost.saved_write_bytes == n1 * n3 * (n2 - 1) * e
+
+    def test_block_bytes_override_scales_costs(self, prog):
+        sched = Schedule.original(prog)
+        small = evaluate_plan(prog, P, sched, [])
+        big = evaluate_plan(prog, P, sched, [],
+                            block_bytes={n: a.block_bytes * 10
+                                         for n, a in prog.arrays.items()})
+        assert big.read_bytes == 10 * small.read_bytes
+        assert big.write_bytes == 10 * small.write_bytes
+        assert big.memory_bytes == 10 * small.memory_bytes
+
+
+class TestTrace:
+    def test_trace_event_count(self, prog):
+        sched = Schedule.original(prog)
+        trace = trace_plan(prog, P, sched, [])
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        s1_events = n1 * n2 * 3
+        s2_events = n1 * n3 * n2 * 3 + n1 * n3 * (n2 - 1)  # E read guarded
+        assert len(trace.events) == s1_events + s2_events
+
+    def test_trace_is_time_sorted(self, prog):
+        sched = Schedule.original(prog)
+        trace = trace_plan(prog, P, sched, [])
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)

@@ -1,0 +1,66 @@
+"""Tests for plan narration (describe_plan / per_array_io)."""
+
+import pytest
+
+from repro.optimizer import describe_plan, optimize, per_array_io
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+class TestPerArrayIO:
+    def test_plan0_counts(self, prog, result):
+        stats = per_array_io(prog, P, result.original_plan)
+        n1, n2, n3 = P["n1"], P["n2"], P["n3"]
+        assert stats["A"] == {"reads": n1 * n2, "reads_saved": 0, "writes": 0,
+                              "writes_saved": 0, "writes_elided": 0}
+        assert stats["C"]["writes"] == n1 * n2
+        assert stats["C"]["reads"] == n1 * n2 * n3
+        assert stats["E"]["writes"] == n1 * n3 * n2
+        assert stats["E"]["reads"] == n1 * n3 * (n2 - 1)
+
+    def test_best_plan_pipelines_c(self, prog, result):
+        stats = per_array_io(prog, P, result.best())
+        # C fully pipelined when n3 = 1: no disk traffic at all.
+        assert stats["C"]["reads"] == 0
+        assert stats["C"]["writes"] == 0
+        assert stats["C"]["writes_elided"] == P["n1"] * P["n2"]
+        assert stats["C"]["reads_saved"] == P["n1"] * P["n2"]
+
+    def test_best_plan_e_written_once_per_block(self, prog, result):
+        stats = per_array_io(prog, P, result.best())
+        assert stats["E"]["writes"] == P["n1"] * P["n3"]  # final value only
+        assert stats["E"]["reads"] == 0
+
+    def test_totals_reconcile_with_cost(self, prog, result):
+        for plan in result.plans:
+            stats = per_array_io(prog, P, plan)
+            read_bytes = sum(s["reads"] * prog.arrays[n].block_bytes
+                             for n, s in stats.items())
+            write_bytes = sum(s["writes"] * prog.arrays[n].block_bytes
+                              for n, s in stats.items())
+            assert read_bytes == plan.cost.read_bytes
+            assert write_bytes == plan.cost.write_bytes
+
+
+class TestDescribe:
+    def test_narration_mentions_pipelining(self, prog, result):
+        text = describe_plan(prog, P, result.best())
+        assert "elided (fully pipelined)" in text
+        assert "served from memory" in text
+        assert "realizes:" in text
+
+    def test_original_plan_marked(self, prog, result):
+        text = describe_plan(prog, P, result.original_plan)
+        assert "original program order" in text
+        assert "realizes:" not in text

@@ -1,0 +1,88 @@
+"""Tests for the parametric cost formulas (§5.4 Remark) and report helpers."""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.optimizer import (access_count_formula, opportunity_pair_formula,
+                             optimize, symbolic_io_report)
+from repro.report import plan_space_ascii, plan_space_csv, predicted_vs_actual_csv
+from tests.fixtures import example1_program
+
+PARAM_SETS = [{"n1": 1, "n2": 1, "n3": 1},
+              {"n1": 3, "n2": 4, "n3": 2},
+              {"n1": 2, "n2": 5, "n3": 1}]
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def symbolic_analysis(prog):
+    return analyze(prog)  # no bindings: formulas stay parametric
+
+
+class TestAccessFormulas:
+    def test_every_access_has_a_formula(self, prog):
+        for stmt in prog.statements:
+            for access in stmt.accesses:
+                f = access_count_formula(access, prog)
+                assert f is not None, repr(access)
+
+    @pytest.mark.parametrize("params", PARAM_SETS)
+    def test_formula_equals_domain_count(self, prog, params):
+        for stmt in prog.statements:
+            for access in stmt.accesses:
+                f = access_count_formula(access, prog)
+                brute = access.domain().bind(params).count_integer_points()
+                assert f.evaluate(params) == brute, repr(access)
+
+    def test_guarded_access_smaller(self, prog):
+        s2 = prog.statement("s2")
+        e_read = next(a for a in s2.reads if a.array.name == "E")
+        e_write = s2.write
+        fr = access_count_formula(e_read, prog)
+        fw = access_count_formula(e_write, prog)
+        params = {"n1": 3, "n2": 4, "n3": 2}
+        assert fr.evaluate(params) == fw.evaluate(params) - 3 * 2  # (n2-1) vs n2
+
+
+class TestOpportunityFormulas:
+    @pytest.mark.parametrize("params", PARAM_SETS)
+    def test_formulas_match_enumeration(self, symbolic_analysis, prog, params):
+        for opp in symbolic_analysis.opportunities:
+            f = opportunity_pair_formula(opp, prog)
+            if f is None:
+                continue  # outside the separable class: enumeration fallback
+            assert f.evaluate(params) == len(opp.savings_pairs(params)), opp.label
+
+    def test_some_formulas_exist(self, symbolic_analysis, prog):
+        formulas = [opportunity_pair_formula(o, prog)
+                    for o in symbolic_analysis.opportunities]
+        assert any(f is not None for f in formulas)
+
+    def test_report_renders(self, symbolic_analysis, prog):
+        text = symbolic_io_report(prog, symbolic_analysis)
+        assert "max(0, n1)" in text
+        assert "s1WC" in text
+
+
+class TestReportHelpers:
+    @pytest.fixture(scope="class")
+    def result(self, prog):
+        return optimize(prog, {"n1": 2, "n2": 2, "n3": 1})
+
+    def test_csv_has_all_plans(self, result):
+        csv = plan_space_csv(result)
+        assert csv.count("\n") == len(result.plans) + 1
+        assert "memory_bytes" in csv
+
+    def test_ascii_marks_best_and_original(self, result):
+        art = plan_space_ascii(result)
+        assert "*" in art and "0" in art
+        assert "legend" in art
+
+    def test_predicted_vs_actual_csv(self):
+        csv = predicted_vs_actual_csv([("plan 0", 1.0, 1.0, 0.1)])
+        assert "plan 0" in csv and csv.count("\n") == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the affine form of the Farkas lemma.
+
+The headline check reproduces the worked example from Section 5.2 of the
+paper: for the dependence s2WE -> s2WE of Example 1 (polyhedron i'=i, j'=j,
+k'=k+1), requiring theta.(i',j',k') - theta.(i,j,k) >= 1 must force gamma >= 1
+with alpha, beta free.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyPolyhedronError
+from repro.polyhedral import (Polyhedron, Space, SymbolicForm, farkas_equals_const,
+                              farkas_nonneg)
+
+
+def brute_force_check(poly_points, form, u_values):
+    return all(form.evaluate(u_values, pt) >= 0 for pt in poly_points)
+
+
+class TestPaperExample:
+    """Section 5.2 worked example: dependence s2WE -> s2WE."""
+
+    def setup_method(self):
+        # y = (i, j, k, i', j', k'); polyhedron: i'=i, j'=j, k'=k+1,
+        # plus a box to make it bounded (parameters bound in the paper too).
+        self.y = Space(["i", "j", "k", "ip", "jp", "kp"])
+        rows_eq = [
+            [-1, 0, 0, 1, 0, 0, 0],   # i' - i = 0
+            [0, -1, 0, 0, 1, 0, 0],   # j' - j = 0
+            [0, 0, -1, 0, 0, 1, -1],  # k' - k - 1 = 0
+        ]
+        box = {v: (0, 10) for v in self.y.names}
+        self.poly = Polyhedron.box(self.y, box).add_constraints(eqs=rows_eq)
+        # psi = alpha*(i'-i) + beta*(j'-j) + gamma*(k'-k) - 1  >= 0
+        self.form = SymbolicForm(self.y, terms={
+            "alpha": [-1, 0, 0, 1, 0, 0, 0],
+            "beta": [0, -1, 0, 0, 1, 0, 0],
+            "gamma": [0, 0, -1, 0, 0, 1, 0],
+        }, const=[0, 0, 0, 0, 0, 0, -1])
+        self.u = Space(["alpha", "beta", "gamma"])
+
+    def test_gamma_must_be_at_least_one(self):
+        result = farkas_nonneg(self.poly, self.form, self.u)
+        assert result.contains_point([0, 0, 1])      # gamma = 1 works
+        assert result.contains_point([5, -7, 2])     # alpha, beta free
+        assert not result.contains_point([0, 0, 0])  # gamma = 0 fails
+        assert not result.contains_point([1, 1, -1])
+
+    def test_result_matches_brute_force(self):
+        result = farkas_nonneg(self.poly, self.form, self.u)
+        pts = self.poly.integer_points()
+        for alpha in (-1, 0, 1):
+            for beta in (-1, 0, 1):
+                for gamma in (0, 1, 2):
+                    u = {"alpha": alpha, "beta": beta, "gamma": gamma}
+                    expected = brute_force_check(pts, self.form, u)
+                    assert result.contains_point([alpha, beta, gamma]) == expected
+
+
+class TestBasicForms:
+    def test_nonneg_on_box(self):
+        # For all x in [0, 5]: a*x + b >= 0  iff  b >= 0 and 5a + b >= 0
+        y = Space(["x"])
+        poly = Polyhedron.box(y, {"x": (0, 5)})
+        form = SymbolicForm(y, terms={"a": [1, 0]}, const=[0, 0])
+        form.add_term("b", [0, 1])
+        u = Space(["a", "b"])
+        result = farkas_nonneg(poly, form, u)
+        assert result.contains_point([0, 0])
+        assert result.contains_point([1, 0])
+        assert result.contains_point([-1, 5])
+        assert not result.contains_point([-1, 4])
+        assert not result.contains_point([0, -1])
+
+    def test_equals_const(self):
+        # For all x in [0, 5]: a*x + b == 3 forces a = 0, b = 3
+        y = Space(["x"])
+        poly = Polyhedron.box(y, {"x": (0, 5)})
+        form = SymbolicForm(y, terms={"a": [1, 0], "b": [0, 1]})
+        u = Space(["a", "b"])
+        result = farkas_equals_const(poly, form, u, 3)
+        assert result.contains_point([0, 3])
+        assert not result.contains_point([1, 3])
+        assert not result.contains_point([0, 2])
+
+    def test_empty_polyhedron_raises(self):
+        y = Space(["x"])
+        poly = Polyhedron.empty(y)
+        form = SymbolicForm(y, terms={"a": [1, 0]})
+        with pytest.raises(EmptyPolyhedronError):
+            farkas_nonneg(poly, form, Space(["a"]))
+
+    def test_point_domain(self):
+        # Singleton domain {x = 2}: a*x - 4 >= 0 iff 2a >= 4 iff a >= 2
+        y = Space(["x"])
+        poly = Polyhedron(y, eqs=[[1, -2]])
+        form = SymbolicForm(y, terms={"a": [1, 0]}, const=[0, -4])
+        result = farkas_nonneg(poly, form, Space(["a"]))
+        assert result.contains_point([2])
+        assert not result.contains_point([1])
+
+    def test_shift_and_negate(self):
+        y = Space(["x"])
+        form = SymbolicForm(y, terms={"a": [1, 0]}, const=[0, 1])
+        assert form.shift(2).const[-1] == 3
+        neg = form.negate()
+        assert neg.const[-1] == -1
+        assert neg.terms["a"] == [-1, 0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 6), st.integers(1, 6), st.integers(-3, 3), st.integers(-3, 3))
+def test_farkas_soundness_property(lo, width, a, b):
+    """Any (a, b) accepted by the Farkas result truly satisfies psi >= 0 on
+    every integer point; any rejected (a, b) violates it somewhere (on the
+    rationals; integers suffice here because the box has integer vertices)."""
+    y = Space(["x"])
+    poly = Polyhedron.box(y, {"x": (lo, lo + width)})
+    form = SymbolicForm(y, terms={"a": [1, 0], "b": [0, 1]})
+    result = farkas_nonneg(poly, form, Space(["a", "b"]))
+    truth = all(a * x + b >= 0 for x in range(lo, lo + width + 1))
+    assert result.contains_point([a, b]) == truth

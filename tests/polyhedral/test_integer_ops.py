@@ -1,0 +1,137 @@
+"""Additional coverage for integer operations: sampling, lexmin edge cases,
+redundancy, coalescing, and the small-point sampler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UnboundedError
+from repro.polyhedral import Polyhedron, PolyhedralSet, Space
+
+
+def box(names_bounds):
+    space = Space(list(names_bounds))
+    return Polyhedron.box(space, names_bounds)
+
+
+class TestSampleSmallIntegerPoint:
+    def test_simple_box(self):
+        p = box({"x": (-2, 2), "y": (-2, 2)})
+        pt = p.sample_small_integer_point()
+        assert pt is not None
+        assert p.contains_point(pt)
+
+    def test_prefers_small_l1(self):
+        p = box({"x": (1, 5)})
+        assert p.sample_small_integer_point() == (1,)
+
+    def test_equality_substitution(self):
+        # y = x + 3, x in [-1, 1]: reduced grid is 1-d.
+        space = Space(["x", "y"])
+        p = Polyhedron(space, eqs=[[1, -1, 3]],
+                       ineqs=[[1, 0, 1], [-1, 0, 1]])
+        pt = p.sample_small_integer_point()
+        assert pt is not None
+        x, y = pt
+        assert y == x + 3 and -1 <= x <= 1
+
+    def test_unbounded_returns_none(self):
+        p = Polyhedron(Space(["x"]), ineqs=[[1, 0]])  # x >= 0, no upper bound
+        assert p.sample_small_integer_point() is None
+
+    def test_empty_returns_none(self):
+        p = box({"x": (3, 1)})
+        assert p.sample_small_integer_point() is None
+
+    def test_infeasible_equality_chain(self):
+        # x = y, y = x + 1: contradiction found during substitution.
+        space = Space(["x", "y"])
+        p = Polyhedron(space, eqs=[[1, -1, 0], [1, -1, 1]],
+                       ineqs=[[1, 0, 5], [-1, 0, 5]])
+        assert p.sample_small_integer_point() is None
+
+    def test_nonnegative_tie_break(self):
+        p = box({"x": (-1, 1)})
+        # both -1 and 1 have |x| = 1; 0 has L1 = 0 and wins outright
+        assert p.sample_small_integer_point() == (0,)
+        q = p.add_constraints(ineqs=[[2, -1]])  # 2x >= 1 -> x >= 1
+        assert q.sample_small_integer_point() == (1,)
+
+
+class TestLexExtremes:
+    def test_lexmax_with_negative_coordinates(self):
+        p = box({"x": (-5, -2), "y": (0, 3)})
+        assert p.lexmin() == (-5, 0)
+        assert p.lexmax() == (-2, 3)
+
+    def test_lexmin_unbounded_raises(self):
+        p = Polyhedron(Space(["x"]), ineqs=[[-1, 0]])  # x <= 0
+        with pytest.raises(UnboundedError):
+            p.lexmin()
+
+    def test_lexmin_on_diagonal_strip(self):
+        # 0 <= x <= 5, x <= y <= x + 1
+        p = box({"x": (0, 5), "y": (0, 99)}).add_constraints(
+            ineqs=[[-1, 1, 0], [1, -1, 1]])
+        assert p.lexmin() == (0, 0)
+        assert p.lexmax() == (5, 6)
+
+
+class TestRedundancyAndHull:
+    def test_redundant_equalities_kept_consistent(self):
+        space = Space(["x", "y"])
+        p = Polyhedron(space, eqs=[[1, -1, 0], [2, -2, 0]],
+                       ineqs=[[1, 0, 0], [-1, 0, 4]])
+        assert p.count_integer_points() == 5
+
+    def test_remove_redundancy_idempotent(self):
+        p = box({"x": (0, 3)}).add_constraints(ineqs=[[1, 5], [1, 1]])
+        once = p.remove_redundancy()
+        twice = once.remove_redundancy()
+        assert once.ineqs == twice.ineqs
+
+    def test_remove_redundancy_of_empty(self):
+        p = box({"x": (3, 0)})
+        assert p.remove_redundancy().is_empty()
+
+    def test_affine_hull_of_segment(self):
+        # x + y = 4 implied by x+y >= 4 and x+y <= 4
+        space = Space(["x", "y"])
+        p = Polyhedron(space, ineqs=[[1, 1, -4], [-1, -1, 4], [1, 0, 0]])
+        hull = p.affine_hull_eqs()
+        assert any(tuple(r[:2]) in [(1, 1), (-1, -1)] for r in hull)
+
+
+class TestSetCoalesce:
+    def test_coalesce_keeps_one_of_equal_pair(self):
+        space = Space(["x"])
+        a = Polyhedron.box(space, {"x": (0, 3)})
+        b = Polyhedron.box(space, {"x": (0, 3)})
+        s = PolyhedralSet(space, [a, b]).coalesce()
+        assert len(s) == 1
+
+    def test_coalesce_preserves_points(self):
+        space = Space(["x"])
+        parts = [Polyhedron.box(space, {"x": (0, 5)}),
+                 Polyhedron.box(space, {"x": (2, 3)}),
+                 Polyhedron.box(space, {"x": (7, 8)})]
+        s = PolyhedralSet(space, parts)
+        assert set(s.coalesce().integer_points()) == set(s.integer_points())
+
+
+@settings(max_examples=30, deadline=None)
+@given(lo=st.integers(-4, 4), hi=st.integers(-4, 4), a=st.integers(-3, 3),
+       c=st.integers(-6, 6))
+def test_sample_small_point_is_always_valid(lo, hi, a, c):
+    """Whatever the sampler returns must lie in the polyhedron, and it must
+    find a point whenever simple enumeration does."""
+    space = Space(["x", "y"])
+    p = Polyhedron.box(space, {"x": (lo, hi), "y": (-3, 3)}).add_constraints(
+        ineqs=[[a, 1, c]])
+    pt = p.sample_small_integer_point()
+    brute = p.integer_points() if lo <= hi else []
+    if pt is not None:
+        assert p.contains_point(pt)
+        assert tuple(pt) in set(brute)
+    else:
+        assert not brute

@@ -1,0 +1,129 @@
+"""Unit tests for exact rational linear algebra."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.matrix import (RationalMatrix, normalize_integer_row,
+                                     row_gcd)
+
+
+class TestNormalizeIntegerRow:
+    def test_clears_denominators(self):
+        assert normalize_integer_row([Fraction(1, 2), Fraction(1, 3)]) == (3, 2)
+
+    def test_divides_gcd(self):
+        assert normalize_integer_row([4, 6, 8]) == (2, 3, 4)
+
+    def test_zero_row(self):
+        assert normalize_integer_row([0, 0]) == (0, 0)
+
+    def test_negative_values_preserved(self):
+        assert normalize_integer_row([-2, 4]) == (-1, 2)
+
+
+class TestRowGcd:
+    def test_simple(self):
+        assert row_gcd([4, 6]) == 2
+
+    def test_all_zero(self):
+        assert row_gcd([0, 0]) == 0
+
+    def test_coprime(self):
+        assert row_gcd([3, 5]) == 1
+
+
+class TestMatrixBasics:
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2], [1]])
+
+    def test_empty_needs_ncols(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([])
+        m = RationalMatrix([], ncols=3)
+        assert m.nrows == 0 and m.ncols == 3
+
+    def test_identity_matmul(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.matmul(RationalMatrix.identity(2)) == m
+
+    def test_matvec(self):
+        m = RationalMatrix([[1, 2], [3, 4]])
+        assert m.matvec([1, 1]) == (3, 7)
+
+    def test_transpose_involution(self):
+        m = RationalMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().transpose() == m
+
+
+class TestElimination:
+    def test_rank_full(self):
+        assert RationalMatrix([[1, 0], [0, 1]]).rank() == 2
+
+    def test_rank_deficient(self):
+        assert RationalMatrix([[1, 2], [2, 4]]).rank() == 1
+
+    def test_null_space_dim(self):
+        m = RationalMatrix([[1, 2, 3]])
+        basis = m.null_space()
+        assert len(basis) == 2
+        for vec in basis:
+            assert m.matvec(vec) == (0,)
+
+    def test_solve_consistent(self):
+        m = RationalMatrix([[2, 0], [0, 3]])
+        assert m.solve([4, 9]) == (2, 3)
+
+    def test_solve_inconsistent(self):
+        m = RationalMatrix([[1, 1], [1, 1]])
+        assert m.solve([1, 2]) is None
+
+    def test_solve_underdetermined(self):
+        m = RationalMatrix([[1, 1]])
+        x = m.solve([5])
+        assert x is not None
+        assert x[0] + x[1] == 5
+
+    def test_in_row_space(self):
+        m = RationalMatrix([[1, 0, 0], [0, 1, 0]])
+        assert m.in_row_space([2, 3, 0])
+        assert not m.in_row_space([0, 0, 1])
+
+    def test_inverse(self):
+        m = RationalMatrix([[2, 1], [1, 1]])
+        inv = m.inverse()
+        assert m.matmul(inv) == RationalMatrix.identity(2)
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ValueError):
+            RationalMatrix([[1, 2], [2, 4]]).inverse()
+
+    def test_row_space_basis_spans(self):
+        m = RationalMatrix([[1, 2], [3, 6], [0, 1]])
+        basis = RationalMatrix(m.row_space_basis())
+        assert basis.rank() == m.rank() == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.lists(st.integers(-6, 6), min_size=3, max_size=3),
+                min_size=1, max_size=4))
+def test_rank_nullity_property(rows):
+    """rank + nullity == number of columns (rank-nullity theorem)."""
+    m = RationalMatrix(rows)
+    assert m.rank() + len(m.null_space()) == m.ncols
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.lists(st.integers(-6, 6), min_size=3, max_size=3),
+                min_size=1, max_size=4),
+       st.lists(st.integers(-6, 6), min_size=3, max_size=3))
+def test_solve_verifies(rows, x):
+    """For rhs = M x, solve returns some solution whose image is rhs."""
+    m = RationalMatrix(rows)
+    rhs = m.matvec(x)
+    sol = m.solve(rhs)
+    assert sol is not None
+    assert m.matvec(sol) == rhs

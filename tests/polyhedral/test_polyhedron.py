@@ -1,0 +1,229 @@
+"""Unit tests for Polyhedron: feasibility, projection, enumeration, lexmin."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmptyPolyhedronError, PolyhedralError
+from repro.polyhedral import Polyhedron, Space
+
+
+def box2(xlo, xhi, ylo, yhi):
+    return Polyhedron.box(Space(["x", "y"]), {"x": (xlo, xhi), "y": (ylo, yhi)})
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PolyhedralError):
+            Space(["x", "x"])
+
+    def test_bad_row_width(self):
+        with pytest.raises(PolyhedralError):
+            Polyhedron(Space(["x"]), ineqs=[[1, 2, 3]])
+
+    def test_constant_contradiction_detected(self):
+        # 0*x - 1 >= 0 is trivially empty
+        p = Polyhedron(Space(["x"]), ineqs=[[0, -1]])
+        assert p.is_empty()
+
+    def test_gcd_integrality_on_equalities(self):
+        # 2x = 1 has no integer solution
+        p = Polyhedron(Space(["x"]), eqs=[[2, -1]])
+        assert p.is_empty()
+        assert not p.is_rational_empty() or p._trivially_empty
+
+    def test_gcd_tightening_on_inequalities(self):
+        # 2x >= 1 tightens to x >= 1
+        p = Polyhedron(Space(["x"]), ineqs=[[2, -1]])
+        assert (1, -1) in p.ineqs
+
+    def test_universe_and_empty(self):
+        s = Space(["x"])
+        assert not Polyhedron.universe(s).is_empty()
+        assert Polyhedron.empty(s).is_empty()
+
+    def test_from_terms(self):
+        s = Space(["i", "j"])
+        p = Polyhedron.from_terms(s, ineq_terms=[({"i": 1}, 0), ({"i": -1, "j": 1}, 0)])
+        assert p.contains_point([0, 0])
+        assert p.contains_point([2, 5])
+        assert not p.contains_point([3, 1])
+
+
+class TestFeasibility:
+    def test_box_nonempty(self):
+        assert not box2(0, 3, 0, 3).is_empty()
+
+    def test_box_empty(self):
+        assert box2(2, 1, 0, 3).is_empty()
+
+    def test_integer_gap(self):
+        # 1 <= 2x <= 1 means x = 1/2: rational point exists, integer doesn't
+        p = Polyhedron(Space(["x"]), eqs=[[2, -1]])
+        assert p.is_empty()
+
+    def test_branch_and_bound_finds_point(self):
+        # x + y = 5, 0 <= x <= 5 (fractional LP vertex possible)
+        p = Polyhedron(Space(["x", "y"]),
+                       eqs=[[1, 1, -5]],
+                       ineqs=[[1, 0, 0], [-1, 0, 5], [3, -2, -1]])
+        pt = p.find_integer_point()
+        assert pt is not None
+        x, y = pt
+        assert x + y == 5 and 0 <= x <= 5 and 3 * x - 2 * y >= 1
+
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(EmptyPolyhedronError):
+            box2(2, 1, 0, 0).sample_rational_point()
+
+
+class TestBoundsAndEnumeration:
+    def test_var_bounds(self):
+        p = box2(1, 4, -2, 2)
+        assert p.var_bounds("x") == (1, 4)
+        assert p.var_bounds("y") == (-2, 2)
+
+    def test_var_bounds_unbounded(self):
+        p = Polyhedron(Space(["x"]), ineqs=[[1, 0]])  # x >= 0
+        assert p.var_bounds("x") == (0, None)
+
+    def test_integer_points_box(self):
+        pts = box2(0, 2, 0, 1).integer_points()
+        assert len(pts) == 6
+        assert (0, 0) in pts and (2, 1) in pts
+
+    def test_integer_points_with_equality(self):
+        # diagonal of a box
+        p = box2(0, 3, 0, 3).add_constraints(eqs=[[1, -1, 0]])
+        assert p.integer_points() == [(0, 0), (1, 1), (2, 2), (3, 3)]
+
+    def test_triangle_count(self):
+        # 0 <= x, 0 <= y, x + y <= 3: C(5,2) = 10 points
+        p = Polyhedron(Space(["x", "y"]),
+                       ineqs=[[1, 0, 0], [0, 1, 0], [-1, -1, 3]])
+        assert p.count_integer_points() == 10
+
+    def test_lexmin_lexmax(self):
+        p = box2(1, 3, 5, 9)
+        assert p.lexmin() == (1, 5)
+        assert p.lexmax() == (3, 9)
+
+    def test_lexmin_with_coupling(self):
+        # x in [0,3], y = 3 - x; lexmin favours x first
+        p = box2(0, 3, 0, 3).add_constraints(eqs=[[1, 1, -3]])
+        assert p.lexmin() == (0, 3)
+        assert p.lexmax() == (3, 0)
+
+    def test_lexmin_empty(self):
+        assert box2(3, 1, 0, 0).lexmin() is None
+
+    def test_lexmin_skips_rational_only_values(self):
+        # 2x = y, 1 <= y <= 5, x integer => x in {1, 2}, lexmin x = 1
+        p = Polyhedron(Space(["x", "y"]),
+                       eqs=[[2, -1, 0]],
+                       ineqs=[[0, 1, -1], [0, -1, 5]])
+        assert p.lexmin() == (1, 2)
+
+
+class TestProjection:
+    def test_project_box(self):
+        p = box2(0, 4, 1, 2)
+        shadow, exact = p.project_out(["y"])
+        assert exact
+        assert shadow.space == Space(["x"])
+        assert sorted(pt[0] for pt in shadow.integer_points()) == [0, 1, 2, 3, 4]
+
+    def test_project_with_equality_substitution(self):
+        # y = x + 1, 0 <= y <= 3  => 0 <= x+1 <= 3 => -1 <= x <= 2
+        p = Polyhedron(Space(["x", "y"]),
+                       eqs=[[1, -1, 1]],
+                       ineqs=[[0, 1, 0], [0, -1, 3]])
+        shadow, exact = p.project_out(["y"])
+        assert exact
+        assert shadow.var_bounds("x") == (-1, 2)
+
+    def test_projection_couples_constraints(self):
+        # x <= y <= x + 1, 0 <= y <= 10 : projecting y gives -1 <= x <= 10
+        p = Polyhedron(Space(["x", "y"]),
+                       ineqs=[[-1, 1, 0], [1, -1, 1], [0, 1, 0], [0, -1, 10]])
+        shadow, exact = p.project_out(["y"])
+        assert exact
+        assert shadow.var_bounds("x") == (-1, 10)
+
+    def test_inexact_flag_on_non_unit_coefficient(self):
+        # Eliminating y from 2y >= x, 2y <= x + 1 loses integer info
+        p = Polyhedron(Space(["x", "y"]), ineqs=[[-1, 2, 0], [1, -2, 1]])
+        _, exact = p.project_out(["y"])
+        assert not exact
+
+
+class TestTransforms:
+    def test_rename(self):
+        p = box2(0, 1, 0, 1).rename({"x": "a"})
+        assert p.space == Space(["a", "y"])
+        assert p.contains_point([1, 1])
+
+    def test_align_permutes(self):
+        p = Polyhedron.box(Space(["x"]), {"x": (2, 5)})
+        q = p.align(Space(["w", "x"]))
+        assert q.var_bounds("x") == (2, 5)
+        assert q.var_bounds("w") == (None, None)
+
+    def test_product(self):
+        a = Polyhedron.box(Space(["x"]), {"x": (0, 1)})
+        b = Polyhedron.box(Space(["y"]), {"y": (5, 6)})
+        prod = a.product(b)
+        assert prod.count_integer_points() == 4
+
+    def test_bind(self):
+        s = Space(["i", "n"])
+        p = Polyhedron.from_terms(s, ineq_terms=[({"i": 1}, 0), ({"i": -1, "n": 1}, -1)])
+        q = p.bind({"n": 4})
+        assert q.space == Space(["i"])
+        assert q.var_bounds("i") == (0, 3)
+
+
+class TestSimplification:
+    def test_remove_redundancy(self):
+        p = Polyhedron(Space(["x"]), ineqs=[[1, 0], [1, 5], [-1, 10]])  # x>=0, x>=-5, x<=10
+        r = p.remove_redundancy()
+        assert len(r.ineqs) == 2
+        assert r.var_bounds("x") == (0, 10)
+
+    def test_affine_hull_detects_implicit_equality(self):
+        # x >= 3 and x <= 3
+        p = Polyhedron(Space(["x", "y"]), ineqs=[[1, 0, -3], [-1, 0, 3], [0, 1, 0]])
+        hull = p.affine_hull_eqs()
+        assert any(row[:2] == (1, 0) or row[:2] == (-1, 0) for row in hull)
+
+    def test_subset(self):
+        small = box2(1, 2, 1, 2)
+        big = box2(0, 3, 0, 3)
+        assert small.is_subset(big)
+        assert not big.is_subset(small)
+
+    def test_equality_of_different_representations(self):
+        a = Polyhedron(Space(["x"]), ineqs=[[1, 0], [-1, 3], [2, 1]])
+        b = Polyhedron(Space(["x"]), ineqs=[[1, 0], [-1, 3]])
+        assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+def test_enumeration_matches_brute_force(xlo, xhi, ylo, yhi):
+    p = box2(xlo, xhi, ylo, yhi).add_constraints(ineqs=[[1, 1, 0]])  # x + y >= 0
+    expected = {(x, y)
+                for x in range(xlo, xhi + 1)
+                for y in range(ylo, yhi + 1)
+                if x + y >= 0}
+    assert set(p.integer_points()) == expected
+    assert p.is_empty() == (not expected)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 6), st.integers(0, 6))
+def test_projection_shadow_is_exact_on_boxes(w, h):
+    p = box2(0, w, 0, h)
+    shadow, exact = p.project_out(["y"])
+    assert exact
+    assert set(shadow.integer_points()) == {(x,) for x in range(0, w + 1)}

@@ -1,0 +1,121 @@
+"""Unit tests for PolyhedralSet: unions, subtraction, projection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral import Polyhedron, PolyhedralSet, Space
+
+S2 = Space(["x", "y"])
+
+
+def box(xlo, xhi, ylo, yhi):
+    return Polyhedron.box(S2, {"x": (xlo, xhi), "y": (ylo, yhi)})
+
+
+def pset(*polys):
+    return PolyhedralSet(S2, polys)
+
+
+class TestBasics:
+    def test_empty_set(self):
+        assert PolyhedralSet.empty(S2).is_empty()
+
+    def test_empty_disjuncts_dropped(self):
+        s = pset(box(3, 1, 0, 0), box(0, 1, 0, 1))
+        assert len(s) == 1
+
+    def test_union(self):
+        s = pset(box(0, 1, 0, 1)).union(pset(box(5, 6, 5, 6)))
+        assert s.count_integer_points() == 8
+
+    def test_union_dedups_points(self):
+        s = pset(box(0, 2, 0, 0)).union(pset(box(1, 3, 0, 0)))
+        assert s.count_integer_points() == 4  # x in 0..3
+
+    def test_contains_point(self):
+        s = pset(box(0, 1, 0, 1), box(4, 5, 4, 5))
+        assert s.contains_point([5, 4])
+        assert not s.contains_point([2, 2])
+
+
+class TestIntersect:
+    def test_intersect_with_polyhedron(self):
+        s = pset(box(0, 4, 0, 4)).intersect(box(2, 6, 2, 6))
+        assert set(s.integer_points()) == {(x, y) for x in range(2, 5) for y in range(2, 5)}
+
+    def test_intersect_distributes_over_union(self):
+        s = pset(box(0, 1, 0, 1), box(3, 4, 3, 4)).intersect(box(1, 3, 1, 3))
+        assert set(s.integer_points()) == {(1, 1), (3, 3)}
+
+
+class TestSubtract:
+    def test_subtract_hole(self):
+        s = pset(box(0, 2, 0, 2)).subtract(box(1, 1, 1, 1))
+        pts = set(s.integer_points())
+        assert (1, 1) not in pts
+        assert len(pts) == 8
+
+    def test_subtract_everything(self):
+        s = pset(box(0, 2, 0, 2)).subtract(box(-1, 5, -1, 5))
+        assert s.is_empty()
+
+    def test_subtract_nothing(self):
+        s = pset(box(0, 2, 0, 2)).subtract(box(9, 10, 9, 10))
+        assert s.count_integer_points() == 9
+
+    def test_subtract_equality_slice(self):
+        diag = Polyhedron(S2, eqs=[[1, -1, 0]])  # x = y
+        s = pset(box(0, 2, 0, 2)).subtract(diag)
+        pts = set(s.integer_points())
+        assert all(x != y for x, y in pts)
+        assert len(pts) == 6
+
+    def test_subtract_union(self):
+        other = PolyhedralSet(S2, [box(0, 0, 0, 2), box(2, 2, 0, 2)])
+        s = pset(box(0, 2, 0, 2)).subtract(other)
+        pts = set(s.integer_points())
+        assert pts == {(1, 0), (1, 1), (1, 2)}
+
+
+class TestSubsetAndCoalesce:
+    def test_subset_of_union_needs_both(self):
+        whole = pset(box(0, 3, 0, 0))
+        halves = pset(box(0, 1, 0, 0), box(2, 3, 0, 0))
+        assert whole.is_subset(halves)
+        assert halves.is_subset(whole)
+
+    def test_not_subset(self):
+        assert not pset(box(0, 3, 0, 0)).is_subset(pset(box(0, 2, 0, 0)))
+
+    def test_coalesce_drops_contained(self):
+        s = pset(box(0, 5, 0, 5), box(1, 2, 1, 2))
+        assert len(s.coalesce()) == 1
+
+
+class TestTransforms:
+    def test_exists(self):
+        s = pset(box(0, 1, 5, 9)).exists(["y"])
+        assert set(s.integer_points()) == {(0,), (1,)}
+
+    def test_bind(self):
+        sp = Space(["i", "n"])
+        dom = Polyhedron.from_terms(sp, ineq_terms=[({"i": 1}, 0), ({"i": -1, "n": 1}, -1)])
+        s = PolyhedralSet(sp, [dom]).bind({"n": 3})
+        assert set(s.integer_points()) == {(0,), (1,), (2,)}
+
+    def test_rename(self):
+        s = pset(box(0, 1, 0, 1)).rename({"x": "u", "y": "v"})
+        assert s.space == Space(["u", "v"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4), st.integers(0, 4))
+def test_subtract_then_union_restores(a, b, c, d):
+    """(P \\ Q) union (P intersect Q) == P on integer points."""
+    p = pset(box(0, 4, 0, 4))
+    q = box(min(a, b), max(a, b), min(c, d), max(c, d))
+    diff = p.subtract(q)
+    inter = p.intersect(q)
+    restored = set(diff.integer_points()) | set(inter.integer_points())
+    assert restored == set(p.integer_points())
+    assert set(diff.integer_points()) & set(inter.integer_points()) == set()

@@ -1,0 +1,115 @@
+"""Unit tests for the exact two-phase simplex."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral.simplex import LPStatus, is_feasible, solve_lp
+
+
+class TestFeasibility:
+    def test_trivial_feasible(self):
+        # x >= 0, -x + 5 >= 0
+        assert is_feasible([], [[1, 0], [-1, 5]], 1)
+
+    def test_infeasible(self):
+        # x >= 1 and x <= -1
+        assert not is_feasible([], [[1, -1], [-1, -1]], 1)
+
+    def test_equality_feasible(self):
+        # x + y = 3, x >= 0, y >= 0
+        assert is_feasible([[1, 1, -3]], [[1, 0, 0], [0, 1, 0]], 2)
+
+    def test_equality_infeasible(self):
+        # x = 1 and x = 2
+        assert not is_feasible([[1, -1], [1, -2]], [], 1)
+
+    def test_no_constraints(self):
+        assert is_feasible([], [], 2)
+
+    def test_free_variables_allowed(self):
+        # x <= -5 (negative region) is feasible because x is free
+        assert is_feasible([], [[-1, -5]], 1)
+
+
+class TestOptimization:
+    def test_minimize(self):
+        # min x s.t. x >= 2
+        res = solve_lp([], [[1, -2]], 1, objective=[1])
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == 2
+
+    def test_maximize(self):
+        # max x s.t. x <= 7  i.e. -x + 7 >= 0
+        res = solve_lp([], [[-1, 7]], 1, objective=[1], maximize=True)
+        assert res.status is LPStatus.OPTIMAL
+        assert res.value == 7
+
+    def test_unbounded(self):
+        res = solve_lp([], [[1, 0]], 1, objective=[1], maximize=True)
+        assert res.status is LPStatus.UNBOUNDED
+
+    def test_2d_vertex(self):
+        # min x + y s.t. x >= 1, y >= 2
+        res = solve_lp([], [[1, 0, -1], [0, 1, -2]], 2, objective=[1, 1])
+        assert res.value == 3
+        assert res.point == (1, 2)
+
+    def test_fractional_optimum(self):
+        # min x s.t. 2x >= 1
+        res = solve_lp([], [[2, -1]], 1, objective=[1])
+        assert res.value == Fraction(1, 2)
+
+    def test_equality_guides_optimum(self):
+        # min y s.t. x + y = 10, x <= 4
+        res = solve_lp([[1, 1, -10]], [[-1, 0, 4]], 2, objective=[0, 1])
+        assert res.value == 6
+
+    def test_degenerate_does_not_cycle(self):
+        # Klee-Minty-flavoured degenerate system; Bland's rule must terminate.
+        ineqs = [
+            [1, 0, 0, 0],
+            [0, 1, 0, 0],
+            [0, 0, 1, 0],
+            [-1, -1, 0, 1],
+            [0, -1, -1, 1],
+            [-1, 0, -1, 1],
+        ]
+        res = solve_lp([], ineqs, 3, objective=[-1, -1, -1])
+        assert res.status is LPStatus.OPTIMAL
+
+    def test_point_satisfies_constraints(self):
+        eqs = [[1, 2, -4]]          # x + 2y = 4
+        ineqs = [[1, 0, 0], [0, 1, 0]]
+        res = solve_lp(eqs, ineqs, 2, objective=[1, 0])
+        x, y = res.point
+        assert x + 2 * y == 4
+        assert x >= 0 and y >= 0
+        assert res.value == 0  # minimize x
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(-4, 4), st.integers(-4, 4), st.integers(-8, 8)),
+                min_size=1, max_size=6))
+def test_feasible_point_is_returned_inside(ineq_rows):
+    """Whenever the LP is feasible, the witness point satisfies every row."""
+    res = solve_lp([], ineq_rows, 2)
+    if res.status is LPStatus.OPTIMAL:
+        x, y = res.point
+        for a, b, c in ineq_rows:
+            assert a * x + b * y + c >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-10, 10), st.integers(-10, 10))
+def test_box_min_max(lo, hi):
+    """min/max of x over [lo, hi] equals lo/hi when the box is nonempty."""
+    ineqs = [[1, -lo], [-1, hi]]
+    res_min = solve_lp([], ineqs, 1, objective=[1])
+    res_max = solve_lp([], ineqs, 1, objective=[1], maximize=True)
+    if lo <= hi:
+        assert res_min.value == lo
+        assert res_max.value == hi
+    else:
+        assert res_min.status is LPStatus.INFEASIBLE

@@ -1,0 +1,102 @@
+"""Edge cases: space algebra, error paths, and representation invariants."""
+
+import pytest
+
+from repro.exceptions import (EmptyPolyhedronError, PolyhedralError,
+                              SpaceMismatchError)
+from repro.polyhedral import Polyhedron, PolyhedralSet, Space
+
+
+class TestSpace:
+    def test_extended(self):
+        s = Space(["a"]).extended(["b", "c"])
+        assert s.names == ("a", "b", "c")
+
+    def test_extended_duplicate_rejected(self):
+        with pytest.raises(PolyhedralError):
+            Space(["a"]).extended(["a"])
+
+    def test_contains(self):
+        s = Space(["x", "y"])
+        assert "x" in s and "z" not in s
+
+    def test_index_missing(self):
+        with pytest.raises(PolyhedralError):
+            Space(["x"]).index("y")
+
+
+class TestMismatchErrors:
+    def test_intersect_mismatch(self):
+        a = Polyhedron.universe(Space(["x"]))
+        b = Polyhedron.universe(Space(["y"]))
+        with pytest.raises(SpaceMismatchError):
+            a.intersect(b)
+
+    def test_product_overlap(self):
+        a = Polyhedron.universe(Space(["x"]))
+        with pytest.raises(SpaceMismatchError):
+            a.product(a)
+
+    def test_align_missing_variable(self):
+        a = Polyhedron.universe(Space(["x"]))
+        with pytest.raises(SpaceMismatchError):
+            a.align(Space(["y"]))
+
+    def test_set_union_mismatch(self):
+        a = PolyhedralSet.universe(Space(["x"]))
+        b = PolyhedralSet.universe(Space(["y"]))
+        with pytest.raises(SpaceMismatchError):
+            a.union(b)
+
+
+class TestRepresentation:
+    def test_repr_readable(self):
+        p = Polyhedron.box(Space(["x"]), {"x": (0, 3)})
+        text = repr(p)
+        assert "x >= 0" in text.replace("+", "") or "x" in text
+
+    def test_universe_repr(self):
+        assert "true" in repr(Polyhedron.universe(Space(["x"])))
+
+    def test_equalities_canonical_sign(self):
+        s = Space(["x", "y"])
+        a = Polyhedron(s, eqs=[[-1, 1, 0]])   # -x + y = 0
+        b = Polyhedron(s, eqs=[[1, -1, 0]])   # x - y = 0
+        assert a.eqs == b.eqs  # canonicalized to the same row
+
+    def test_duplicate_rows_deduped(self):
+        s = Space(["x"])
+        p = Polyhedron(s, ineqs=[[1, 0], [1, 0], [2, 0]])
+        assert len(p.ineqs) == 1  # 2x >= 0 tightens to x >= 0, dedupes
+
+    def test_dominated_bound_dropped(self):
+        s = Space(["x"])
+        p = Polyhedron(s, ineqs=[[1, 5], [1, 0]])  # x >= -5 and x >= 0
+        assert p.ineqs == ((1, 0),)
+
+    def test_empty_var_bounds_raises(self):
+        p = Polyhedron.box(Space(["x"]), {"x": (3, 1)})
+        with pytest.raises(EmptyPolyhedronError):
+            p.var_bounds("x")
+
+
+class TestBindEdgeCases:
+    def test_bind_all_vars(self):
+        s = Space(["x", "n"])
+        p = Polyhedron.from_terms(s, ineq_terms=[({"x": 1, "n": -1}, 0)])
+        q = p.bind({"x": 5, "n": 3})
+        assert q.space.dim == 0
+        assert not q.is_empty()  # 5 - 3 >= 0 holds
+
+    def test_bind_to_contradiction(self):
+        s = Space(["x", "n"])
+        p = Polyhedron.from_terms(s, ineq_terms=[({"x": 1, "n": -1}, 0)])
+        q = p.bind({"x": 1, "n": 3})
+        assert q.is_empty()
+
+    def test_bind_ignores_unknown_names(self):
+        s = Space(["x"])
+        p = Polyhedron.box(s, {"x": (0, 2)})
+        q = p.bind({"z": 7})
+        assert q.space == s
+        assert q.count_integer_points() == 3

@@ -1,0 +1,119 @@
+"""Unit tests for the buffer pool: cap enforcement, pinning, LRU eviction."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BufferPoolError
+from repro.storage import BufferPool
+
+
+def blk(value=0.0, n=4):
+    return np.full((n,), value)  # 8*n bytes
+
+
+def loader(value=0.0, n=4):
+    return lambda: blk(value, n)
+
+
+class TestFetchAndPut:
+    def test_miss_then_hit(self):
+        pool = BufferPool()
+        pool.fetch(("A", (0, 0)), loader(1.0))
+        b = pool.fetch(("A", (0, 0)), loader(2.0))
+        assert b.data[0] == 1.0  # loader not called again
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_put_replaces(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk(1.0))
+        pool.put(("A", (0, 0)), blk(2.0))
+        assert pool.fetch(("A", (0, 0)), loader()).data[0] == 2.0
+        assert pool.used_bytes == 32
+
+    def test_peak_tracking(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk())
+        pool.put(("B", (0, 0)), blk())
+        pool.release(("A", (0, 0)))
+        assert pool.used_bytes == 32
+        assert pool.peak_bytes == 64
+
+
+class TestCapAndEviction:
+    def test_lru_eviction(self):
+        pool = BufferPool(cap_bytes=64)  # two 32-byte blocks
+        pool.put(("A", (0, 0)), blk())
+        pool.put(("B", (0, 0)), blk())
+        pool.fetch(("A", (0, 0)), loader())  # A is now most recent
+        pool.put(("C", (0, 0)), blk())       # evicts B
+        assert pool.contains(("A", (0, 0)))
+        assert not pool.contains(("B", (0, 0)))
+        assert pool.evictions == 1
+
+    def test_block_larger_than_cap(self):
+        pool = BufferPool(cap_bytes=16)
+        with pytest.raises(BufferPoolError):
+            pool.put(("A", (0, 0)), blk())
+
+    def test_all_pinned_overflow_raises(self):
+        pool = BufferPool(cap_bytes=64)
+        pool.put(("A", (0, 0)), blk())
+        pool.put(("B", (0, 0)), blk())
+        pool.pin(("A", (0, 0)))
+        pool.pin(("B", (0, 0)))
+        with pytest.raises(BufferPoolError):
+            pool.put(("C", (0, 0)), blk())
+
+    def test_pinned_not_evicted(self):
+        pool = BufferPool(cap_bytes=64)
+        pool.put(("A", (0, 0)), blk())
+        pool.pin(("A", (0, 0)))
+        pool.put(("B", (0, 0)), blk())
+        pool.put(("C", (0, 0)), blk())  # must evict B, not pinned A
+        assert pool.contains(("A", (0, 0)))
+        assert not pool.contains(("B", (0, 0)))
+
+    def test_dirty_eviction_refused(self):
+        pool = BufferPool(cap_bytes=64)
+        pool.put(("A", (0, 0)), blk(), dirty=True)
+        pool.put(("B", (0, 0)), blk())
+        with pytest.raises(BufferPoolError):
+            pool.put(("C", (0, 0)), blk())
+
+
+class TestPinning:
+    def test_pin_unpin_cycle(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk())
+        pool.pin(("A", (0, 0)))
+        pool.pin(("A", (0, 0)))
+        pool.unpin(("A", (0, 0)))
+        with pytest.raises(BufferPoolError):
+            pool.release(("A", (0, 0)))  # still pinned once
+        pool.unpin(("A", (0, 0)))
+        pool.release(("A", (0, 0)))
+        assert len(pool) == 0
+
+    def test_pin_nonresident_raises(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool().pin(("A", (0, 0)))
+
+    def test_unpin_without_pin_raises(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk())
+        with pytest.raises(BufferPoolError):
+            pool.unpin(("A", (0, 0)))
+
+    def test_pinned_bytes(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk())
+        pool.put(("B", (0, 0)), blk())
+        pool.pin(("B", (0, 0)))
+        assert pool.pinned_bytes() == 32
+
+    def test_release_missing_is_noop(self):
+        BufferPool().release(("A", (0, 0)))
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(BufferPoolError):
+            BufferPool(cap_bytes=0)

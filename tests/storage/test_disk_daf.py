@@ -1,0 +1,153 @@
+"""Unit tests for the simulated disk and the DAF store."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.optimizer import IOModel
+from repro.storage import BlockLayout, DAFMatrix, SimulatedDisk
+
+
+class TestIOStats:
+    def test_counting(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            f = disk.open("x")
+            f.write_at(0, b"hello")
+            f.read_at(0, 5)
+            assert disk.stats.write_bytes == 5
+            assert disk.stats.read_bytes == 5
+            assert disk.stats.write_ops == disk.stats.read_ops == 1
+
+    def test_uncounted_io(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            f = disk.open("x")
+            f.write_at(0, b"hello", count=False)
+            f.read_at(0, 5, count=False)
+            assert disk.stats.write_bytes == 0
+            assert disk.stats.read_bytes == 0
+
+    def test_since_snapshot(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            f = disk.open("x")
+            f.write_at(0, b"aa")
+            snap = disk.stats.snapshot()
+            f.write_at(2, b"bbb")
+            delta = disk.stats.since(snap)
+            assert delta.write_bytes == 3
+
+    def test_simulated_seconds(self, tmp_path):
+        model = IOModel(read_bw=100, write_bw=50)
+        with SimulatedDisk(tmp_path, model) as disk:
+            f = disk.open("x")
+            f.write_at(0, b"x" * 100)
+            f.read_at(0, 100)
+            assert disk.simulated_seconds() == pytest.approx(1.0 + 2.0)
+
+    def test_short_read_raises(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            f = disk.open("x")
+            f.write_at(0, b"ab")
+            with pytest.raises(StorageError):
+                f.read_at(0, 10)
+
+    def test_positional_write_overwrites(self, tmp_path):
+        """Regression: writes must honour seek, not append."""
+        with SimulatedDisk(tmp_path) as disk:
+            f = disk.open("x")
+            f.write_at(0, b"aaaa")
+            f.write_at(1, b"bb")
+            assert f.read_at(0, 4) == b"abba"
+
+
+class TestBlockLayout:
+    def test_column_major_linearization(self):
+        lay = BlockLayout((3, 2), (4, 4))
+        # first coordinate (row) varies fastest
+        assert [lay.linearize((i, j)) for j in range(2) for i in range(3)] == list(range(6))
+
+    def test_roundtrip(self):
+        lay = BlockLayout((4, 5), (2, 3))
+        for idx in range(lay.num_blocks):
+            assert lay.linearize(lay.delinearize(idx)) == idx
+
+    def test_out_of_range(self):
+        lay = BlockLayout((2, 2), (4, 4))
+        with pytest.raises(StorageError):
+            lay.linearize((2, 0))
+        with pytest.raises(StorageError):
+            lay.delinearize(4)
+
+    def test_block_bytes(self):
+        lay = BlockLayout((2, 2), (10, 20))
+        assert lay.block_bytes == 10 * 20 * 8
+
+    def test_serialize_roundtrip_fortran_order(self):
+        lay = BlockLayout((1, 1), (3, 2))
+        blk = np.arange(6, dtype=np.float64).reshape(3, 2)
+        assert np.array_equal(lay.bytes_to_block(lay.block_to_bytes(blk)), blk)
+
+    def test_bad_payload_size(self):
+        lay = BlockLayout((1, 1), (2, 2))
+        with pytest.raises(StorageError):
+            lay.bytes_to_block(b"123")
+
+
+class TestDAF:
+    def test_create_write_read(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 2), (3, 3))
+            blk = np.full((3, 3), 7.0)
+            m.write_block((1, 0), blk)
+            assert np.array_equal(m.read_block((1, 0)), blk)
+
+    def test_unwritten_blocks_read_zero(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 2), (3, 3))
+            assert np.array_equal(m.read_block((0, 1)), np.zeros((3, 3)))
+
+    def test_io_counted_per_block(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 2), (3, 3))
+            m.write_block((0, 0), np.ones((3, 3)))
+            m.read_block((0, 0))
+            assert disk.stats.write_bytes == 72
+            assert disk.stats.read_bytes == 72
+
+    def test_matrix_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        full = rng.standard_normal((6, 6))
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 2), (3, 3))
+            m.write_matrix(full)
+            assert np.allclose(m.read_matrix(), full)
+
+    def test_reopen(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 3), (4, 5))
+            m.write_block((1, 2), np.full((4, 5), 3.0))
+        with SimulatedDisk(tmp_path) as disk2:
+            m2 = DAFMatrix.open(disk2, "M")
+            assert m2.layout.grid == (2, 3)
+            assert np.array_equal(m2.read_block((1, 2)), np.full((4, 5), 3.0))
+
+    def test_open_rejects_garbage(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            f = disk.open("junk.daf")
+            f.write_at(0, b"\0" * 64, count=False)
+            with pytest.raises(StorageError):
+                DAFMatrix.open(disk, "junk")
+
+
+@settings(max_examples=20, deadline=None)
+@given(gr=st.integers(1, 4), gc=st.integers(1, 4), br=st.integers(1, 5),
+       bc=st.integers(1, 5), seed=st.integers(0, 2 ** 31 - 1))
+def test_daf_roundtrip_property(tmp_path_factory, gr, gc, br, bc, seed):
+    rng = np.random.default_rng(seed)
+    full = rng.standard_normal((gr * br, gc * bc))
+    root = tmp_path_factory.mktemp("daf")
+    with SimulatedDisk(root) as disk:
+        m = DAFMatrix.create(disk, "M", (gr, gc), (br, bc))
+        m.write_matrix(full)
+        assert np.allclose(m.read_matrix(), full)

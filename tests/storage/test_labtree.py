@@ -1,0 +1,117 @@
+"""Unit tests for the LAB-tree store (B+-tree keyed by linearized block index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import StorageError
+from repro.storage import LABTree, SimulatedDisk
+from repro.storage.labtree import _ORDER
+
+
+class TestBasics:
+    def test_write_read(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (3, 3), (2, 2))
+            blk = np.full((2, 2), 5.0)
+            t.write_block((2, 1), blk)
+            assert np.array_equal(t.read_block((2, 1)), blk)
+
+    def test_missing_block_raises(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (3, 3), (2, 2))
+            with pytest.raises(StorageError):
+                t.read_block((0, 0))
+
+    def test_has_block(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (3, 3), (2, 2))
+            t.write_block((1, 1), np.zeros((2, 2)))
+            assert t.has_block((1, 1))
+            assert not t.has_block((0, 0))
+
+    def test_overwrite_in_place(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (2, 2), (2, 2))
+            t.write_block((0, 0), np.full((2, 2), 1.0))
+            t.write_block((0, 0), np.full((2, 2), 2.0))
+            assert np.array_equal(t.read_block((0, 0)), np.full((2, 2), 2.0))
+            assert len(list(t.iter_keys())) == 1
+
+    def test_sparse_population(self, tmp_path):
+        """Only written blocks consume data space (unlike the DAF)."""
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (100, 100), (2, 2))
+            t.write_block((99, 99), np.ones((2, 2)))
+            assert t.data_file.size() == t.layout.block_bytes
+
+    def test_iter_keys_sorted(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (10, 10), (2, 2))
+            coords = [(7, 3), (0, 0), (9, 9), (5, 5), (2, 8)]
+            for c in coords:
+                t.write_block(c, np.zeros((2, 2)))
+            keys = list(t.iter_keys())
+            assert keys == sorted(t.layout.linearize(c) for c in coords)
+
+    def test_payload_io_counted_tree_pages_not(self, tmp_path):
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (4, 4), (2, 2))
+            t.write_block((1, 1), np.zeros((2, 2)))
+            t.read_block((1, 1))
+            assert disk.stats.write_bytes == t.layout.block_bytes
+            assert disk.stats.read_bytes == t.layout.block_bytes
+
+
+class TestSplitsAndPersistence:
+    def test_many_inserts_force_splits(self, tmp_path):
+        n = _ORDER * 3 + 7  # guarantees at least two leaf splits
+        grid = (n, 1)
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", grid, (1, 1))
+            rng = np.random.default_rng(0)
+            order = rng.permutation(n)
+            for i in order:
+                t.write_block((int(i), 0), np.array([[float(i)]]))
+            assert list(t.iter_keys()) == list(range(n))
+            for i in range(n):
+                assert t.read_block((i, 0))[0, 0] == float(i)
+            assert t._npages > 3  # root split happened
+
+    def test_reopen_after_splits(self, tmp_path):
+        n = _ORDER + 10
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (n, 1), (1, 1))
+            for i in range(n):
+                t.write_block((i, 0), np.array([[float(i)]]))
+        with SimulatedDisk(tmp_path) as disk2:
+            t2 = LABTree.open(disk2, "M")
+            assert t2.read_block((n - 1, 0))[0, 0] == float(n - 1)
+            assert list(t2.iter_keys()) == list(range(n))
+
+    def test_matrix_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(3)
+        full = rng.standard_normal((8, 6))
+        with SimulatedDisk(tmp_path) as disk:
+            t = LABTree.create(disk, "M", (4, 3), (2, 2))
+            t.write_matrix(full)
+            assert np.allclose(t.read_matrix(), full)
+
+
+@settings(max_examples=15, deadline=None)
+@given(coords=st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                       min_size=1, max_size=60))
+def test_labtree_vs_dict_property(tmp_path_factory, coords):
+    """The tree behaves like a dict keyed by block coordinates."""
+    root = tmp_path_factory.mktemp("lab")
+    model: dict[tuple, float] = {}
+    with SimulatedDisk(root) as disk:
+        t = LABTree.create(disk, "M", (20, 20), (1, 1))
+        for n, c in enumerate(coords):
+            t.write_block(c, np.array([[float(n)]]))
+            model[c] = float(n)
+        for c, v in model.items():
+            assert t.read_block(c)[0, 0] == v
+        assert sorted(t.iter_keys()) == sorted(
+            t.layout.linearize(c) for c in model)
