@@ -13,7 +13,10 @@ larger — the claims checked here are the paper's structural ones:
   see EXPERIMENTS.md).
 """
 
-from conftest import banner
+import os
+import time
+
+from conftest import banner, save_artifact
 
 
 def test_optimization_times(fig3_result, fig4_result, fig6_result, benchmark):
@@ -36,3 +39,58 @@ def test_optimization_times(fig3_result, fig4_result, fig6_result, benchmark):
         fig3_result[1].stats.candidates_tested
     # Matrix workloads prune a large fraction of the lattice outright.
     assert fig4_result[1].stats.pruned_fraction > 0.5
+
+
+def _plan_multiset(result):
+    return sorted((tuple(sorted(p.realized_labels)), p.cost.io_seconds,
+                   p.cost.memory_bytes) for p in result.plans)
+
+
+def test_parallel_optimization_speedup(fig3_result, fig4_result, fig6_result,
+                                       benchmark):
+    """1-worker vs N-worker optimization of the fig3/fig4/fig6 programs.
+
+    Checks the determinism guarantee (identical plan multiset and best plan)
+    on every program and records the wall-clock speedup; the sequential
+    session fixtures serve as the 1-worker baseline.  The speedup assertion
+    only fires on machines with enough cores to express it.
+    """
+    from repro import optimize
+
+    workers = 4
+    extra = {"linear regression (6.3)": {"max_candidates": 400}}
+    rows = []
+    for name, (cfg, base) in (
+            ("add+multiply (6.1)", fig3_result),
+            ("two matmuls A (6.2)", fig4_result),
+            ("linear regression (6.3)", fig6_result)):
+        t0 = time.perf_counter()
+        par = optimize(cfg.program, cfg.params, workers=workers,
+                       block_bytes=cfg.paper_block_bytes,
+                       **extra.get(name, {}))
+        par_seconds = time.perf_counter() - t0
+        same_plans = _plan_multiset(base) == _plan_multiset(par)
+        same_best = (base.best().realized_labels ==
+                     par.best().realized_labels)
+        rows.append((name, base.seconds, par_seconds,
+                     base.seconds / par_seconds, same_plans and same_best,
+                     par.stats))
+    banner(f"Optimization time: 1 worker vs {workers} workers "
+           f"({os.cpu_count()} cores)")
+    print(f"{'workload':>24} {'1w':>9} {f'{workers}w':>9} {'speedup':>8} "
+          f"{'identical':>10} {'tasks':>6}")
+    lines = ["workload,seq_seconds,par_seconds,speedup,identical_plans"]
+    for name, seq_s, par_s, speedup, same, stats in rows:
+        print(f"{name:>24} {seq_s:>8.1f}s {par_s:>8.1f}s {speedup:>7.2f}x "
+              f"{str(same):>10} {stats.tasks_dispatched:>6}")
+        lines.append(f"{name},{seq_s:.3f},{par_s:.3f},{speedup:.3f},{same}")
+    save_artifact("opt_time_parallel.csv", "\n".join(lines) + "\n")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    assert all(same for *_, same, _s in rows), \
+        "parallel search must return identical plans"
+    if (os.cpu_count() or 1) >= workers:
+        linreg_speedup = rows[-1][3]
+        assert linreg_speedup >= 1.5, (
+            f"expected >=1.5x speedup with {workers} workers on linear "
+            f"regression, got {linreg_speedup:.2f}x")

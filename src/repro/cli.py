@@ -45,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
                          help="memory cap in bytes")
         cmd.add_argument("--max-set-size", type=int, default=None)
         cmd.add_argument("--max-candidates", type=int, default=None)
+        cmd.add_argument("--workers", type=int, default=None,
+                         help="process-pool workers for the plan search "
+                              "(1 = sequential; N>=2 parallelizes each "
+                              "Apriori level and the plan costing)")
 
     demo = sub.add_parser("demo")
     demo.add_argument("--blocks", type=int, default=4,
@@ -81,7 +85,7 @@ def _optimize(args, explain: bool) -> int:
 
     program, bindings = _load_program(args)
     result = optimize(program, bindings, max_set_size=args.max_set_size,
-                      max_candidates=args.max_candidates)
+                      max_candidates=args.max_candidates, workers=args.workers)
     print(f"{len(result.analysis.dependences)} dependences, "
           f"{len(result.analysis.opportunities)} sharing opportunities")
     print(f"search: {result.stats}\n")

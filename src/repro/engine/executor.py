@@ -74,6 +74,11 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     cpu = 0.0
     t_wall = time.perf_counter()
 
+    # Blocks whose newest version exists only in memory (WRITE_SKIP): the
+    # on-disk copy is stale, so an opportunistic-mode REUSE fallback must
+    # not silently re-read it.
+    memory_only: set[tuple] = set()
+
     for inst in plan.instances:
         read_blocks: list[np.ndarray] = []
         touched: list[tuple] = []
@@ -83,10 +88,23 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
             key = pa.block_key
             if pa.action is IOAction.REUSE:
                 if not pool.contains(key):
-                    raise ExecutionError(
-                        f"plan bug: REUSE of non-resident block {key} at "
-                        f"{inst.stmt.name}@{inst.point}")
-                blk = pool.fetch(key, loader=_no_loader(key))
+                    if plan_exact:
+                        raise ExecutionError(
+                            f"plan bug: REUSE of non-resident block {key} at "
+                            f"{inst.stmt.name}@{inst.point}")
+                    if key in memory_only:
+                        raise ExecutionError(
+                            f"REUSE of evicted block {key} at "
+                            f"{inst.stmt.name}@{inst.point}: its newest "
+                            f"version was never written to disk "
+                            f"(WRITE_SKIP), so the data is lost")
+                    # Opportunistic LRU legally evicted a plan-retained
+                    # block under a tight cap; the disk copy is current, so
+                    # fall back to a counted re-read instead of crashing.
+                    blk = pool.fetch(
+                        key, loader=lambda s=store, b=pa.block: s.read_block(b))
+                else:
+                    blk = pool.fetch(key, loader=_no_loader(key))
             elif plan_exact:
                 # READ is charged disk I/O even if incidentally resident:
                 # the engine replays exactly what the optimizer costed.
@@ -121,6 +139,9 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
             touched.append(key)
             if pa.action is IOAction.WRITE:
                 store.write_block(pa.block, result)
+                memory_only.discard(key)
+            else:
+                memory_only.add(key)
             for _ in range(pa.pin_after):
                 pool.pin(key)
 

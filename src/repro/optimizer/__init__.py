@@ -12,13 +12,15 @@ Public surface:
 * :class:`ConstraintCache` — memoized Farkas constraint spaces.
 """
 
-from .apriori import AprioriStats, enumerate_feasible_sets
-from .constraints import CoefficientSpace, ConstraintCache
+from .apriori import (AprioriStats, enumerate_feasible_sets,
+                      generate_level_candidates)
+from .constraints import CoefficientSpace, ConstraintCache, coaccess_key
 from .costing import (IOModel, PlanCost, PlanTrace, collect_events,
                       evaluate_plan, trace_plan)
 from .find_schedule import enum_row, find_schedule
 from .describe import describe_plan, per_array_io
 from .optimizer import OptimizationResult, Optimizer, optimize
+from .parallel import ParallelOptimizerPool
 from .plan import Plan
 from .symbolic import (access_count_formula, opportunity_pair_formula,
                        symbolic_io_report)
@@ -37,9 +39,12 @@ __all__ = [
     "find_schedule",
     "enum_row",
     "enumerate_feasible_sets",
+    "generate_level_candidates",
     "AprioriStats",
     "ConstraintCache",
     "CoefficientSpace",
+    "coaccess_key",
+    "ParallelOptimizerPool",
     "symbolic_io_report",
     "access_count_formula",
     "opportunity_pair_formula",

@@ -5,6 +5,12 @@ can any superset — so candidate sets are grown level-wise, a set of size k
 being considered only when all its size-(k-1) subsets were feasible.  Each
 feasible candidate yields one legal schedule; the empty set (the original
 program order) is always included as Plan 0.
+
+Candidates within one level are mutually independent (level k+1 only needs
+level k's feasible sets), which is what the process-pool search in
+:mod:`repro.optimizer.parallel` exploits; the sequential walk here and the
+parallel one share :func:`generate_level_candidates` so both test the same
+candidates in the same deterministic order.
 """
 
 from __future__ import annotations
@@ -18,14 +24,24 @@ from ..ir import Schedule
 from .constraints import ConstraintCache
 from .find_schedule import find_schedule
 
-__all__ = ["enumerate_feasible_sets", "AprioriStats"]
+__all__ = ["enumerate_feasible_sets", "generate_level_candidates",
+           "AprioriStats"]
 
 
 class AprioriStats:
-    """Search accounting: how much of the power set was pruned."""
+    """Search accounting: how much of the power set was pruned.
+
+    Besides the aggregate counters, the search records per-level detail
+    (``level_candidates``/``level_feasible``/``level_seconds``, keyed by set
+    size k) and — when the parallel search layer is used — worker-utilization
+    counters: ``workers`` (configured pool size), ``tasks_dispatched`` and
+    ``worker_tasks`` (tasks executed per worker pid), so speedup and load
+    balance are observable.
+    """
 
     __slots__ = ("candidates_tested", "feasible", "total_subsets", "seconds",
-                 "truncated")
+                 "truncated", "level_candidates", "level_feasible",
+                 "level_seconds", "workers", "tasks_dispatched", "worker_tasks")
 
     def __init__(self):
         self.candidates_tested = 0
@@ -33,6 +49,12 @@ class AprioriStats:
         self.total_subsets = 0
         self.seconds = 0.0
         self.truncated = False
+        self.level_candidates: dict[int, int] = {}
+        self.level_feasible: dict[int, int] = {}
+        self.level_seconds: dict[int, float] = {}
+        self.workers = 1
+        self.tasks_dispatched = 0
+        self.worker_tasks: dict[int, int] = {}
 
     @property
     def pruned_fraction(self) -> float:
@@ -41,10 +63,44 @@ class AprioriStats:
             return 0.0
         return 1.0 - self.candidates_tested / self.total_subsets
 
+    def record_level(self, k: int, candidates: int, feasible: int,
+                     seconds: float) -> None:
+        self.level_candidates[k] = self.level_candidates.get(k, 0) + candidates
+        self.level_feasible[k] = self.level_feasible.get(k, 0) + feasible
+        self.level_seconds[k] = self.level_seconds.get(k, 0.0) + seconds
+
+    def record_task(self, worker_id: int) -> None:
+        self.tasks_dispatched += 1
+        self.worker_tasks[worker_id] = self.worker_tasks.get(worker_id, 0) + 1
+
     def __repr__(self) -> str:
+        par = f", workers={self.workers}" if self.workers > 1 else ""
         return (f"AprioriStats(tested={self.candidates_tested}/{self.total_subsets}, "
                 f"feasible={self.feasible}, pruned={self.pruned_fraction:.1%}, "
-                f"{self.seconds:.2f}s)")
+                f"{self.seconds:.2f}s{par})")
+
+
+def generate_level_candidates(feasible_prev: Iterable[frozenset[int]],
+                              usable: Sequence[SharingOpportunity],
+                              k: int) -> list[frozenset[int]]:
+    """Level-k candidate sets in the search's canonical (sorted) order.
+
+    A size-k set is a candidate iff every size-(k-1) subset was feasible
+    (Lemma 2's downward closure).
+    """
+    feasible_prev = set(feasible_prev)
+    candidates: set[frozenset[int]] = set()
+    for base in feasible_prev:
+        for o in usable:
+            if o.index in base:
+                continue
+            cand = base | {o.index}
+            if len(cand) != k or cand in candidates:
+                continue
+            if all(frozenset(sub) in feasible_prev
+                   for sub in itertools.combinations(cand, k - 1)):
+                candidates.add(cand)
+    return sorted(candidates, key=sorted)
 
 
 def enumerate_feasible_sets(analysis: ProgramAnalysis,
@@ -61,7 +117,9 @@ def enumerate_feasible_sets(analysis: ProgramAnalysis,
 
     ``max_set_size`` / ``max_candidates`` bound the level-wise enumeration
     (programs whose opportunities are almost all mutually compatible have an
-    exponentially feasible lattice).  When the enumeration is truncated and
+    exponentially feasible lattice).  The candidate budget is enforced at
+    every level — including level 1 — and **every** budget-bounded exit sets
+    ``stats.truncated``.  When the enumeration is truncated and
     ``include_greedy_maximal`` is set, one extra plan is added: a maximal
     feasible set grown greedily — the paper's own suggested remedy of
     combining enumeration with costing to terminate search early.
@@ -82,9 +140,14 @@ def enumerate_feasible_sets(analysis: ProgramAnalysis,
     def budget_left() -> bool:
         return max_candidates is None or stats.candidates_tested < max_candidates
 
-    # Level 1.
+    # Level 1.  The budget applies here too: an untested singleton is an
+    # untested candidate, so running out must mark the search truncated.
+    t_level = time.perf_counter()
     feasible_singletons: list = []
     for o in usable:
+        if not budget_left():
+            stats.truncated = True
+            break
         stats.candidates_tested += 1
         sched = find_schedule(program, cache, [o], analysis.dependences)
         if sched is not None:
@@ -93,23 +156,24 @@ def enumerate_feasible_sets(analysis: ProgramAnalysis,
             results.append((key, sched))
             feasible_singletons.append(o)
             stats.feasible += 1
+    stats.record_level(1, stats.candidates_tested, stats.feasible,
+                       time.perf_counter() - t_level)
 
     k = 2
     while (feasible_prev and (max_set_size is None or k <= max_set_size)
-           and k <= len(usable) and budget_left()):
-        candidates: set[frozenset[int]] = set()
-        for base in feasible_prev:
-            for o in usable:
-                if o.index in base:
-                    continue
-                cand = base | {o.index}
-                if len(cand) != k or cand in candidates:
-                    continue
-                if all(frozenset(sub) in feasible_prev
-                       for sub in itertools.combinations(cand, k - 1)):
-                    candidates.add(cand)
+           and k <= len(usable)):
+        candidates = generate_level_candidates(feasible_prev, usable, k)
+        if not candidates:
+            break
+        if not budget_left():
+            # Candidates remain but the budget is spent: this exit is a
+            # truncation just like the mid-level one below.
+            stats.truncated = True
+            break
+        t_level = time.perf_counter()
+        tested_before, feasible_before = stats.candidates_tested, stats.feasible
         feasible_now: set[frozenset[int]] = set()
-        for cand in sorted(candidates, key=sorted):
+        for cand in candidates:
             if not budget_left():
                 stats.truncated = True
                 break
@@ -120,6 +184,9 @@ def enumerate_feasible_sets(analysis: ProgramAnalysis,
                 feasible_now.add(cand)
                 results.append((cand, sched))
                 stats.feasible += 1
+        stats.record_level(k, stats.candidates_tested - tested_before,
+                           stats.feasible - feasible_before,
+                           time.perf_counter() - t_level)
         feasible_prev = feasible_now
         k += 1
     if feasible_prev and max_set_size is not None and k > max_set_size:

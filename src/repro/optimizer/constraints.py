@@ -27,9 +27,21 @@ from ..ir import Program, Statement
 from ..polyhedral import (Polyhedron, Space, SymbolicForm, farkas_equals_const,
                           farkas_nonneg)
 
-__all__ = ["CoefficientSpace", "ConstraintCache"]
+__all__ = ["CoefficientSpace", "ConstraintCache", "coaccess_key"]
 
 CONST_SUFFIX = "__c"
+
+
+def coaccess_key(co: CoAccess) -> tuple:
+    """Stable, picklable identity of a co-access.
+
+    Cache entries must survive a trip through ``pickle`` between optimizer
+    worker processes (see :mod:`repro.optimizer.parallel`), so keys cannot
+    involve ``id()``.  Two accesses with the same statement, type, array,
+    subscripts and guard produce identical extents within one analysis, so
+    colliding keys map to identical constraint polyhedra.
+    """
+    return (co.src.key(), co.src.guard, co.tgt.key(), co.tgt.guard)
 
 
 class CoefficientSpace:
@@ -101,12 +113,25 @@ def _difference_form(co: CoAccess, cspace: CoefficientSpace,
 
 
 class ConstraintCache:
-    """Farkas-derived coefficient polyhedra, memoized across FindSchedule calls."""
+    """Farkas-derived coefficient polyhedra, memoized across FindSchedule calls.
+
+    Keys are content-based (:func:`coaccess_key`, opportunity indices), so a
+    cache entry computed in one process is valid in any other process working
+    on the same analysis.  ``export`` / ``merge`` / the delta journal
+    implement the worker-cache protocol of :mod:`repro.optimizer.parallel`:
+    workers return the entries they computed with their results, the driver
+    merges them, and later levels start warm.
+
+    A cache is scoped to one analysis of one program: entry values depend on
+    co-access extents, which vary with the parameter context, so do not share
+    a cache between calls to :func:`repro.analysis.analyze`.
+    """
 
     def __init__(self, program: Program):
         self.program = program
         self.cspace = CoefficientSpace(program)
         self._cache: dict[tuple, Polyhedron] = {}
+        self._journal: list[tuple] = []
 
     @property
     def space(self) -> Space:
@@ -114,12 +139,16 @@ class ConstraintCache:
 
     _MISSING = object()
 
+    def _store(self, key: tuple, value) -> None:
+        self._cache[key] = value
+        self._journal.append(key)
+
     def memo(self, key: tuple, builder):
         """Generic memo slot (used by FindSchedule for shared conjunctions)."""
         value = self._cache.get(key, self._MISSING)
         if value is self._MISSING:
             value = builder()
-            self._cache[key] = value
+            self._store(key, value)
         return value
 
     def weak_dependence(self, co: CoAccess) -> Polyhedron:
@@ -132,7 +161,7 @@ class ConstraintCache:
 
     def sharing_equality(self, co: CoAccess, delta: int) -> Polyhedron:
         """theta_t(x') - theta_s(x) == delta on every extent pair."""
-        key = ("eq", id(co), delta)
+        key = ("eq", coaccess_key(co), delta)
         if key not in self._cache:
             result = Polyhedron.universe(self.space)
             for disjunct in co.extent.disjuncts:
@@ -141,11 +170,11 @@ class ConstraintCache:
                     farkas_equals_const(disjunct, form, self.space, delta))
                 if result.is_rational_empty():
                     break
-            self._cache[key] = result
+            self._store(key, result)
         return self._cache[key]
 
     def _nonneg(self, co: CoAccess, margin: int) -> Polyhedron:
-        key = ("ge", id(co), margin)
+        key = ("ge", coaccess_key(co), margin)
         if key not in self._cache:
             result = Polyhedron.universe(self.space)
             for disjunct in co.extent.disjuncts:
@@ -154,5 +183,42 @@ class ConstraintCache:
                     farkas_nonneg(disjunct, form.shift(-margin), self.space))
                 if result.is_rational_empty():
                     break
-            self._cache[key] = result
+            self._store(key, result)
         return self._cache[key]
+
+    # -- worker-cache protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._cache
+
+    def keys(self):
+        return self._cache.keys()
+
+    def export(self, keys: Iterable[tuple] | None = None) -> dict[tuple, Polyhedron]:
+        """Picklable snapshot of all (or the selected) entries."""
+        if keys is None:
+            return dict(self._cache)
+        return {k: self._cache[k] for k in keys if k in self._cache}
+
+    def merge(self, entries: Mapping[tuple, Polyhedron]) -> int:
+        """Adopt entries computed elsewhere; existing keys win (values for a
+        given key are deterministic, so either copy is correct).  Returns the
+        number of entries actually added."""
+        added = 0
+        for key, value in entries.items():
+            if key not in self._cache:
+                self._store(key, value)
+                added += 1
+        return added
+
+    def begin_delta(self) -> None:
+        """Reset the journal; subsequent stores are collected by
+        :meth:`collect_delta`."""
+        self._journal = []
+
+    def collect_delta(self) -> dict[tuple, Polyhedron]:
+        """Entries stored since the last :meth:`begin_delta`."""
+        return {k: self._cache[k] for k in self._journal if k in self._cache}

@@ -32,7 +32,7 @@ from typing import Iterable, Sequence
 from ..analysis import Dependence, SharingOpportunity
 from ..ir import AccessType, AffineExpr, Program, Schedule, Statement
 from ..polyhedral import Polyhedron, RationalMatrix, Space
-from .constraints import CONST_SUFFIX, ConstraintCache
+from .constraints import CONST_SUFFIX, ConstraintCache, coaccess_key
 
 __all__ = ["find_schedule", "enum_row"]
 
@@ -64,6 +64,11 @@ class _Searcher:
         self.d_tilde = program.max_depth
         self.statements = program.statements
 
+        # Stable (picklable) memo keys: dependences by co-access identity,
+        # opportunities by index — valid across optimizer worker processes.
+        self._dep_key = {id(d): coaccess_key(d.co) for d in self.dependences}
+        self._opps_key = tuple(sorted(o.index for o in self.opportunities))
+
         self.q_self_w = [o for o in self.opportunities
                          if o.is_self and o.co.src.type is AccessType.WRITE]
         self.q_self_r = [o for o in self.opportunities
@@ -88,8 +93,8 @@ class _Searcher:
         # many FindSchedule calls the Apriori search makes.
         last = depth >= self.d_tilde
         memo_key = ("base",
-                    frozenset(id(d) for d in state.remaining),
-                    frozenset(id(o) for o in self.opportunities),
+                    frozenset(self._dep_key[id(d)] for d in state.remaining),
+                    self._opps_key,
                     last)
         base = self.cache.memo(memo_key, lambda: self._build_base(state, last))
         if base is None or base.is_rational_empty():
@@ -116,7 +121,8 @@ class _Searcher:
         return None
 
     def _build_base(self, state: "_State", last: bool) -> Polyhedron | None:
-        deps_key = ("depsbase", frozenset(id(d) for d in state.remaining))
+        deps_key = ("depsbase",
+                    frozenset(self._dep_key[id(d)] for d in state.remaining))
 
         def build_deps():
             acc = Polyhedron.universe(self.cache.space)

@@ -79,21 +79,43 @@ class Optimizer:
                  memory_cap_bytes: int | None = None,
                  max_set_size: int | None = None,
                  max_candidates: int | None = None,
-                 block_bytes: Mapping[str, int] | None = None) -> OptimizationResult:
+                 block_bytes: Mapping[str, int] | None = None,
+                 workers: int | None = None) -> OptimizationResult:
+        """Run the pipeline.
+
+        ``workers`` selects the search execution layer: ``None`` or ``1``
+        runs the sequential path; ``N >= 2`` fans the Apriori legality tests
+        and the per-plan costing out to a process pool
+        (:mod:`repro.optimizer.parallel`).  Both layers return identical
+        plans in identical order — parallelism changes wall time only.
+        """
+        if workers is not None and workers < 1:
+            raise OptimizationError(f"workers must be >= 1, got {workers}")
         t0 = time.perf_counter()
         analysis = analyze(self.program, param_values=params)
-        cache = ConstraintCache(self.program)
-        feasible, stats = enumerate_feasible_sets(analysis, cache, max_set_size,
-                                                  max_candidates)
-        by_index = {o.index: o for o in analysis.opportunities}
-        plans: list[Plan] = []
-        for plan_id, (idx_set, schedule) in enumerate(feasible):
-            realized = [by_index[i] for i in sorted(idx_set)]
-            cost = evaluate_plan(self.program, params, schedule, realized,
-                                 self.io_model,
-                                 dead_write_elimination=self.dead_write_elimination,
-                                 block_bytes=block_bytes)
-            plans.append(Plan(plan_id, schedule, realized, cost))
+        if workers is not None and workers > 1:
+            from .parallel import ParallelOptimizerPool
+            with ParallelOptimizerPool(
+                    analysis, params, self.io_model, workers,
+                    dead_write_elimination=self.dead_write_elimination,
+                    block_bytes=block_bytes) as pool:
+                feasible, stats = pool.enumerate_feasible_sets(max_set_size,
+                                                               max_candidates)
+                plans = pool.cost_plans(feasible, stats)
+        else:
+            cache = ConstraintCache(self.program)
+            feasible, stats = enumerate_feasible_sets(analysis, cache,
+                                                      max_set_size,
+                                                      max_candidates)
+            by_index = {o.index: o for o in analysis.opportunities}
+            plans = []
+            for plan_id, (idx_set, schedule) in enumerate(feasible):
+                realized = [by_index[i] for i in sorted(idx_set)]
+                cost = evaluate_plan(self.program, params, schedule, realized,
+                                     self.io_model,
+                                     dead_write_elimination=self.dead_write_elimination,
+                                     block_bytes=block_bytes)
+                plans.append(Plan(plan_id, schedule, realized, cost))
         seconds = time.perf_counter() - t0
         result = OptimizationResult(self.program, params, analysis, plans,
                                     stats, self.io_model, seconds)
@@ -107,8 +129,9 @@ def optimize(program: Program, params: Mapping[str, int],
              max_set_size: int | None = None,
              max_candidates: int | None = None,
              dead_write_elimination: bool = True,
-             block_bytes: Mapping[str, int] | None = None) -> OptimizationResult:
+             block_bytes: Mapping[str, int] | None = None,
+             workers: int | None = None) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`Optimizer`."""
     opt = Optimizer(program, io_model, dead_write_elimination)
     return opt.optimize(params, memory_cap_bytes, max_set_size, max_candidates,
-                        block_bytes)
+                        block_bytes, workers)

@@ -1,0 +1,304 @@
+"""Process-pool execution layer for the optimizer.
+
+The two hot phases of :meth:`repro.optimizer.Optimizer.optimize` are
+embarrassingly parallel *within* their natural barriers:
+
+* **Apriori enumeration** — candidates inside one level are mutually
+  independent (level k+1 only needs level k's feasible sets), so each
+  level's candidate list is fanned out to worker processes; levels remain a
+  barrier.
+* **Plan costing** — ``evaluate_plan`` over the feasible plans is a pure
+  per-plan computation.
+
+Polyhedral work is shared across workers through the picklable, mergeable
+:class:`~repro.optimizer.constraints.ConstraintCache`:
+
+1. each worker holds a process-persistent cache, seeded from the pickled
+   analysis at pool start;
+2. every legality-test task returns the *delta* of cache entries the worker
+   computed (journal-based, see ``begin_delta``/``collect_delta``);
+3. the driver merges all deltas into its master cache at the level barrier;
+4. the next level's tasks carry the entries the driver has not yet
+   broadcast, so every worker starts the level warm with the union of all
+   workers' previous work.
+
+Merging is sound because cache keys are content-based and values are
+deterministic functions of their key — two processes can only ever compute
+identical values for the same key.  Consequently ``workers=N`` returns
+bit-identical plans to ``workers=1``: the same candidates are tested in the
+same canonical order, ``find_schedule`` is deterministic, and results are
+collected in submission order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Mapping, Sequence
+
+from ..analysis import ProgramAnalysis
+from ..ir import Schedule
+from .apriori import AprioriStats, generate_level_candidates, grow_greedy_maximal
+from .constraints import ConstraintCache
+from .costing import IOModel, evaluate_plan
+from .find_schedule import find_schedule
+from .plan import Plan
+
+__all__ = ["ParallelOptimizerPool"]
+
+# Tasks per worker per level: >1 so a fast worker can steal work, small
+# enough that each task amortizes its IPC (one find_schedule call is orders
+# of magnitude costlier than pickling a candidate batch).
+_OVERSUBSCRIBE = 2
+
+# -- worker side ---------------------------------------------------------------
+
+_STATE: dict | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: one analysis + one warm-started cache per process."""
+    global _STATE
+    analysis, params, io_model, dwe, block_bytes, seed = pickle.loads(payload)
+    cache = ConstraintCache(analysis.program)
+    if seed:
+        cache.merge(seed)
+    _STATE = {
+        "analysis": analysis,
+        "by_index": {o.index: o for o in analysis.opportunities},
+        "params": params,
+        "io_model": io_model,
+        "dwe": dwe,
+        "block_bytes": block_bytes,
+        "cache": cache,
+    }
+
+
+def _test_candidates(batch: Sequence[tuple[int, ...]],
+                     delta: dict | None):
+    """Legality-test a batch of candidate index tuples.
+
+    Returns ``(pid, [(candidate, schedule-or-None), ...], cache_delta)``.
+    """
+    st = _STATE
+    cache: ConstraintCache = st["cache"]
+    if delta:
+        cache.merge(delta)
+    cache.begin_delta()
+    analysis: ProgramAnalysis = st["analysis"]
+    out = []
+    for cand in batch:
+        opps = [st["by_index"][i] for i in cand]
+        sched = find_schedule(analysis.program, cache, opps,
+                              analysis.dependences)
+        out.append((cand, sched))
+    return os.getpid(), out, cache.collect_delta()
+
+
+def _cost_plans(batch: Sequence[tuple[int, tuple[int, ...], Schedule]]):
+    """Cost a batch of ``(plan_id, candidate, schedule)`` triples.
+
+    Returns ``(pid, [(plan_id, PlanCost), ...])``.
+    """
+    st = _STATE
+    analysis: ProgramAnalysis = st["analysis"]
+    out = []
+    for plan_id, cand, schedule in batch:
+        realized = [st["by_index"][i] for i in cand]
+        cost = evaluate_plan(analysis.program, st["params"], schedule,
+                             realized, st["io_model"],
+                             dead_write_elimination=st["dwe"],
+                             block_bytes=st["block_bytes"])
+        out.append((plan_id, cost))
+    return os.getpid(), out
+
+
+# -- driver side ---------------------------------------------------------------
+
+
+class ParallelOptimizerPool:
+    """Drives Apriori enumeration and plan costing over a process pool.
+
+    The driver keeps the master :class:`ConstraintCache`; use it (e.g. for
+    the greedy-maximal completion) after enumeration — it holds the union of
+    every worker's polyhedral work.
+    """
+
+    def __init__(self, analysis: ProgramAnalysis, params: Mapping[str, int],
+                 io_model: IOModel, workers: int,
+                 dead_write_elimination: bool = True,
+                 block_bytes: Mapping[str, int] | None = None,
+                 seed_cache: ConstraintCache | None = None):
+        if workers < 2:
+            raise ValueError("ParallelOptimizerPool needs workers >= 2; "
+                             "use the sequential path for workers=1")
+        self.analysis = analysis
+        self.params = dict(params)
+        self.workers = workers
+        self.cache = ConstraintCache(analysis.program)
+        if seed_cache is not None:
+            self.cache.merge(seed_cache.export())
+        payload = pickle.dumps((analysis, self.params, io_model,
+                                dead_write_elimination, block_bytes,
+                                self.cache.export()))
+        self._sent_keys: set[tuple] = set(self.cache.keys())
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(payload,))
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelOptimizerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _batches(self, items: Sequence) -> list[list]:
+        """Split ``items`` into contiguous batches, preserving order."""
+        n = max(1, -(-len(items) // (self.workers * _OVERSUBSCRIBE)))
+        return [list(items[i:i + n]) for i in range(0, len(items), n)]
+
+    def _pending_delta(self) -> dict:
+        """Master-cache entries not yet shipped to the pool."""
+        fresh = [k for k in self.cache.keys() if k not in self._sent_keys]
+        return self.cache.export(fresh)
+
+    def _run_level(self, candidates: Sequence[frozenset[int]],
+                   stats: AprioriStats) -> list[tuple[frozenset[int], Schedule | None]]:
+        """Test one level's candidates; returns results in candidate order."""
+        delta = self._pending_delta()
+        self._sent_keys.update(delta)
+        batches = self._batches([tuple(sorted(c)) for c in candidates])
+        futures = [self._pool.submit(_test_candidates, batch, delta)
+                   for batch in batches]
+        ordered: list[tuple[frozenset[int], Schedule | None]] = []
+        for fut in futures:
+            pid, results, worker_delta = fut.result()
+            stats.record_task(pid)
+            # Merged worker entries are deliberately NOT added to
+            # _sent_keys: the *other* workers still lack them, so the next
+            # level's broadcast must carry them (re-merging is idempotent).
+            self.cache.merge(worker_delta)
+            ordered.extend((frozenset(cand), sched) for cand, sched in results)
+        return ordered
+
+    # -- enumeration --------------------------------------------------------
+
+    def enumerate_feasible_sets(self, max_set_size: int | None = None,
+                                max_candidates: int | None = None,
+                                include_greedy_maximal: bool = True
+                                ) -> tuple[list[tuple[frozenset[int], Schedule]], AprioriStats]:
+        """Parallel Algorithm 2: identical results (sets, order, stats
+        counters) to :func:`repro.optimizer.apriori.enumerate_feasible_sets`."""
+        analysis = self.analysis
+        usable = [o for o in analysis.opportunities if o.reduced]
+        stats = AprioriStats()
+        stats.workers = self.workers
+        stats.total_subsets = 2 ** len(usable) - 1
+        t0 = time.perf_counter()
+
+        results: list[tuple[frozenset[int], Schedule]] = [
+            (frozenset(), analysis.schedule)]
+        feasible_prev: set[frozenset[int]] = set()
+
+        def budget_room() -> int | None:
+            if max_candidates is None:
+                return None
+            return max_candidates - stats.candidates_tested
+
+        def take_budget(candidates: list) -> list:
+            """Budget-bounded prefix, flagging truncation like the
+            sequential walk does."""
+            room = budget_room()
+            if room is None or len(candidates) <= room:
+                return candidates
+            stats.truncated = True
+            return candidates[:room]
+
+        # Level 1: singletons in opportunity-index order (the canonical sort
+        # order, since ``usable`` is index-ascending).
+        t_level = time.perf_counter()
+        feasible_singletons: list = []
+        level1 = take_budget([frozenset([o.index]) for o in usable])
+        for cand, sched in self._run_level(level1, stats):
+            stats.candidates_tested += 1
+            if sched is not None:
+                feasible_prev.add(cand)
+                results.append((cand, sched))
+                feasible_singletons.append(
+                    next(o for o in usable if o.index in cand))
+                stats.feasible += 1
+        stats.record_level(1, stats.candidates_tested, stats.feasible,
+                           time.perf_counter() - t_level)
+
+        k = 2
+        while (feasible_prev and (max_set_size is None or k <= max_set_size)
+               and k <= len(usable)):
+            candidates = generate_level_candidates(feasible_prev, usable, k)
+            if not candidates:
+                break
+            room = budget_room()
+            if room is not None and room <= 0:
+                stats.truncated = True
+                break
+            candidates = take_budget(candidates)
+            t_level = time.perf_counter()
+            tested_before = stats.candidates_tested
+            feasible_before = stats.feasible
+            feasible_now: set[frozenset[int]] = set()
+            for cand, sched in self._run_level(candidates, stats):
+                stats.candidates_tested += 1
+                if sched is not None:
+                    feasible_now.add(cand)
+                    results.append((cand, sched))
+                    stats.feasible += 1
+            stats.record_level(k, stats.candidates_tested - tested_before,
+                               stats.feasible - feasible_before,
+                               time.perf_counter() - t_level)
+            feasible_prev = feasible_now
+            k += 1
+        if feasible_prev and max_set_size is not None and k > max_set_size:
+            stats.truncated = stats.truncated or any(
+                len(s) == max_set_size for s in feasible_prev)
+
+        if stats.truncated and include_greedy_maximal:
+            # Runs on the driver against the merged master cache, so it is
+            # warm with every worker's polyhedral work.
+            seen = {key for key, _ in results}
+            grown = grow_greedy_maximal(analysis, self.cache,
+                                        feasible_singletons, stats)
+            if grown is not None and grown[0] not in seen:
+                results.append(grown)
+                stats.feasible += 1
+
+        stats.seconds = time.perf_counter() - t0
+        return results, stats
+
+    # -- costing ------------------------------------------------------------
+
+    def cost_plans(self, feasible: Sequence[tuple[frozenset[int], Schedule]],
+                   stats: AprioriStats | None = None) -> list[Plan]:
+        """Fan ``evaluate_plan`` out over the feasible plans (order kept)."""
+        by_index = {o.index: o for o in self.analysis.opportunities}
+        items = [(plan_id, tuple(sorted(idx_set)), schedule)
+                 for plan_id, (idx_set, schedule) in enumerate(feasible)]
+        futures = [self._pool.submit(_cost_plans, batch)
+                   for batch in self._batches(items)]
+        costs: dict[int, object] = {}
+        for fut in futures:
+            pid, results = fut.result()
+            if stats is not None:
+                stats.record_task(pid)
+            costs.update(results)
+        plans: list[Plan] = []
+        for plan_id, (idx_set, schedule) in enumerate(feasible):
+            realized = [by_index[i] for i in sorted(idx_set)]
+            plans.append(Plan(plan_id, schedule, realized, costs[plan_id]))
+        return plans

@@ -128,13 +128,23 @@ class BufferPool:
             raise BufferPoolError(f"unpin without pin on {key}")
         blk.pins -= 1
 
-    def release(self, key: tuple) -> None:
-        """Drop a block regardless of LRU position (pins must be zero)."""
+    def release(self, key: tuple, force: bool = False) -> None:
+        """Drop a block regardless of LRU position (pins must be zero).
+
+        A dirty block holds data that never reached disk; dropping it is the
+        same data loss ``_make_room`` refuses, so it raises here too unless
+        ``force=True`` (teardown escape hatch for callers that know the data
+        is dead).
+        """
         blk = self._blocks.get(key)
         if blk is None:
             return
         if blk.pins > 0:
             raise BufferPoolError(f"release of pinned block {key}")
+        if blk.dirty and not force:
+            raise BufferPoolError(
+                f"release of dirty block {key} would discard unwritten data "
+                f"(schedule its write-back, or pass force=True to drop it)")
         del self._blocks[key]
         self.used_bytes -= blk.nbytes
 

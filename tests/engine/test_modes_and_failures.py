@@ -51,6 +51,70 @@ class TestOpportunisticMode:
                                 inputs, plan_exact=False)
         assert report.pool_hits > 0
 
+    def _tight_cap_setup(self, prog, result, inputs, tmp_path,
+                         write_through: bool):
+        """Best plan with retention pins stripped (classic LRU is free to
+        evict plan-retained blocks), optionally upgrading WRITE_SKIP to
+        write-through so evicted blocks keep a valid disk copy."""
+        from repro.codegen import IOAction
+        ep = build_executable_plan(prog, P, result.best())
+        has_reuse = False
+        for inst in ep.instances:
+            for pa in inst.reads + ([inst.write] if inst.write else []):
+                pa.pin_after = 0
+                pa.unpin_before = 0
+                if pa.action is IOAction.REUSE:
+                    has_reuse = True
+                if write_through and pa.action is IOAction.WRITE_SKIP:
+                    pa.action = IOAction.WRITE
+        if not has_reuse:
+            pytest.skip("best plan has no REUSE")
+        disk = SimulatedDisk(tmp_path)
+        stores = {}
+        for name, arr in prog.arrays.items():
+            store = DAFMatrix.create(disk, name, arr.num_blocks(P),
+                                     arr.block_shape)
+            stores[name] = store
+            if name in inputs:
+                store.write_matrix(inputs[name], count=False)
+            else:
+                store.write_matrix(np.zeros(arr.shape_elems(P)), count=False)
+        cap = 4 * max(a.block_bytes for a in prog.arrays.values())
+        return ep, stores, disk, cap
+
+    def test_evicted_reuse_falls_back_to_read(self, prog, result, inputs,
+                                              tmp_path):
+        """Regression: under a tight cap, opportunistic LRU legally evicts
+        blocks the plan retained for REUSE; the engine must re-read them
+        from disk (counted) instead of raising ExecutionError — and still
+        compute the right answer."""
+        ep, stores, disk, cap = self._tight_cap_setup(
+            prog, result, inputs, tmp_path, write_through=True)
+        with disk:
+            report = execute_plan(ep, stores, disk, memory_cap_bytes=cap,
+                                  plan_exact=False)
+            outputs = stores["E"].read_matrix(count=False)
+        truth = (inputs["A"] + inputs["B"]) @ inputs["D"]
+        assert np.allclose(outputs, truth)
+        # The fallback reads are charged as disk I/O, not smuggled in free.
+        assert report.io.read_bytes > 0
+
+    def test_evicted_memory_only_reuse_still_fails(self, prog, result,
+                                                   inputs, tmp_path):
+        """If the evicted block's newest version was WRITE_SKIP (memory
+        only), no disk copy exists — falling back to a read would silently
+        return stale data, so that case must still be an error."""
+        ep, stores, disk, cap = self._tight_cap_setup(
+            prog, result, inputs, tmp_path, write_through=False)
+        from repro.codegen import IOAction
+        if not any(inst.write and inst.write.action is IOAction.WRITE_SKIP
+                   for inst in ep.instances):
+            pytest.skip("best plan has no WRITE_SKIP")
+        with disk:
+            with pytest.raises(ExecutionError, match="never written to disk"):
+                execute_plan(ep, stores, disk, memory_cap_bytes=cap,
+                             plan_exact=False)
+
 
 class TestFailureInjection:
     def test_truncated_store_detected(self, prog, result, inputs, tmp_path):

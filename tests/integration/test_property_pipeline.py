@@ -12,6 +12,9 @@ from repro.analysis import ConcreteAnalyzer, analyze
 from repro.ir import Schedule, lex_less
 from repro.ops import add_multiply_program, two_matmul_program
 
+# Hypothesis drives full optimize+execute pipelines; minutes, not seconds.
+pytestmark = pytest.mark.slow
+
 
 @settings(max_examples=6, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])

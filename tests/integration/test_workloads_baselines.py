@@ -85,6 +85,7 @@ class TestBaselines:
             (rep.io_seconds + rep.cpu_seconds) * rep.overhead_factor)
 
 
+@pytest.mark.slow
 class TestBlockSizeAdvisor:
     def test_sweep_and_recommend(self):
         advisor = BlockSizeAdvisor(

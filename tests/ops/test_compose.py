@@ -56,6 +56,7 @@ class TestConcat:
         assert [s.name for s in composed.statements] == ["s1"]
 
 
+@pytest.mark.slow
 class TestCrossQuerySharing:
     """The multi-query-optimization story: the optimizer finds and realizes
     the shared scan of T across two independent queries."""

@@ -1,0 +1,149 @@
+"""Tests for the process-pool search layer (repro.optimizer.parallel) and
+the ConstraintCache worker-cache protocol it relies on."""
+
+import pickle
+
+import pytest
+
+from repro.analysis import analyze
+from repro.exceptions import OptimizationError
+from repro.optimizer import ConstraintCache, find_schedule, optimize
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def analysis(prog):
+    return analyze(prog, param_values=P)
+
+
+@pytest.fixture(scope="module")
+def seq_result(prog):
+    return optimize(prog, P, workers=1)
+
+
+@pytest.fixture(scope="module")
+def par_result(prog):
+    return optimize(prog, P, workers=2)
+
+
+def plan_signature(result):
+    return [(tuple(p.realized_labels), p.cost.io_seconds,
+             p.cost.memory_bytes) for p in result.plans]
+
+
+class TestParallelEquivalence:
+    def test_same_plans_same_order(self, seq_result, par_result):
+        """workers=N must return bit-identical plan sets: same realized
+        labels, same costs, same indices, in the same order."""
+        assert plan_signature(seq_result) == plan_signature(par_result)
+        assert [p.index for p in seq_result.plans] == \
+            [p.index for p in par_result.plans]
+
+    def test_same_best_plan(self, seq_result, par_result):
+        assert seq_result.best().realized_labels == \
+            par_result.best().realized_labels
+        assert seq_result.best().index == par_result.best().index
+
+    def test_same_search_stats(self, seq_result, par_result):
+        s1, s2 = seq_result.stats, par_result.stats
+        assert s1.candidates_tested == s2.candidates_tested
+        assert s1.feasible == s2.feasible
+        assert s1.truncated == s2.truncated
+        assert s1.level_candidates == s2.level_candidates
+        assert s1.level_feasible == s2.level_feasible
+
+    def test_worker_utilization_observable(self, par_result):
+        s = par_result.stats
+        assert s.workers == 2
+        assert s.tasks_dispatched >= 1
+        assert sum(s.worker_tasks.values()) == s.tasks_dispatched
+        assert s.level_seconds  # per-level timing recorded
+
+    def test_sequential_stats_have_levels_too(self, seq_result):
+        s = seq_result.stats
+        assert s.workers == 1
+        assert s.level_candidates and s.level_seconds
+        assert sum(s.level_candidates.values()) >= s.candidates_tested - 1
+
+    def test_bad_worker_count_rejected(self, prog):
+        with pytest.raises(OptimizationError):
+            optimize(prog, P, workers=0)
+
+
+class TestConstraintCacheMerge:
+    """Guards the worker-cache protocol: disjoint caches merge into exactly
+    the sequential cache, and entries survive pickling."""
+
+    def test_disjoint_merge_equals_sequential(self, prog, analysis):
+        usable = [o for o in analysis.opportunities if o.reduced]
+        assert len(usable) >= 2
+        half = len(usable) // 2
+        # Two "workers", each testing a disjoint candidate set.
+        a, b = ConstraintCache(prog), ConstraintCache(prog)
+        for o in usable[:half]:
+            find_schedule(prog, a, [o], analysis.dependences)
+        for o in usable[half:]:
+            find_schedule(prog, b, [o], analysis.dependences)
+        # One sequential run over all candidates.
+        seq = ConstraintCache(prog)
+        for o in usable:
+            find_schedule(prog, seq, [o], analysis.dependences)
+        merged = ConstraintCache(prog)
+        merged.merge(a.export())
+        merged.merge(b.export())
+        assert set(merged.keys()) == set(seq.keys())
+        for key in seq.keys():
+            ours, theirs = merged._cache[key], seq._cache[key]
+            if theirs is None:
+                assert ours is None
+            else:
+                assert ours.eqs == theirs.eqs and ours.ineqs == theirs.ineqs
+
+    def test_merge_does_not_overwrite(self, prog, analysis):
+        usable = [o for o in analysis.opportunities if o.reduced]
+        a = ConstraintCache(prog)
+        find_schedule(prog, a, [usable[0]], analysis.dependences)
+        before = dict(a._cache)
+        added = a.merge(a.export())  # self-merge must be a no-op
+        assert added == 0
+        assert {k: id(v) for k, v in a._cache.items()} == \
+            {k: id(v) for k, v in before.items()}
+
+    def test_entries_pickle_round_trip(self, prog, analysis):
+        usable = [o for o in analysis.opportunities if o.reduced]
+        a = ConstraintCache(prog)
+        find_schedule(prog, a, usable[:1], analysis.dependences)
+        assert len(a) > 0
+        entries = pickle.loads(pickle.dumps(a.export()))
+        assert set(entries) == set(a.keys())
+        fresh = ConstraintCache(prog)
+        assert fresh.merge(entries) == len(entries)
+        # A warm-started cache answers without recomputation and the result
+        # matches the original worker's polyhedra.
+        for key, value in entries.items():
+            got = fresh.memo(key, lambda: pytest.fail("memo miss after merge"))
+            if value is None:
+                assert got is None
+            else:
+                assert got.eqs == value.eqs and got.ineqs == value.ineqs
+
+    def test_delta_journal(self, prog, analysis):
+        usable = [o for o in analysis.opportunities if o.reduced]
+        cache = ConstraintCache(prog)
+        find_schedule(prog, cache, [usable[0]], analysis.dependences)
+        cache.begin_delta()
+        assert cache.collect_delta() == {}
+        find_schedule(prog, cache, [usable[1]], analysis.dependences)
+        delta = cache.collect_delta()
+        assert delta  # the new candidate computed something new
+        assert all(k in cache for k in delta)
+        # Deltas merged elsewhere reproduce exactly those entries.
+        other = ConstraintCache(prog)
+        assert other.merge(delta) == len(delta)

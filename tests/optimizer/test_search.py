@@ -140,6 +140,47 @@ class TestApriori:
         assert stats.candidates_tested <= 5 or stats.truncated
 
 
+class TestBudgetAccounting:
+    """Regression tests for the budget bugs: level 1 ignored
+    ``max_candidates`` entirely, and a budget exhausted exactly at a level
+    boundary exited without setting ``stats.truncated`` (silently skipping
+    the greedy-maximal fallback)."""
+
+    def test_level1_respects_budget(self, prog, analysis, cache):
+        feasible, stats = enumerate_feasible_sets(
+            analysis, cache, max_candidates=2, include_greedy_maximal=False)
+        assert stats.candidates_tested == 2
+        assert stats.truncated
+        assert all(len(k) <= 1 for k, _ in feasible)
+
+    def test_boundary_exhaustion_marks_truncated(self, prog, analysis, cache):
+        """Example 1 has 4 usable opportunities, all feasible as singletons,
+        and 6 level-2 candidates.  A budget of exactly 4 runs dry at the
+        level boundary: level 2 was never entered, so the search IS
+        truncated even though no mid-level break happened."""
+        feasible, stats = enumerate_feasible_sets(
+            analysis, cache, max_candidates=4, include_greedy_maximal=False)
+        assert stats.candidates_tested == 4
+        assert stats.truncated
+        assert all(len(k) <= 1 for k, _ in feasible)
+
+    def test_boundary_exhaustion_adds_greedy_fallback(self, prog, analysis,
+                                                      cache):
+        """The truncated flag is what gates the greedy-maximal completion;
+        the boundary bug therefore silently dropped that plan."""
+        feasible, stats = enumerate_feasible_sets(
+            analysis, cache, max_candidates=4, include_greedy_maximal=True)
+        assert stats.truncated
+        assert max(len(k) for k, _ in feasible) > 1  # the grown maximal set
+
+    def test_untruncated_run_stays_untruncated(self, prog, analysis, cache):
+        feasible, stats = enumerate_feasible_sets(
+            analysis, cache, max_candidates=10_000,
+            include_greedy_maximal=True)
+        assert not stats.truncated
+        assert len(feasible) == 10  # the full Example-1 plan space
+
+
 class TestSelection:
     def test_best_is_min_io(self, result):
         best = result.best()

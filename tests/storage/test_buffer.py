@@ -114,6 +114,28 @@ class TestPinning:
     def test_release_missing_is_noop(self):
         BufferPool().release(("A", (0, 0)))
 
+    def test_release_dirty_raises(self):
+        """Regression: release used to silently delete dirty blocks,
+        discarding unwritten data that _make_room refuses to drop."""
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk(), dirty=True)
+        with pytest.raises(BufferPoolError, match="dirty"):
+            pool.release(("A", (0, 0)))
+        assert pool.contains(("A", (0, 0)))  # refused, still resident
+
+    def test_release_dirty_force_escape_hatch(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk(), dirty=True)
+        pool.release(("A", (0, 0)), force=True)
+        assert len(pool) == 0 and pool.used_bytes == 0
+
+    def test_release_clean_after_writeback(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk(), dirty=True)
+        pool.mark_clean(("A", (0, 0)))
+        pool.release(("A", (0, 0)))  # write-back done: release is legal
+        assert len(pool) == 0
+
     def test_bad_cap_rejected(self):
         with pytest.raises(BufferPoolError):
             BufferPool(cap_bytes=0)
