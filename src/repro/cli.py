@@ -53,6 +53,16 @@ def main(argv: list[str] | None = None) -> int:
     demo = sub.add_parser("demo")
     demo.add_argument("--blocks", type=int, default=4,
                       help="block grid size (n1 = n2 = blocks)")
+    demo.add_argument("--faults", type=int, default=None, metavar="SEED",
+                      help="inject deterministic transient I/O faults "
+                           "(5%% of counted ops) with this seed; the "
+                           "retry/backoff layer must absorb them")
+    demo.add_argument("--workdir", default=None,
+                      help="persistent working directory (enables the "
+                           "checkpoint journal; default: a temp dir)")
+    demo.add_argument("--resume", action="store_true",
+                      help="resume an interrupted --workdir run from its "
+                           "execution journal")
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -124,15 +134,32 @@ def _demo(args) -> int:
     rng = np.random.default_rng(0)
     inputs = {n: rng.standard_normal(program.arrays[n].shape_elems(params))
               for n in ("A", "B", "D")}
-    with tempfile.TemporaryDirectory() as workdir:
-        report, outputs = run_program(program, params, best, workdir, inputs)
+    if args.resume and not args.workdir:
+        raise SystemExit("--resume requires --workdir")
+    kwargs = dict(faults=args.faults, checkpoint=bool(args.workdir),
+                  resume=args.resume)
+    if args.workdir:
+        report, outputs = run_program(program, params, best, args.workdir,
+                                      inputs, **kwargs)
+    else:
+        with tempfile.TemporaryDirectory() as workdir:
+            report, outputs = run_program(program, params, best, workdir,
+                                          inputs, **kwargs)
     ok = np.allclose(outputs["E"], (inputs["A"] + inputs["B"]) @ inputs["D"])
     exact = (report.io.read_bytes == best.cost.read_bytes
              and report.io.write_bytes == best.cost.write_bytes)
     print(f"executed: {report.io.read_bytes / 1e6:.1f} MB read, "
           f"{report.io.write_bytes / 1e6:.1f} MB written; "
           f"result correct: {ok}; I/O byte-exact vs prediction: {exact}")
-    return 0 if ok and exact else 1
+    if args.faults is not None:
+        print(f"fault injection (seed {args.faults}): "
+              f"{report.io.retries} transient faults absorbed by retry")
+    if report.resumed_from:
+        print(f"resumed from instance {report.resumed_from}: "
+              f"{report.instances} instances re-executed")
+    # A resumed run legitimately differs from the plan's predicted bytes
+    # (it skips completed instances and re-warms held blocks).
+    return 0 if ok and (exact or report.resumed_from) else 1
 
 
 if __name__ == "__main__":

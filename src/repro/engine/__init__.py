@@ -3,14 +3,18 @@ storage with numpy block kernels.
 
 Public surface:
 
-* :func:`run_program` — storage setup + plan execution + output readback;
+* :func:`run_program` — storage setup + plan execution + output readback,
+  with optional fault injection, checkpointing, and resume;
 * :func:`execute_plan` — the inner loop over an :class:`ExecutablePlan`;
 * :class:`ExecutionReport` — measured I/O, simulated seconds, CPU time;
+* :class:`ExecutionJournal` / :func:`plan_fingerprint` — the instance-level
+  checkpoint log behind ``resume=True``;
 * :func:`reference_outputs` — dense in-memory oracle for verification;
 * ``KERNELS`` / :func:`register_kernel` — the block-kernel registry.
 """
 
 from .executor import ExecutionReport, execute_plan, run_program
+from .journal import ExecutionJournal, plan_fingerprint
 from .kernels import KERNELS, register_kernel, run_kernel
 from .reference import reference_outputs
 
@@ -18,6 +22,8 @@ __all__ = [
     "run_program",
     "execute_plan",
     "ExecutionReport",
+    "ExecutionJournal",
+    "plan_fingerprint",
     "reference_outputs",
     "KERNELS",
     "register_kernel",

@@ -13,38 +13,53 @@ Two residency policies:
   paper's Figures 3(b)/4(b)/5(b)/6(b)).
 * opportunistic — classic LRU under the cap; actual I/O can only be lower.
 
-``run_program`` is the one-call convenience: creates stores on a simulated
-disk, loads inputs, executes, and reads outputs back for verification.
+Fault tolerance: with a :class:`~repro.engine.journal.ExecutionJournal`
+attached, every completed instance is checkpointed; ``resume=True`` replays
+a partially completed plan from its last *consistent* instance — the
+largest index from which execution can continue given that a crash empties
+the buffer pool.  Blocks the plan holds across that boundary are re-warmed
+from disk; if a held block's newest version was memory-only (WRITE_SKIP),
+the resume point rewinds to the instance that produced it.
+
+``run_program`` is the one-call convenience: creates (or, resuming,
+reopens) stores on a simulated disk, loads inputs, executes, and reads
+outputs back for verification.
 """
 
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Mapping
 
 import numpy as np
 
 from ..codegen.exec_plan import ExecutablePlan, IOAction, build_executable_plan
-from ..exceptions import ExecutionError
+from ..exceptions import ExecutionError, StorageError
 from ..ir import ArrayKind, Program
 from ..optimizer.costing import IOModel
 from ..optimizer.plan import Plan
-from ..storage import BufferPool, DAFMatrix, IOStats, LABTree, SimulatedDisk
+from ..storage import (BufferPool, DAFMatrix, FaultInjector, IOStats, LABTree,
+                       RetryPolicy, SimulatedDisk)
+from .journal import ExecutionJournal, plan_fingerprint
 from .kernels import run_kernel
 
 __all__ = ["ExecutionReport", "execute_plan", "run_program"]
+
+JOURNAL_NAME = "execution.journal"
 
 
 class ExecutionReport:
     """What actually happened during one plan execution."""
 
     __slots__ = ("io", "simulated_io_seconds", "cpu_seconds", "wall_seconds",
-                 "peak_memory_bytes", "pool_hits", "pool_misses", "instances")
+                 "peak_memory_bytes", "pool_hits", "pool_misses", "instances",
+                 "resumed_from")
 
     def __init__(self, io: IOStats, simulated_io_seconds: float,
                  cpu_seconds: float, wall_seconds: float,
                  peak_memory_bytes: int, pool_hits: int, pool_misses: int,
-                 instances: int):
+                 instances: int, resumed_from: int = 0):
         self.io = io
         self.simulated_io_seconds = simulated_io_seconds
         self.cpu_seconds = cpu_seconds
@@ -52,7 +67,10 @@ class ExecutionReport:
         self.peak_memory_bytes = peak_memory_bytes
         self.pool_hits = pool_hits
         self.pool_misses = pool_misses
+        # Instances *executed in this run* (on a resumed run, strictly fewer
+        # than the plan's total) and the index execution restarted from.
         self.instances = instances
+        self.resumed_from = resumed_from
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -64,10 +82,83 @@ class ExecutionReport:
                 f"write={self.io.write_bytes}B, peak={self.peak_memory_bytes}B)")
 
 
+def _dry_replay(plan: ExecutablePlan, upto: int, plan_exact: bool
+                ) -> tuple[dict[tuple, int], set[tuple]]:
+    """Replay the pool bookkeeping of instances ``[0, upto)`` without I/O.
+
+    Returns ``(pins, memory_only)`` where ``pins`` maps every block key
+    resident at the boundary to its pin count.  Mirrors the live loop's pin
+    arithmetic exactly; in plan-exact mode a key is resident iff pinned, so
+    the pins map *is* the residency set a resumed run must re-warm.
+    """
+    pins: dict[tuple, int] = {}
+    memory_only: set[tuple] = set()
+    for inst in plan.instances[:upto]:
+        instance_pins: list[tuple] = []
+        touched: list[tuple] = []
+        for pa in inst.reads:
+            key = pa.block_key
+            pins.setdefault(key, 0)
+            touched.append(key)
+            pins[key] += 1
+            instance_pins.append(key)
+            pins[key] -= pa.unpin_before
+            pins[key] += pa.pin_after
+        if inst.write is not None:
+            pa = inst.write
+            key = pa.block_key
+            pins.setdefault(key, 0)
+            pins[key] -= pa.unpin_before
+            touched.append(key)
+            if pa.action is IOAction.WRITE:
+                memory_only.discard(key)
+            else:
+                memory_only.add(key)
+            pins[key] += pa.pin_after
+        for key in instance_pins:
+            pins[key] -= 1
+        if plan_exact:
+            for key in touched:
+                if pins.get(key) == 0:
+                    del pins[key]
+    return pins, memory_only
+
+
+def _last_write_index(plan: ExecutablePlan, key: tuple, before: int) -> int:
+    for idx in range(before - 1, -1, -1):
+        write = plan.instances[idx].write
+        if write is not None and write.block_key == key:
+            return idx
+    return 0
+
+
+def _resume_state(plan: ExecutablePlan, completed: int, plan_exact: bool
+                  ) -> tuple[int, dict[tuple, int], set[tuple]]:
+    """The last consistent resume point at or before ``completed``.
+
+    A boundary is consistent when every block held across it has a current
+    disk copy (re-warmable).  A held block whose newest version was
+    WRITE_SKIP exists only in the crashed process's memory, so the resume
+    point rewinds to the instance that produced it; rewinding can expose
+    further memory-only dependencies, hence the fixpoint loop (monotonically
+    decreasing, terminating at 0 = plain full re-execution).
+    """
+    r = completed
+    while r > 0:
+        pins, memory_only = _dry_replay(plan, r, plan_exact)
+        stale = [k for k, p in pins.items() if p > 0 and k in memory_only]
+        if not stale:
+            return r, {k: p for k, p in pins.items() if p > 0}, memory_only
+        r = min(_last_write_index(plan, k, r) for k in stale)
+    return 0, {}, set()
+
+
 def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                  disk: SimulatedDisk,
                  memory_cap_bytes: int | None = None,
-                 plan_exact: bool = True) -> ExecutionReport:
+                 plan_exact: bool = True,
+                 journal: ExecutionJournal | None = None,
+                 resume: bool = False) -> ExecutionReport:
     """Run an executable plan against open stores on ``disk``."""
     pool = BufferPool(memory_cap_bytes)
     start_stats = disk.stats.snapshot()
@@ -79,86 +170,116 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     # not silently re-read it.
     memory_only: set[tuple] = set()
 
-    for inst in plan.instances:
-        read_blocks: list[np.ndarray] = []
-        touched: list[tuple] = []
-        instance_pins: list[tuple] = []
-        for pa in inst.reads:
-            store = stores[pa.access.array.name]
-            key = pa.block_key
-            if pa.action is IOAction.REUSE:
-                if not pool.contains(key):
-                    if plan_exact:
-                        raise ExecutionError(
-                            f"plan bug: REUSE of non-resident block {key} at "
-                            f"{inst.stmt.name}@{inst.point}")
-                    if key in memory_only:
-                        raise ExecutionError(
-                            f"REUSE of evicted block {key} at "
-                            f"{inst.stmt.name}@{inst.point}: its newest "
-                            f"version was never written to disk "
-                            f"(WRITE_SKIP), so the data is lost")
-                    # Opportunistic LRU legally evicted a plan-retained
-                    # block under a tight cap; the disk copy is current, so
-                    # fall back to a counted re-read instead of crashing.
+    start_index = 0
+    if resume and journal is not None:
+        completed, journal_mem = journal.load()
+        if completed:
+            start_index, warm_pins, memory_only = _resume_state(
+                plan, completed, plan_exact)
+            if start_index == completed and memory_only != journal_mem:
+                raise ExecutionError(
+                    f"journal inconsistent with plan replay at instance "
+                    f"{completed}: memory-only sets differ")
+            # Re-warm every block held across the boundary; the fixpoint
+            # above guarantees each has a current disk copy.
+            for key, npins in warm_pins.items():
+                blk = pool.put(key, stores[key[0]].read_block(key[1]))
+                blk.pins = npins
+    if journal is not None:
+        journal.start(resume=start_index > 0)
+
+    try:
+        for index in range(start_index, len(plan.instances)):
+            inst = plan.instances[index]
+            read_blocks: list[np.ndarray] = []
+            touched: list[tuple] = []
+            instance_pins: list[tuple] = []
+            mem_add: list[tuple] = []
+            mem_del: list[tuple] = []
+            for pa in inst.reads:
+                store = stores[pa.access.array.name]
+                key = pa.block_key
+                if pa.action is IOAction.REUSE:
+                    if not pool.contains(key):
+                        if plan_exact:
+                            raise ExecutionError(
+                                f"plan bug: REUSE of non-resident block {key} at "
+                                f"{inst.stmt.name}@{inst.point}")
+                        if key in memory_only:
+                            raise ExecutionError(
+                                f"REUSE of evicted block {key} at "
+                                f"{inst.stmt.name}@{inst.point}: its newest "
+                                f"version was never written to disk "
+                                f"(WRITE_SKIP), so the data is lost")
+                        # Opportunistic LRU legally evicted a plan-retained
+                        # block under a tight cap; the disk copy is current, so
+                        # fall back to a counted re-read instead of crashing.
+                        blk = pool.fetch(
+                            key, loader=lambda s=store, b=pa.block: s.read_block(b))
+                    else:
+                        blk = pool.fetch(key, loader=_no_loader(key))
+                elif plan_exact:
+                    # READ is charged disk I/O even if incidentally resident:
+                    # the engine replays exactly what the optimizer costed.
+                    data = store.read_block(pa.block)
+                    blk = pool.put(key, data)
+                else:
+                    # Opportunistic (LRU) mode: resident blocks are buffer hits.
                     blk = pool.fetch(
                         key, loader=lambda s=store, b=pa.block: s.read_block(b))
+                read_blocks.append(blk.data)
+                touched.append(key)
+                # Operands stay resident until the kernel has consumed them.
+                pool.pin(key)
+                instance_pins.append(key)
+                for _ in range(pa.unpin_before):
+                    pool.unpin(key)
+                for _ in range(pa.pin_after):
+                    pool.pin(key)
+
+            if inst.write is not None:
+                pa = inst.write
+                store = stores[pa.access.array.name]
+                key = pa.block_key
+                out_shape = pa.access.array.block_shape
+                t0 = time.perf_counter()
+                result = run_kernel(inst.stmt.kernel, read_blocks, out_shape,
+                                    inst.stmt.kernel_args)
+                cpu += time.perf_counter() - t0
+                for _ in range(pa.unpin_before):
+                    pool.unpin(key)
+                blk = pool.put(key, result)
+                touched.append(key)
+                if pa.action is IOAction.WRITE:
+                    store.write_block(pa.block, result)
+                    if key in memory_only:
+                        memory_only.discard(key)
+                        mem_del.append(key)
                 else:
-                    blk = pool.fetch(key, loader=_no_loader(key))
-            elif plan_exact:
-                # READ is charged disk I/O even if incidentally resident:
-                # the engine replays exactly what the optimizer costed.
-                data = store.read_block(pa.block)
-                blk = pool.put(key, data)
-            else:
-                # Opportunistic (LRU) mode: resident blocks are buffer hits.
-                blk = pool.fetch(
-                    key, loader=lambda s=store, b=pa.block: s.read_block(b))
-            read_blocks.append(blk.data)
-            touched.append(key)
-            # Operands stay resident until the kernel has consumed them.
-            pool.pin(key)
-            instance_pins.append(key)
-            for _ in range(pa.unpin_before):
-                pool.unpin(key)
-            for _ in range(pa.pin_after):
-                pool.pin(key)
+                    if key not in memory_only:
+                        memory_only.add(key)
+                        mem_add.append(key)
+                for _ in range(pa.pin_after):
+                    pool.pin(key)
 
-        if inst.write is not None:
-            pa = inst.write
-            store = stores[pa.access.array.name]
-            key = pa.block_key
-            out_shape = pa.access.array.block_shape
-            t0 = time.perf_counter()
-            result = run_kernel(inst.stmt.kernel, read_blocks, out_shape,
-                                inst.stmt.kernel_args)
-            cpu += time.perf_counter() - t0
-            for _ in range(pa.unpin_before):
+            for key in instance_pins:
                 pool.unpin(key)
-            blk = pool.put(key, result)
-            touched.append(key)
-            if pa.action is IOAction.WRITE:
-                store.write_block(pa.block, result)
-                memory_only.discard(key)
-            else:
-                memory_only.add(key)
-            for _ in range(pa.pin_after):
-                pool.pin(key)
-
-        for key in instance_pins:
-            pool.unpin(key)
-        if plan_exact:
-            for key in touched:
-                blk = pool._blocks.get(key)
-                if blk is not None and blk.pins == 0:
-                    pool.release(key)
+            if plan_exact:
+                for key in touched:
+                    pool.release_if_unpinned(key)
+            if journal is not None:
+                journal.append(index, mem_add, mem_del)
+    finally:
+        if journal is not None:
+            journal.close()
 
     wall = time.perf_counter() - t_wall
     stats = disk.stats.since(start_stats)
     return ExecutionReport(stats, disk.io_model.seconds(stats.read_bytes,
                                                         stats.write_bytes),
                            cpu, wall, pool.peak_bytes, pool.hits, pool.misses,
-                           len(plan.instances))
+                           len(plan.instances) - start_index,
+                           resumed_from=start_index)
 
 
 def _no_loader(key):
@@ -172,40 +293,89 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                 io_model: IOModel | None = None,
                 memory_cap_bytes: int | None = None,
                 store_format: str = "daf",
-                plan_exact: bool = True
+                plan_exact: bool = True,
+                faults: "FaultInjector | int | None" = None,
+                retry: RetryPolicy | None = None,
+                atomic_writes: bool | None = None,
+                checkpoint: bool = False,
+                resume: bool = False
                 ) -> tuple[ExecutionReport, dict[str, np.ndarray]]:
     """Create storage, load inputs, execute, read back outputs.
 
     ``inputs`` maps input-array names to dense matrices of the full (scaled)
     shape.  Returns the execution report and the dense contents of every
     OUTPUT array.
+
+    Fault tolerance:
+
+    * ``faults`` — a :class:`FaultInjector`, or an int seed for the default
+      5 %-transient policy; injected faults are absorbed by the disk's
+      ``retry`` policy (counted in ``report.io.retries``);
+    * ``atomic_writes`` — undo-record protection for counted writes;
+      defaults on whenever faults or checkpointing are in play;
+    * ``checkpoint`` — journal every completed instance to
+      ``<workdir>/execution.journal``;
+    * ``resume`` — continue a previous checkpointed run in ``workdir``:
+      interrupted writes are rolled back, stores are reopened (inputs are
+      already on disk), and execution restarts from the last consistent
+      instance.  Falls back to a fresh checkpointed run when no journal
+      exists yet.
     """
     factory = {"daf": DAFMatrix, "labtree": LABTree}.get(store_format)
     if factory is None:
         raise ExecutionError(f"unknown store format {store_format!r}")
 
-    with SimulatedDisk(workdir, io_model or IOModel()) as disk:
+    injector = FaultInjector.transient(seed=faults) \
+        if isinstance(faults, int) else faults
+    if atomic_writes is None:
+        atomic_writes = injector is not None or checkpoint or resume
+    workdir = Path(workdir)
+    exec_plan = build_executable_plan(program, params, plan)
+    journal = None
+    if checkpoint or resume:
+        journal = ExecutionJournal(workdir / JOURNAL_NAME,
+                                   plan_fingerprint(exec_plan))
+    resuming = resume and (workdir / JOURNAL_NAME).exists()
+
+    with SimulatedDisk(workdir, io_model or IOModel(),
+                       fault_injector=injector, retry=retry,
+                       atomic_writes=atomic_writes) as disk:
         stores: dict[str, object] = {}
-        for name, arr in program.arrays.items():
-            store = factory.create(disk, name, arr.num_blocks(params),
-                                   arr.block_shape)
-            stores[name] = store
-            if arr.kind is ArrayKind.INPUT:
-                if name not in inputs:
-                    raise ExecutionError(f"missing input matrix {name!r}")
-                store.write_matrix(inputs[name], count=False)
+        try:
+            if resuming:
+                # Roll interrupted writes back to their pre-write images
+                # before any store opens a handle.
+                disk.recover()
+                for name in program.arrays:
+                    stores[name] = factory.open(disk, name)
             else:
-                # Preallocate so unwritten regions read as zeros (DAF); for
-                # LAB-trees blocks materialize on write.
-                if isinstance(store, DAFMatrix):
-                    store.write_matrix(
-                        np.zeros(arr.shape_elems(params)), count=False)
+                for name, arr in program.arrays.items():
+                    store = factory.create(disk, name, arr.num_blocks(params),
+                                           arr.block_shape)
+                    stores[name] = store
+                    if arr.kind is ArrayKind.INPUT:
+                        if name not in inputs:
+                            raise ExecutionError(f"missing input matrix {name!r}")
+                        store.write_matrix(inputs[name], count=False)
+                    elif isinstance(store, DAFMatrix):
+                        # Block-by-block zero fill: unwritten regions read as
+                        # zeros without ever materializing the dense matrix
+                        # (LAB-tree blocks materialize on first write).
+                        store.preallocate()
 
-        exec_plan = build_executable_plan(program, params, plan)
-        report = execute_plan(exec_plan, stores, disk, memory_cap_bytes,
-                              plan_exact)
+            report = execute_plan(exec_plan, stores, disk, memory_cap_bytes,
+                                  plan_exact, journal=journal, resume=resuming)
 
-        outputs = {name: stores[name].read_matrix(count=False)
-                   for name, arr in program.arrays.items()
-                   if arr.kind is ArrayKind.OUTPUT}
+            outputs = {name: stores[name].read_matrix(count=False)
+                       for name, arr in program.arrays.items()
+                       if arr.kind is ArrayKind.OUTPUT}
+        finally:
+            # A kernel or storage error mid-plan must still leave the disk
+            # context cleanly closeable: flush whatever store state exists
+            # (best effort — the original exception stays the loud one).
+            for store in stores.values():
+                try:
+                    store.close()
+                except StorageError:
+                    pass
     return report, outputs

@@ -1,0 +1,135 @@
+"""Execution journal: instance-level checkpointing for ``execute_plan``.
+
+A JSON-lines file alongside the stores.  The first line is a header binding
+the journal to one executable plan (a fingerprint over every instance's
+accesses and I/O actions); each subsequent line records one *completed*
+instance index plus the delta it applied to the engine's ``memory_only``
+set (blocks whose newest version exists only in memory after a WRITE_SKIP).
+
+Append-or-nothing recovery discipline: a line is written only after the
+instance's write reached the store, each append is flushed (optionally
+fsynced), and a torn trailing line — the signature of a crash mid-append —
+is ignored on load.  Re-executed instances after a resume legitimately
+re-append their indices; the *last* valid line therefore names the most
+recently completed instance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..exceptions import ExecutionError
+
+__all__ = ["ExecutionJournal", "plan_fingerprint"]
+
+_VERSION = 1
+
+
+def plan_fingerprint(plan) -> str:
+    """Digest of an executable plan's instance sequence and I/O actions."""
+    h = hashlib.sha1()
+    for inst in plan.instances:
+        write = inst.write
+        h.update(repr((
+            inst.stmt.name, tuple(inst.point),
+            [(pa.access.array.name, pa.block, pa.action.value)
+             for pa in inst.reads],
+            (write.access.array.name, write.block, write.action.value)
+            if write is not None else None,
+        )).encode())
+    return h.hexdigest()
+
+
+def _encode_key(key: tuple) -> list:
+    name, coords = key
+    return [name, list(coords)]
+
+
+def _decode_key(raw: list) -> tuple:
+    return (raw[0], tuple(raw[1]))
+
+
+class ExecutionJournal:
+    """Append-only completion log for one plan execution."""
+
+    def __init__(self, path: str | os.PathLike, fingerprint: str,
+                 fsync: bool = False):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.fsync = fsync
+        self._fh = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> tuple[int, set[tuple]]:
+        """``(completed, memory_only)`` recorded by a previous run.
+
+        ``completed`` is the count of contiguously completed instances (the
+        last valid entry's index + 1); zero when the journal is absent or
+        holds no entries.  Raises :class:`ExecutionError` if the journal
+        belongs to a different plan.
+        """
+        if not self.path.exists():
+            return 0, set()
+        completed = 0
+        memory_only: set[tuple] = set()
+        header_seen = False
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn trailing append from a crash — stop here
+                if not header_seen:
+                    header_seen = True
+                    if entry.get("version") != _VERSION:
+                        raise ExecutionError(
+                            f"{self.path}: unsupported journal version "
+                            f"{entry.get('version')!r}")
+                    if entry.get("fingerprint") != self.fingerprint:
+                        raise ExecutionError(
+                            f"{self.path}: journal belongs to a different "
+                            f"plan (fingerprint mismatch)")
+                    continue
+                completed = entry["i"] + 1
+                for raw in entry.get("mem_add", ()):
+                    memory_only.add(_decode_key(raw))
+                for raw in entry.get("mem_del", ()):
+                    memory_only.discard(_decode_key(raw))
+        return completed, memory_only
+
+    # -- writing -------------------------------------------------------------
+
+    def start(self, resume: bool = False) -> None:
+        """Open for appending; a fresh (non-resume) start truncates."""
+        self._fh = open(self.path, "a" if resume else "w", encoding="utf-8")
+        if not resume:
+            self._write({"version": _VERSION, "fingerprint": self.fingerprint})
+
+    def append(self, index: int, mem_add: list[tuple],
+               mem_del: list[tuple]) -> None:
+        entry: dict = {"i": index}
+        if mem_add:
+            entry["mem_add"] = [_encode_key(k) for k in mem_add]
+        if mem_del:
+            entry["mem_del"] = [_encode_key(k) for k in mem_del]
+        self._write(entry)
+
+    def _write(self, obj: dict) -> None:
+        if self._fh is None:
+            raise ExecutionError("journal not started")
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __repr__(self) -> str:
+        return f"ExecutionJournal({self.path}, {self.fingerprint[:10]}...)"

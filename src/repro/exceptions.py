@@ -41,6 +41,18 @@ class StorageError(ReproError):
     """Storage-layer failure (bad block id, store closed, ...)."""
 
 
+class TransientIOError(StorageError):
+    """A retriable I/O failure (injected or environmental).
+
+    The simulated disk absorbs these with bounded exponential-backoff
+    retries; only exhaustion surfaces as a plain :class:`StorageError`.
+    """
+
+
+class CorruptBlockError(StorageError):
+    """A block's payload failed checksum verification after all re-reads."""
+
+
 class BufferPoolError(StorageError):
     """Buffer manager failure (cap exceeded, unpin without pin, ...)."""
 

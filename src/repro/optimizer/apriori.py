@@ -41,7 +41,8 @@ class AprioriStats:
 
     __slots__ = ("candidates_tested", "feasible", "total_subsets", "seconds",
                  "truncated", "level_candidates", "level_feasible",
-                 "level_seconds", "workers", "tasks_dispatched", "worker_tasks")
+                 "level_seconds", "workers", "tasks_dispatched", "worker_tasks",
+                 "pool_restarts", "sequential_fallbacks")
 
     def __init__(self):
         self.candidates_tested = 0
@@ -55,6 +56,11 @@ class AprioriStats:
         self.workers = 1
         self.tasks_dispatched = 0
         self.worker_tasks: dict[int, int] = {}
+        # Crash recovery in the parallel layer: pools restarted after a
+        # BrokenProcessPool, and levels/costings that fell back to the
+        # driver when a restarted pool broke again.
+        self.pool_restarts = 0
+        self.sequential_fallbacks = 0
 
     @property
     def pruned_fraction(self) -> float:

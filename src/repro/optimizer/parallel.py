@@ -36,6 +36,7 @@ import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Mapping, Sequence
 
 from ..analysis import ProgramAnalysis
@@ -140,17 +141,32 @@ class ParallelOptimizerPool:
         self.cache = ConstraintCache(analysis.program)
         if seed_cache is not None:
             self.cache.merge(seed_cache.export())
-        payload = pickle.dumps((analysis, self.params, io_model,
-                                dead_write_elimination, block_bytes,
+        self._io_model = io_model
+        self._dwe = dead_write_elimination
+        self._block_bytes = block_bytes
+        # A crashed worker (BrokenProcessPool) triggers one pool restart; a
+        # second crash degrades the search to driver-side sequential
+        # evaluation — identical results, just slower.
+        self._degraded = False
+        self._restarts = 0
+        self._sent_keys: set[tuple] = set()
+        self._pool = self._spawn_pool()
+
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        """Fresh pool seeded with the master cache's current contents."""
+        payload = pickle.dumps((self.analysis, self.params, self._io_model,
+                                self._dwe, self._block_bytes,
                                 self.cache.export()))
-        self._sent_keys: set[tuple] = set(self.cache.keys())
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(payload,))
+        self._sent_keys = set(self.cache.keys())
+        return ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_init_worker,
+            initargs=(payload,))
 
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "ParallelOptimizerPool":
         return self
@@ -170,14 +186,42 @@ class ParallelOptimizerPool:
         fresh = [k for k in self.cache.keys() if k not in self._sent_keys]
         return self.cache.export(fresh)
 
+    def _restart_or_degrade(self, stats: AprioriStats) -> None:
+        """React to a BrokenProcessPool: restart once, then go sequential."""
+        self.close()
+        if self._restarts > 0:
+            self._degraded = True
+            stats.sequential_fallbacks += 1
+            self._pool = None
+        else:
+            self._restarts += 1
+            stats.pool_restarts += 1
+            self._pool = self._spawn_pool()
+
     def _run_level(self, candidates: Sequence[frozenset[int]],
                    stats: AprioriStats) -> list[tuple[frozenset[int], Schedule | None]]:
-        """Test one level's candidates; returns results in candidate order."""
+        """Test one level's candidates; returns results in candidate order.
+
+        A worker crash (BrokenProcessPool) retries the whole level — first
+        on a fresh pool, then sequentially on the driver.  Re-running a
+        level is sound: legality tests are pure and cache merges are
+        idempotent, so results are bit-identical however they are computed.
+        """
+        ordered = [tuple(sorted(c)) for c in candidates]
+        while not self._degraded:
+            try:
+                return self._run_level_pool(ordered, stats)
+            except BrokenProcessPool:
+                self._restart_or_degrade(stats)
+        return self._run_level_seq(ordered, stats)
+
+    def _run_level_pool(self, candidates: Sequence[tuple[int, ...]],
+                        stats: AprioriStats
+                        ) -> list[tuple[frozenset[int], Schedule | None]]:
         delta = self._pending_delta()
         self._sent_keys.update(delta)
-        batches = self._batches([tuple(sorted(c)) for c in candidates])
         futures = [self._pool.submit(_test_candidates, batch, delta)
-                   for batch in batches]
+                   for batch in self._batches(candidates)]
         ordered: list[tuple[frozenset[int], Schedule | None]] = []
         for fut in futures:
             pid, results, worker_delta = fut.result()
@@ -187,6 +231,22 @@ class ParallelOptimizerPool:
             # level's broadcast must carry them (re-merging is idempotent).
             self.cache.merge(worker_delta)
             ordered.extend((frozenset(cand), sched) for cand, sched in results)
+        return ordered
+
+    def _run_level_seq(self, candidates: Sequence[tuple[int, ...]],
+                       stats: AprioriStats
+                       ) -> list[tuple[frozenset[int], Schedule | None]]:
+        """Driver-side fallback: same candidates, same canonical order,
+        against the master cache — identical results to the pool path."""
+        by_index = {o.index: o for o in self.analysis.opportunities}
+        ordered: list[tuple[frozenset[int], Schedule | None]] = []
+        for batch in self._batches(candidates):
+            stats.record_task(os.getpid())
+            for cand in batch:
+                opps = [by_index[i] for i in cand]
+                sched = find_schedule(self.analysis.program, self.cache, opps,
+                                      self.analysis.dependences)
+                ordered.append((frozenset(cand), sched))
         return ordered
 
     # -- enumeration --------------------------------------------------------
@@ -285,10 +345,30 @@ class ParallelOptimizerPool:
 
     def cost_plans(self, feasible: Sequence[tuple[frozenset[int], Schedule]],
                    stats: AprioriStats | None = None) -> list[Plan]:
-        """Fan ``evaluate_plan`` out over the feasible plans (order kept)."""
-        by_index = {o.index: o for o in self.analysis.opportunities}
+        """Fan ``evaluate_plan`` out over the feasible plans (order kept).
+
+        Same crash discipline as enumeration: one pool restart, then a
+        sequential fallback on the driver.
+        """
         items = [(plan_id, tuple(sorted(idx_set)), schedule)
                  for plan_id, (idx_set, schedule) in enumerate(feasible)]
+        costs: dict[int, object] = {}
+        while not self._degraded:
+            try:
+                costs = self._cost_plans_pool(items, stats)
+                break
+            except BrokenProcessPool:
+                self._restart_or_degrade(stats or AprioriStats())
+        if self._degraded and not costs:
+            costs = self._cost_plans_seq(items, stats)
+        by_index = {o.index: o for o in self.analysis.opportunities}
+        plans: list[Plan] = []
+        for plan_id, (idx_set, schedule) in enumerate(feasible):
+            realized = [by_index[i] for i in sorted(idx_set)]
+            plans.append(Plan(plan_id, schedule, realized, costs[plan_id]))
+        return plans
+
+    def _cost_plans_pool(self, items, stats) -> dict[int, object]:
         futures = [self._pool.submit(_cost_plans, batch)
                    for batch in self._batches(items)]
         costs: dict[int, object] = {}
@@ -297,8 +377,18 @@ class ParallelOptimizerPool:
             if stats is not None:
                 stats.record_task(pid)
             costs.update(results)
-        plans: list[Plan] = []
-        for plan_id, (idx_set, schedule) in enumerate(feasible):
-            realized = [by_index[i] for i in sorted(idx_set)]
-            plans.append(Plan(plan_id, schedule, realized, costs[plan_id]))
-        return plans
+        return costs
+
+    def _cost_plans_seq(self, items, stats) -> dict[int, object]:
+        by_index = {o.index: o for o in self.analysis.opportunities}
+        costs: dict[int, object] = {}
+        for batch in self._batches(items):
+            if stats is not None:
+                stats.record_task(os.getpid())
+            for plan_id, cand, schedule in batch:
+                realized = [by_index[i] for i in cand]
+                costs[plan_id] = evaluate_plan(
+                    self.analysis.program, self.params, schedule, realized,
+                    self._io_model, dead_write_elimination=self._dwe,
+                    block_bytes=self._block_bytes)
+        return costs

@@ -3,26 +3,37 @@
 Public surface:
 
 * :class:`SimulatedDisk` / :class:`IOStats` — real files, byte-accurate
-  accounting, bandwidth-model timing;
+  accounting, bandwidth-model timing, bounded retry with backoff, and
+  undo-record crash recovery;
 * :class:`DAFMatrix` — Directly Addressable File (dense blocked matrices);
 * :class:`LABTree` — Linearized Array B-tree (sparse-capable B+-tree format);
-* :class:`BlockLayout` — column-major block/element layout arithmetic;
-* :class:`BufferPool` — explicitly capped memory with pinning (Section 4.2).
+* :class:`BlockLayout` / :class:`BlockChecksums` — column-major layout
+  arithmetic and the per-block checksum sidecar;
+* :class:`BufferPool` — explicitly capped memory with pinning (Section 4.2);
+* :class:`FaultInjector` / :class:`FaultPolicy` / :class:`RetryPolicy` —
+  deterministic fault injection and the retry policy that absorbs it.
 """
 
-from .blocks import BlockLayout
+from .blocks import BlockChecksums, BlockLayout, block_checksum
 from .buffer import BufferedBlock, BufferPool
 from .daf import DAFMatrix
 from .disk import DiskFile, IOStats, SimulatedDisk
+from .faults import FaultInjector, FaultPolicy, InjectedFault, RetryPolicy
 from .labtree import LABTree
 
 __all__ = [
+    "BlockChecksums",
     "BlockLayout",
     "BufferPool",
     "BufferedBlock",
     "DAFMatrix",
+    "FaultInjector",
+    "FaultPolicy",
+    "InjectedFault",
     "LABTree",
+    "RetryPolicy",
     "SimulatedDisk",
     "DiskFile",
     "IOStats",
+    "block_checksum",
 ]

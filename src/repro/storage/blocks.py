@@ -8,13 +8,95 @@ predetermined position, no indexes are stored.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from ..exceptions import StorageError
 
-__all__ = ["BlockLayout"]
+try:  # hardware CRC32C (Castagnoli) when the optional wheel is present
+    from crc32c import crc32c as _crc32
+except ImportError:  # zlib's CRC32: same width and detection strength here
+    _crc32 = zlib.crc32
+
+__all__ = ["BlockLayout", "BlockChecksums", "block_checksum"]
+
+
+def block_checksum(data: bytes) -> int:
+    """32-bit payload checksum (CRC32C when available, CRC32 otherwise)."""
+    return _crc32(data) & 0xFFFFFFFF
+
+
+class BlockChecksums:
+    """Per-block checksum sidecar for one store.
+
+    One little-endian uint64 per linear block index: the low 32 bits hold
+    the checksum, bit 32 marks the slot as recorded (so a genuine checksum
+    of zero is distinguishable from "never written").  Sidecar I/O is
+    metadata — uncounted, never fault-injected — because it is the machinery
+    that *detects* faults in the data path.
+    """
+
+    _SET = 1 << 32
+    _SLOT = struct.Struct("<Q")
+
+    __slots__ = ("file", "num_blocks")
+
+    def __init__(self, file, num_blocks: int):
+        self.file = file
+        self.num_blocks = int(num_blocks)
+        size = self._SLOT.size * self.num_blocks
+        if file.size() < size:
+            file.truncate(size)
+
+    def record(self, index: int, data: bytes) -> None:
+        value = block_checksum(data) | self._SET
+        self.file.write_at(index * self._SLOT.size, self._SLOT.pack(value),
+                           count=False, atomic=False)
+
+    def expected(self, index: int) -> int | None:
+        """The recorded checksum, or ``None`` if the block was never
+        written through the checksummed path."""
+        raw = self.file.read_at(index * self._SLOT.size, self._SLOT.size,
+                                count=False)
+        (value,) = self._SLOT.unpack(raw)
+        return (value & 0xFFFFFFFF) if value & self._SET else None
+
+    def verify(self, index: int, data: bytes) -> bool:
+        expected = self.expected(index)
+        return expected is None or block_checksum(data) == expected
+
+
+def read_block_verified(file, offset: int, nbytes: int,
+                        checksums: "BlockChecksums", index: int,
+                        store_name: str, coords, count: bool = True) -> bytes:
+    """Checksum-verified positional block read with bounded re-reads.
+
+    Transient faults are already absorbed inside ``file.read_at``; this
+    layer catches *corruption* (payload mismatching the recorded checksum),
+    counts it in ``IOStats.checksum_failures``, and re-reads up to the
+    disk's retry budget — a fresh read of an intact disk copy heals an
+    in-flight bit flip.  Persistent mismatch raises
+    :class:`~repro.exceptions.CorruptBlockError`.
+    """
+    from ..exceptions import CorruptBlockError
+    disk = file.disk
+    expected = checksums.expected(index)
+    attempt = 0
+    while True:
+        data = file.read_at(offset, nbytes, count=count)
+        if expected is None or block_checksum(data) == expected:
+            return data
+        disk.stats.checksum_failures += 1
+        attempt += 1
+        if attempt > disk.retry.max_retries:
+            raise CorruptBlockError(
+                f"{store_name}: block {tuple(coords)} failed checksum "
+                f"verification after {attempt} reads "
+                f"(expected {expected:#010x})")
+        disk.retry.sleep(attempt)
 
 
 class BlockLayout:

@@ -148,6 +148,23 @@ class BufferPool:
         del self._blocks[key]
         self.used_bytes -= blk.nbytes
 
+    def release_if_unpinned(self, key: tuple, force: bool = False) -> bool:
+        """Drop ``key`` iff it is resident with a zero pin count.
+
+        The plan-exact engine's end-of-instance sweep: returns ``True`` when
+        the block was dropped, ``False`` when it is absent or still pinned.
+        Dirty blocks raise exactly as :meth:`release` does.
+        """
+        blk = self._blocks.get(key)
+        if blk is None or blk.pins > 0:
+            return False
+        self.release(key, force=force)
+        return True
+
+    def pin_count(self, key: tuple) -> int:
+        blk = self._blocks.get(key)
+        return blk.pins if blk is not None else 0
+
     def mark_clean(self, key: tuple) -> None:
         blk = self._blocks.get(key)
         if blk is not None:

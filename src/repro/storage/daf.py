@@ -13,7 +13,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import StorageError
-from .blocks import BlockLayout
+from .blocks import BlockChecksums, BlockLayout, read_block_verified
 from .disk import SimulatedDisk
 
 __all__ = ["DAFMatrix"]
@@ -26,7 +26,9 @@ class DAFMatrix:
     """A dense blocked matrix stored in a directly addressable file.
 
     A tiny fixed header records the geometry so files are self-describing;
-    header I/O is not counted against the plan (metadata, not data).
+    header I/O is not counted against the plan (metadata, not data).  Every
+    block write records a checksum in a ``.daf.crc`` sidecar and every read
+    verifies it (see :func:`~repro.storage.blocks.read_block_verified`).
     """
 
     def __init__(self, disk: SimulatedDisk, name: str, layout: BlockLayout):
@@ -34,6 +36,8 @@ class DAFMatrix:
         self.name = name
         self.layout = layout
         self.file = disk.open(name + ".daf")
+        self.checksums = BlockChecksums(disk.open(name + ".daf.crc"),
+                                        layout.num_blocks)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -73,13 +77,19 @@ class DAFMatrix:
 
     def write_block(self, coords: Sequence[int], block: np.ndarray,
                     count: bool = True) -> None:
-        offset = _HEADER_BYTES + self.layout.offset_of(coords)
-        self.file.write_at(offset, self.layout.block_to_bytes(block), count=count)
+        index = self.layout.linearize(coords)
+        offset = _HEADER_BYTES + index * self.layout.block_bytes
+        data = self.layout.block_to_bytes(block)
+        self.file.write_at(offset, data, count=count)
+        self.checksums.record(index, data)
 
     def read_block(self, coords: Sequence[int], count: bool = True) -> np.ndarray:
-        offset = _HEADER_BYTES + self.layout.offset_of(coords)
-        return self.layout.bytes_to_block(
-            self.file.read_at(offset, self.layout.block_bytes, count=count))
+        index = self.layout.linearize(coords)
+        offset = _HEADER_BYTES + index * self.layout.block_bytes
+        data = read_block_verified(self.file, offset, self.layout.block_bytes,
+                                   self.checksums, index, self.name, coords,
+                                   count=count)
+        return self.layout.bytes_to_block(data)
 
     # -- whole-matrix helpers (loading inputs / verifying outputs) ---------------------
 
@@ -101,6 +111,22 @@ class DAFMatrix:
             out[bi * br:(bi + 1) * br, bj * bc:(bj + 1) * bc] = \
                 self.read_block((bi, bj), count=count)
         return out
+
+    def preallocate(self) -> None:
+        """Zero-fill the store one block buffer at a time.
+
+        Unlike materializing ``np.zeros(total_shape)``, peak memory stays at
+        one block regardless of matrix size — the point of being
+        out-of-core.  Checksums are recorded, so later reads of untouched
+        regions are verified like any other block.
+        """
+        zero = np.zeros(self.layout.block_shape, dtype=self.layout.dtype)
+        for coords in self.layout.iter_blocks():
+            self.write_block(coords, zero, count=False)
+
+    def close(self) -> None:
+        self.file.flush()
+        self.checksums.file.flush()
 
     def __repr__(self) -> str:
         return f"DAFMatrix({self.name}, {self.layout!r})"

@@ -6,6 +6,20 @@ simulated seconds with the same linear bandwidth model the paper measured
 (96 MB/s sustained reads, 60 MB/s writes).  Data really is written to and
 read from the filesystem, so executions are faithful end to end; only the
 *timing* is modelled rather than waited for.
+
+Durability (this layer's contract under injected faults, see
+``repro.storage.faults``):
+
+* transient faults raised by the :class:`FaultInjector` are absorbed with
+  bounded exponential-backoff retries (``IOStats.retries``); exhaustion
+  surfaces as a plain :class:`StorageError`;
+* with ``atomic_writes`` enabled, every counted write first publishes an
+  *undo record* — the about-to-be-overwritten bytes staged to a temp file
+  and ``os.rename``d into place (the rename is the atomic commit point,
+  optionally fsynced).  A write that dies after exhausting its retries
+  leaves the undo record behind; :meth:`SimulatedDisk.recover` rolls the
+  torn region back to its pre-write image, so a crashed run restarts from
+  a consistent store.
 """
 
 from __future__ import annotations
@@ -13,16 +27,20 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from ..exceptions import StorageError
+from ..exceptions import StorageError, TransientIOError
 from ..optimizer.costing import IOModel
+from .faults import FaultInjector, RetryPolicy
 
 __all__ = ["IOStats", "SimulatedDisk", "DiskFile"]
+
+_UNDO_SUFFIX = ".undo"
 
 
 class IOStats:
     """Byte and operation counters for one disk."""
 
-    __slots__ = ("read_bytes", "write_bytes", "read_ops", "write_ops")
+    __slots__ = ("read_bytes", "write_bytes", "read_ops", "write_ops",
+                 "retries", "checksum_failures")
 
     def __init__(self):
         self.reset()
@@ -32,11 +50,15 @@ class IOStats:
         self.write_bytes = 0
         self.read_ops = 0
         self.write_ops = 0
+        self.retries = 0
+        self.checksum_failures = 0
 
     def snapshot(self) -> "IOStats":
         s = IOStats()
         s.read_bytes, s.write_bytes = self.read_bytes, self.write_bytes
         s.read_ops, s.write_ops = self.read_ops, self.write_ops
+        s.retries = self.retries
+        s.checksum_failures = self.checksum_failures
         return s
 
     def since(self, other: "IOStats") -> "IOStats":
@@ -45,21 +67,34 @@ class IOStats:
         s.write_bytes = self.write_bytes - other.write_bytes
         s.read_ops = self.read_ops - other.read_ops
         s.write_ops = self.write_ops - other.write_ops
+        s.retries = self.retries - other.retries
+        s.checksum_failures = self.checksum_failures - other.checksum_failures
         return s
 
     def __repr__(self) -> str:
+        extra = ""
+        if self.retries or self.checksum_failures:
+            extra = (f", retries={self.retries}, "
+                     f"checksum_failures={self.checksum_failures}")
         return (f"IOStats(read={self.read_bytes}B/{self.read_ops}ops, "
-                f"write={self.write_bytes}B/{self.write_ops}ops)")
+                f"write={self.write_bytes}B/{self.write_ops}ops{extra})")
 
 
 class SimulatedDisk:
     """A directory of flat files with centralized I/O accounting."""
 
-    def __init__(self, root: str | os.PathLike, io_model: IOModel | None = None):
+    def __init__(self, root: str | os.PathLike, io_model: IOModel | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 retry: RetryPolicy | None = None,
+                 atomic_writes: bool = False, fsync: bool = False):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.io_model = io_model or IOModel()
         self.stats = IOStats()
+        self.fault_injector = fault_injector
+        self.retry = retry or RetryPolicy()
+        self.atomic_writes = atomic_writes
+        self.fsync = fsync
         self._files: dict[str, DiskFile] = {}
         self._closed = False
 
@@ -77,6 +112,38 @@ class SimulatedDisk:
         s = stats or self.stats
         return self.io_model.seconds(s.read_bytes, s.write_bytes)
 
+    # -- crash recovery ------------------------------------------------------
+
+    def pending_undos(self) -> list[Path]:
+        """Undo records left behind by writes that died mid-flight."""
+        return sorted(self.root.glob(f".*{_UNDO_SUFFIX}"))
+
+    def recover(self) -> int:
+        """Roll back every interrupted write to its pre-write image.
+
+        Call before opening stores (e.g. at the start of a resumed run):
+        each surviving undo record restores the bytes the torn write
+        clobbered, and stale staging temps are removed.  Returns the number
+        of regions restored.
+        """
+        for tmp in self.root.glob(f".*{_UNDO_SUFFIX}.tmp"):
+            tmp.unlink()
+        restored = 0
+        for undo in self.pending_undos():
+            target, offset = _parse_undo_name(undo.name)
+            path = self.root / target
+            if path.exists():
+                data = undo.read_bytes()
+                with open(path, "r+b") as fh:
+                    fh.seek(offset)
+                    fh.write(data)
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+                restored += 1
+            undo.unlink()
+        return restored
+
     def close(self) -> None:
         for f in self._files.values():
             f.close()
@@ -93,8 +160,22 @@ class SimulatedDisk:
         return f"SimulatedDisk({self.root}, {self.stats!r})"
 
 
+def _undo_name(target: str, offset: int) -> str:
+    return f".{target}@{offset}{_UNDO_SUFFIX}"
+
+
+def _parse_undo_name(name: str) -> tuple[str, int]:
+    stem = name[1:-len(_UNDO_SUFFIX)]  # strip leading "." and suffix
+    target, _, offset = stem.rpartition("@")
+    return target, int(offset)
+
+
 class DiskFile:
-    """One file on the simulated disk; positional reads/writes, counted."""
+    """One file on the simulated disk; positional reads/writes, counted.
+
+    Counted operations pass through the disk's fault injector (if any) and
+    its retry policy; uncounted (metadata) operations are always clean.
+    """
 
     def __init__(self, disk: SimulatedDisk, path: Path):
         self.disk = disk
@@ -108,24 +189,106 @@ class DiskFile:
     def read_at(self, offset: int, size: int, count: bool = True) -> bytes:
         if offset < 0 or size < 0:
             raise StorageError(f"bad read range offset={offset} size={size}")
-        self._fh.seek(offset)
-        data = self._fh.read(size)
-        if len(data) != size:
-            raise StorageError(
-                f"{self.path.name}: short read at {offset} ({len(data)}/{size} bytes)")
-        if count:
-            self.disk.stats.read_bytes += size
-            self.disk.stats.read_ops += 1
-        return data
+        injector = self.disk.fault_injector if count else None
+        attempt = 0
+        while True:
+            fault = injector.on_read(self.path.name, offset, size) \
+                if injector else None
+            if fault is not None and fault[0] == "transient":
+                attempt += 1
+                err = TransientIOError(
+                    f"{self.path.name}: injected transient read fault at "
+                    f"{offset} (attempt {attempt})")
+                if attempt > self.disk.retry.max_retries:
+                    raise StorageError(
+                        f"{self.path.name}: read at {offset} failed after "
+                        f"{attempt} attempts (transient I/O errors)") from err
+                self.disk.stats.retries += 1
+                self.disk.retry.sleep(attempt)
+                continue
+            self._fh.seek(offset)
+            data = self._fh.read(size)
+            if len(data) != size:
+                raise StorageError(
+                    f"{self.path.name}: short read at {offset} "
+                    f"({len(data)}/{size} bytes)")
+            if fault is not None and fault[0] == "corrupt":
+                data = FaultInjector.corrupt(data, fault[1])
+            if count:
+                self.disk.stats.read_bytes += size
+                self.disk.stats.read_ops += 1
+            return data
 
-    def write_at(self, offset: int, data: bytes, count: bool = True) -> None:
+    def write_at(self, offset: int, data: bytes, count: bool = True,
+                 atomic: bool | None = None) -> None:
+        """Positional write; ``atomic`` defaults to the disk policy for
+        counted writes (metadata writes are in-place, as before)."""
         if offset < 0:
             raise StorageError(f"bad write offset {offset}")
-        self._fh.seek(offset)
-        self._fh.write(data)
+        if atomic is None:
+            atomic = self.disk.atomic_writes and count
+        undo = self._stage_undo(offset, len(data)) if atomic else None
+        # On failure the undo record deliberately survives for recover().
+        self._write_retried(offset, data, count)
+        if undo is not None:
+            undo.unlink(missing_ok=True)
         if count:
             self.disk.stats.write_bytes += len(data)
             self.disk.stats.write_ops += 1
+
+    def _stage_undo(self, offset: int, size: int) -> Path | None:
+        """Publish the pre-write image of ``[offset, offset+size)``.
+
+        Temp-file write then ``os.rename`` — the rename is atomic on POSIX,
+        so a crash leaves either no record or a complete one.  Returns
+        ``None`` for writes extending the file (nothing to preserve).
+        """
+        current = self.size()
+        if offset >= current:
+            return None
+        keep = min(size, current - offset)
+        self._fh.seek(offset)
+        old = self._fh.read(keep)
+        undo = self.path.parent / _undo_name(self.path.name, offset)
+        tmp = undo.parent / (undo.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(old)
+            fh.flush()
+            if self.disk.fsync:
+                os.fsync(fh.fileno())
+        os.rename(tmp, undo)
+        return undo
+
+    def _write_retried(self, offset: int, data: bytes, count: bool) -> None:
+        injector = self.disk.fault_injector if count else None
+        attempt = 0
+        while True:
+            fault = injector.on_write(self.path.name, offset, len(data)) \
+                if injector else None
+            if fault is not None:
+                kind, detail = fault
+                if kind == "torn":
+                    # A strict prefix lands before the op dies.
+                    self._fh.seek(offset)
+                    self._fh.write(data[:detail])
+                    self._fh.flush()
+                attempt += 1
+                err = TransientIOError(
+                    f"{self.path.name}: injected {kind} write fault at "
+                    f"{offset} (attempt {attempt})")
+                if attempt > self.disk.retry.max_retries:
+                    raise StorageError(
+                        f"{self.path.name}: write at {offset} failed after "
+                        f"{attempt} attempts ({kind} I/O errors)") from err
+                self.disk.stats.retries += 1
+                self.disk.retry.sleep(attempt)
+                continue
+            self._fh.seek(offset)
+            self._fh.write(data)
+            if self.disk.fsync:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            return
 
     def size(self) -> int:
         self._fh.seek(0, os.SEEK_END)

@@ -26,7 +26,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..exceptions import StorageError
-from .blocks import BlockLayout
+from .blocks import BlockChecksums, BlockLayout, read_block_verified
 from .disk import SimulatedDisk
 
 __all__ = ["LABTree"]
@@ -79,6 +79,8 @@ class LABTree:
         self.layout = layout
         self.tree_file = disk.open(name + ".labt")
         self.data_file = disk.open(name + ".labd")
+        self.checksums = BlockChecksums(disk.open(name + ".labc"),
+                                        layout.num_blocks)
         self._root = 1
         self._npages = 2
         self._next_data = 0
@@ -232,16 +234,19 @@ class LABTree:
             self._next_data += self.layout.block_bytes
             self._insert(key, offset)
             self._write_meta()
-        self.data_file.write_at(offset, self.layout.block_to_bytes(block),
-                                count=count)
+        data = self.layout.block_to_bytes(block)
+        self.data_file.write_at(offset, data, count=count)
+        self.checksums.record(key, data)
 
     def read_block(self, coords: Sequence[int], count: bool = True) -> np.ndarray:
         key = self.layout.linearize(coords)
         offset = self._lookup(key)
         if offset is None:
             raise StorageError(f"{self.name}: block {tuple(coords)} not materialized")
-        return self.layout.bytes_to_block(
-            self.data_file.read_at(offset, self.layout.block_bytes, count=count))
+        data = read_block_verified(self.data_file, offset,
+                                   self.layout.block_bytes, self.checksums,
+                                   key, self.name, coords, count=count)
+        return self.layout.bytes_to_block(data)
 
     def has_block(self, coords: Sequence[int]) -> bool:
         return self._lookup(self.layout.linearize(coords)) is not None
@@ -277,6 +282,13 @@ class LABTree:
             out[bi * br:(bi + 1) * br, bj * bc:(bj + 1) * bc] = \
                 self.read_block((bi, bj), count=count)
         return out
+
+    def close(self) -> None:
+        """Flush the meta page and all file buffers (call before reopen)."""
+        self._write_meta()
+        self.tree_file.flush()
+        self.data_file.flush()
+        self.checksums.file.flush()
 
     def __repr__(self) -> str:
         return f"LABTree({self.name}, {self.layout!r}, root={self._root})"

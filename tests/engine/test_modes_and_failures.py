@@ -116,6 +116,86 @@ class TestOpportunisticMode:
                              plan_exact=False)
 
 
+class TestMemoryOnlyBookkeeping:
+    """The engine's stale-disk tracking in opportunistic mode.
+
+    ``memory_only`` marks blocks whose newest version exists only in memory
+    (WRITE_SKIP).  A later WRITE of the same block refreshes the disk copy
+    and must clear the flag — otherwise a legal LRU eviction followed by a
+    REUSE would be rejected even though the disk copy is current.
+    """
+
+    BS = (4, 4)
+
+    def _instances(self, include_write_back: bool):
+        from types import SimpleNamespace
+
+        from repro.codegen import IOAction
+        from repro.codegen.exec_plan import PlannedAccess, PlannedInstance
+
+        arrays = {n: SimpleNamespace(name=n, block_shape=self.BS)
+                  for n in ("A", "C", "E")}
+
+        def acc(name, action):
+            return PlannedAccess(SimpleNamespace(array=arrays[name]), (0, 0),
+                                 action)
+
+        def inst(i, reads, write):
+            stmt = SimpleNamespace(name=f"s{i}", kernel="copy",
+                                   kernel_args=None)
+            return PlannedInstance(stmt, (i,), reads, write)
+
+        instances = [
+            # C is produced memory-only first ...
+            inst(0, [acc("A", IOAction.READ)], acc("C", IOAction.WRITE_SKIP)),
+        ]
+        if include_write_back:
+            # ... then written through, which must clear the stale-disk flag.
+            instances.append(
+                inst(1, [acc("A", IOAction.READ)], acc("C", IOAction.WRITE)))
+        instances += [
+            # Touching A and E under a 2-block cap evicts unpinned C.
+            inst(2, [acc("A", IOAction.READ)], acc("E", IOAction.WRITE)),
+            # REUSE of the evicted C: legal iff its disk copy is current.
+            inst(3, [acc("C", IOAction.REUSE)], acc("E", IOAction.WRITE)),
+        ]
+        return SimpleNamespace(instances=instances)
+
+    def _setup(self, tmp_path):
+        rng = np.random.default_rng(9)
+        data = rng.standard_normal(self.BS)
+        disk = SimulatedDisk(tmp_path)
+        stores = {n: DAFMatrix.create(disk, n, (1, 1), self.BS)
+                  for n in ("A", "C", "E")}
+        stores["A"].write_block((0, 0), data, count=False)
+        cap = 2 * stores["A"].layout.block_bytes
+        return disk, stores, cap, data
+
+    def test_write_after_skip_clears_stale_flag(self, tmp_path):
+        """WRITE_SKIP -> WRITE -> eviction -> REUSE succeeds from disk."""
+        disk, stores, cap, data = self._setup(tmp_path)
+        plan = self._instances(include_write_back=True)
+        with disk:
+            report = execute_plan(plan, stores, disk, memory_cap_bytes=cap,
+                                  plan_exact=False)
+            out = stores["E"].read_block((0, 0), count=False)
+        assert np.array_equal(out, data)
+        # Counted reads: the initial A miss and the REUSE fallback read of C
+        # (later A touches are buffer hits); all three writes hit disk.
+        assert report.io.read_ops == 2
+        assert report.io.write_ops == 3
+
+    def test_skip_without_write_back_still_fails(self, tmp_path):
+        """Without the WRITE, the evicted block's newest version was never
+        on disk — the REUSE must fail loudly, not read stale bytes."""
+        disk, stores, cap, _ = self._setup(tmp_path)
+        plan = self._instances(include_write_back=False)
+        with disk:
+            with pytest.raises(ExecutionError, match="never written to disk"):
+                execute_plan(plan, stores, disk, memory_cap_bytes=cap,
+                             plan_exact=False)
+
+
 class TestFailureInjection:
     def test_truncated_store_detected(self, prog, result, inputs, tmp_path):
         """A short file surfaces as a StorageError, not silent corruption."""

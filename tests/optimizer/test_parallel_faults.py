@@ -1,0 +1,98 @@
+"""Crash tolerance of the process-pool search layer.
+
+A worker crash surfaces as :class:`BrokenProcessPool` on the driver.  The
+contract (mirroring the storage layer's retry discipline): restart the pool
+once and re-run the level — re-running is sound because legality tests are
+pure and cache merges idempotent — and if the restarted pool breaks too,
+degrade permanently to driver-side sequential evaluation.  Either way the
+results are bit-identical to the sequential search; only
+``AprioriStats.pool_restarts`` / ``sequential_fallbacks`` reveal the crash.
+"""
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.analysis import analyze
+from repro.optimizer import ConstraintCache, IOModel
+from repro.optimizer.apriori import AprioriStats, enumerate_feasible_sets
+from repro.optimizer.parallel import ParallelOptimizerPool
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+class _BrokenPool:
+    """An executor whose workers are already dead."""
+
+    def submit(self, *args, **kwargs):
+        raise BrokenProcessPool("worker died")
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+@pytest.fixture(scope="module")
+def analysis(prog):
+    return analyze(prog, param_values=P)
+
+
+@pytest.fixture(scope="module")
+def seq(prog, analysis):
+    return enumerate_feasible_sets(analysis, ConstraintCache(prog))
+
+
+def _keys(feasible):
+    return [idx_set for idx_set, _ in feasible]
+
+
+def test_broken_pool_restarts_once_and_matches_sequential(analysis, seq):
+    seq_feasible, _ = seq
+    with ParallelOptimizerPool(analysis, P, IOModel(), workers=2) as pool:
+        pool._pool.shutdown(wait=False)
+        pool._pool = _BrokenPool()
+        feasible, stats = pool.enumerate_feasible_sets()
+        assert stats.pool_restarts == 1
+        assert stats.sequential_fallbacks == 0
+        assert not pool._degraded
+        assert _keys(feasible) == _keys(seq_feasible)
+
+
+def test_double_break_degrades_to_sequential(analysis, seq):
+    seq_feasible, seq_stats = seq
+    with ParallelOptimizerPool(analysis, P, IOModel(), workers=2) as pool:
+        pool._pool.shutdown(wait=False)
+        pool._pool = _BrokenPool()
+        # The "restarted" pool is broken too: permanent degradation.
+        pool._spawn_pool = lambda: _BrokenPool()
+        feasible, stats = pool.enumerate_feasible_sets()
+        assert stats.pool_restarts == 1
+        assert stats.sequential_fallbacks >= 1
+        assert pool._degraded
+        assert _keys(feasible) == _keys(seq_feasible)
+        assert stats.candidates_tested == seq_stats.candidates_tested
+        assert stats.feasible == seq_stats.feasible
+        # Costing on a degraded pool never touches a pool again.
+        plans = pool.cost_plans(feasible, stats)
+        assert len(plans) == len(feasible)
+        assert all(p.cost is not None for p in plans)
+
+
+def test_costing_survives_broken_pool(analysis, seq):
+    seq_feasible, _ = seq
+    with ParallelOptimizerPool(analysis, P, IOModel(), workers=2) as pool:
+        healthy = pool.cost_plans(seq_feasible)
+        pool._pool.shutdown(wait=False)
+        pool._pool = _BrokenPool()
+        pool._spawn_pool = lambda: _BrokenPool()
+        stats = AprioriStats()
+        degraded = pool.cost_plans(seq_feasible, stats)
+        assert stats.sequential_fallbacks >= 1
+        assert [p.cost.io_seconds for p in degraded] == \
+            [p.cost.io_seconds for p in healthy]
+        assert [p.cost.total_bytes for p in degraded] == \
+            [p.cost.total_bytes for p in healthy]

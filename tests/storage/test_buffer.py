@@ -139,3 +139,42 @@ class TestPinning:
     def test_bad_cap_rejected(self):
         with pytest.raises(BufferPoolError):
             BufferPool(cap_bytes=0)
+
+
+class TestReleaseIfUnpinned:
+    """The engine's end-of-instance sweep (replaces reaching into
+    ``pool._blocks`` directly)."""
+
+    def test_drops_unpinned(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk())
+        assert pool.release_if_unpinned(("A", (0, 0))) is True
+        assert len(pool) == 0
+
+    def test_keeps_pinned(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk())
+        pool.pin(("A", (0, 0)))
+        assert pool.release_if_unpinned(("A", (0, 0))) is False
+        assert pool.contains(("A", (0, 0)))
+
+    def test_absent_is_false_not_error(self):
+        assert BufferPool().release_if_unpinned(("A", (0, 0))) is False
+
+    def test_dirty_still_raises(self):
+        pool = BufferPool()
+        pool.put(("A", (0, 0)), blk(), dirty=True)
+        with pytest.raises(BufferPoolError, match="dirty"):
+            pool.release_if_unpinned(("A", (0, 0)))
+        pool.release_if_unpinned(("A", (0, 0)), force=True)
+        assert len(pool) == 0
+
+    def test_pin_count(self):
+        pool = BufferPool()
+        assert pool.pin_count(("A", (0, 0))) == 0
+        pool.put(("A", (0, 0)), blk())
+        pool.pin(("A", (0, 0)))
+        pool.pin(("A", (0, 0)))
+        assert pool.pin_count(("A", (0, 0))) == 2
+        pool.unpin(("A", (0, 0)))
+        assert pool.pin_count(("A", (0, 0))) == 1

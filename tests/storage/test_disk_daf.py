@@ -132,6 +132,18 @@ class TestDAF:
             assert m2.layout.grid == (2, 3)
             assert np.array_equal(m2.read_block((1, 2)), np.full((4, 5), 3.0))
 
+    def test_preallocate_is_blockwise_and_checksummed(self, tmp_path):
+        """Zero-fill never materializes the dense matrix (peak memory is one
+        block) and records checksums, so reads of untouched regions verify."""
+        with SimulatedDisk(tmp_path) as disk:
+            m = DAFMatrix.create(disk, "M", (2, 2), (3, 3))
+            m.preallocate()
+            assert disk.stats.write_bytes == 0  # uncounted setup I/O
+            for coords in m.layout.iter_blocks():
+                idx = m.layout.linearize(coords)
+                assert m.checksums.expected(idx) is not None
+            assert np.array_equal(m.read_matrix(), np.zeros((6, 6)))
+
     def test_open_rejects_garbage(self, tmp_path):
         with SimulatedDisk(tmp_path) as disk:
             f = disk.open("junk.daf")
