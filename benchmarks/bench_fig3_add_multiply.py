@@ -110,7 +110,8 @@ def test_fig3b_predicted_vs_actual(fig3_result, benchmark, tmp_path_factory):
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     save_artifact("fig3b_predicted_vs_actual.csv", predicted_vs_actual_csv(
         [(f"plan {p.index}", pred.io_seconds, rep.simulated_io_seconds,
-          rep.cpu_seconds) for p, pred, rep, _ in rows]))
+          rep.cpu_seconds, rep.io.retries, rep.io.checksum_failures)
+         for p, pred, rep, _ in rows]))
     print(f"{'plan':>4} {'pred I/O(s)':>12} {'actual I/O(s)':>13} "
           f"{'CPU(s)':>8} {'err':>6}")
     for plan, pred, report, outputs in rows:

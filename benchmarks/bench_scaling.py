@@ -8,10 +8,14 @@ finds the same winning sharing-opportunity set, and the relative I/O saving
 is scale-invariant.
 """
 
+import json
+
+import numpy as np
 import pytest
 
-from conftest import banner
+from conftest import banner, save_artifact
 from repro import optimize
+from repro.engine import run_program
 from repro.ops import add_multiply_program
 
 SCALES = [
@@ -21,7 +25,7 @@ SCALES = [
 ]
 
 
-def test_scale_invariance(benchmark):
+def test_scale_invariance(benchmark, tmp_path_factory):
     program = add_multiply_program()
 
     def run_all():
@@ -32,6 +36,8 @@ def test_scale_invariance(benchmark):
     print(f"{'grid':>10} {'plans':>6} {'tested':>7} {'best set':>42} "
           f"{'saving':>7} {'opt(s)':>7}")
     savings = []
+    records = []
+    rng = np.random.default_rng(0)
     for params, result in zip(SCALES, results):
         best = result.best()
         saving = 1 - best.cost.io_seconds / result.original_plan.cost.io_seconds
@@ -40,6 +46,32 @@ def test_scale_invariance(benchmark):
               f"{result.stats.candidates_tested:>7} "
               f"{','.join(sorted(best.realized_labels)):>42} "
               f"{saving:>7.1%} {result.seconds:>7.1f}")
+        # Execute the winner so the record carries actual (traced) I/O next
+        # to the prediction — at every scale they must agree byte for byte.
+        inputs = {n: rng.standard_normal(program.arrays[n].shape_elems(params))
+                  for n in ("A", "B", "D")}
+        workdir = tmp_path_factory.mktemp(
+            f"scaling_{params['n1']}x{params['n2']}")
+        report, _ = run_program(program, params, best, workdir, inputs,
+                                io_model=result.io_model)
+        records.append({
+            "workload": program.name,
+            "params": dict(params),
+            "plans": len(result.plans),
+            "candidates_tested": result.stats.candidates_tested,
+            "optimizer_seconds": result.seconds,
+            "best_realized": sorted(best.realized_labels),
+            "io_saving_fraction": saving,
+            "predicted_read_bytes": best.cost.read_bytes,
+            "predicted_write_bytes": best.cost.write_bytes,
+            "actual_read_bytes": report.io.read_bytes,
+            "actual_write_bytes": report.io.write_bytes,
+            "predicted_io_seconds": best.cost.io_seconds,
+            "actual_io_seconds": report.simulated_io_seconds,
+        })
+        assert report.io.read_bytes == best.cost.read_bytes
+        assert report.io.write_bytes == best.cost.write_bytes
+    save_artifact("BENCH_scaling.json", json.dumps(records, indent=2) + "\n")
 
     # Same search space and same winner at every scale.
     first = results[0]

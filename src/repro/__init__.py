@@ -13,7 +13,9 @@ The package implements the paper's full stack:
 * a numpy-kerneled execution engine with verification
   (:mod:`repro.engine`),
 * the operator library, paper workloads, comparator baselines, and the
-  block-size-advisor extension.
+  block-size-advisor extension,
+* an opt-in observability subsystem — structured tracing, metrics, and
+  predicted-vs-actual cost-model validation (:mod:`repro.obs`).
 
 Quickstart::
 
@@ -31,6 +33,7 @@ Quickstart::
     best = result.best(memory_cap_bytes=2 * 1024 ** 2)
 """
 
+from . import obs
 from .analysis import analyze
 from .codegen import build_executable_plan, render_c
 from .engine import reference_outputs, run_program
@@ -66,5 +69,6 @@ __all__ = [
     "two_matmul_config",
     "linreg_config",
     "generate_inputs",
+    "obs",
     "__version__",
 ]

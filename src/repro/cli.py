@@ -51,8 +51,15 @@ def main(argv: list[str] | None = None) -> int:
                               "Apriori level and the plan costing)")
 
     demo = sub.add_parser("demo")
+    demo.add_argument("--workload", choices=("add_multiply", "two_matmuls"),
+                      default="add_multiply",
+                      help="which paper experiment to run end to end: "
+                           "Example 1 (Fig. 3) or the two-matmul workload "
+                           "(Fig. 4/5, configuration A)")
     demo.add_argument("--blocks", type=int, default=4,
-                      help="block grid size (n1 = n2 = blocks)")
+                      help="block grid size for add_multiply (n1 = n2)")
+    demo.add_argument("--workers", type=int, default=None,
+                      help="process-pool workers for the plan search")
     demo.add_argument("--faults", type=int, default=None, metavar="SEED",
                       help="inject deterministic transient I/O faults "
                            "(5%% of counted ops) with this seed; the "
@@ -63,6 +70,20 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--resume", action="store_true",
                       help="resume an interrupted --workdir run from its "
                            "execution journal")
+    demo.add_argument("--trace", default=None, metavar="FILE",
+                      help="stream structured trace events to FILE (JSONL); "
+                           "a Chrome/Perfetto-loadable FILE.chrome.json "
+                           "companion is written alongside")
+    demo.add_argument("--metrics", action="store_true",
+                      help="print the metrics registry (Prometheus text "
+                           "exposition) after the run")
+    demo.add_argument("--validate-cost", action="store_true",
+                      help="audit the cost model: join predicted I/O "
+                           "against traced actuals per statement/array and "
+                           "fail (exit 1) on any mismatch")
+    demo.add_argument("--tolerance", type=float, default=0.0,
+                      help="relative byte tolerance for --validate-cost "
+                           "(default 0 = byte-exact)")
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -117,35 +138,57 @@ def _optimize(args, explain: bool) -> int:
 def _demo(args) -> int:
     import numpy as np
 
-    from .engine import run_program
+    from . import obs
+    from .engine import reference_outputs, run_program
     from .ops import add_multiply_program
     from .optimizer import optimize
+    from .workloads import generate_inputs, two_matmul_config
 
-    program = add_multiply_program()
-    params = {"n1": args.blocks, "n2": args.blocks, "n3": 1}
-    print(f"optimizing Example 1 at {args.blocks}x{args.blocks} blocks ...")
-    result = optimize(program, params)
-    best = result.best()
-    orig = result.original_plan
-    print(f"{len(result.plans)} plans; best saves "
-          f"{1 - best.cost.total_bytes / orig.cost.total_bytes:.0%} I/O "
-          f"realizing {best.realized_labels}")
-
-    rng = np.random.default_rng(0)
-    inputs = {n: rng.standard_normal(program.arrays[n].shape_elems(params))
-              for n in ("A", "B", "D")}
-    if args.resume and not args.workdir:
-        raise SystemExit("--resume requires --workdir")
-    kwargs = dict(faults=args.faults, checkpoint=bool(args.workdir),
-                  resume=args.resume)
-    if args.workdir:
-        report, outputs = run_program(program, params, best, args.workdir,
-                                      inputs, **kwargs)
+    if args.workload == "two_matmuls":
+        config = two_matmul_config("A")
+        program, params = config.program, config.params
+        inputs = generate_inputs(config)
+        print(f"optimizing two-matmul workload (config A, "
+              f"{params['n1']}x{params['n3']} block grid) ...")
     else:
-        with tempfile.TemporaryDirectory() as workdir:
-            report, outputs = run_program(program, params, best, workdir,
+        program = add_multiply_program()
+        params = {"n1": args.blocks, "n2": args.blocks, "n3": 1}
+        rng = np.random.default_rng(0)
+        inputs = {n: rng.standard_normal(program.arrays[n].shape_elems(params))
+                  for n in ("A", "B", "D")}
+        print(f"optimizing Example 1 at {args.blocks}x{args.blocks} blocks ...")
+
+    observing = bool(args.trace or args.metrics or args.validate_cost)
+    tracer = registry = None
+    if observing:
+        tracer, registry = obs.enable(trace_path=args.trace)
+    try:
+        result = optimize(program, params, workers=args.workers)
+        best = result.best()
+        orig = result.original_plan
+        print(f"{len(result.plans)} plans; best saves "
+              f"{1 - best.cost.total_bytes / orig.cost.total_bytes:.0%} I/O "
+              f"realizing {best.realized_labels}")
+
+        if args.resume and not args.workdir:
+            raise SystemExit("--resume requires --workdir")
+        validate = args.tolerance if args.validate_cost and args.tolerance \
+            else args.validate_cost
+        kwargs = dict(faults=args.faults, checkpoint=bool(args.workdir),
+                      resume=args.resume, validate=validate)
+        if args.workdir:
+            report, outputs = run_program(program, params, best, args.workdir,
                                           inputs, **kwargs)
-    ok = np.allclose(outputs["E"], (inputs["A"] + inputs["B"]) @ inputs["D"])
+        else:
+            with tempfile.TemporaryDirectory() as workdir:
+                report, outputs = run_program(program, params, best, workdir,
+                                              inputs, **kwargs)
+    finally:
+        if observing:
+            obs.disable()
+
+    expected = reference_outputs(program, params, inputs)
+    ok = all(np.allclose(outputs[name], expected[name]) for name in outputs)
     exact = (report.io.read_bytes == best.cost.read_bytes
              and report.io.write_bytes == best.cost.write_bytes)
     print(f"executed: {report.io.read_bytes / 1e6:.1f} MB read, "
@@ -157,9 +200,25 @@ def _demo(args) -> int:
     if report.resumed_from:
         print(f"resumed from instance {report.resumed_from}: "
               f"{report.instances} instances re-executed")
+
+    if args.trace:
+        chrome_path = args.trace + ".chrome.json"
+        from pathlib import Path
+        Path(chrome_path).write_text(obs.chrome_trace(tracer.events))
+        print(f"trace: {tracer and len(tracer.events)} events -> {args.trace} "
+              f"(Chrome/Perfetto: {chrome_path})")
+    if args.metrics:
+        print("\n" + registry.expose_text(), end="")
+
+    validation_ok = True
+    if args.validate_cost:
+        print("\n" + report.validation.to_text())
+        validation_ok = report.validation.passed
+
     # A resumed run legitimately differs from the plan's predicted bytes
     # (it skips completed instances and re-warms held blocks).
-    return 0 if ok and (exact or report.resumed_from) else 1
+    return 0 if (ok and (exact or report.resumed_from)
+                 and validation_ok) else 1
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ outputs back for verification.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Mapping
 
@@ -37,6 +38,8 @@ import numpy as np
 from ..codegen.exec_plan import ExecutablePlan, IOAction, build_executable_plan
 from ..exceptions import ExecutionError, StorageError
 from ..ir import ArrayKind, Program
+from ..obs import trace as obs_trace
+from ..obs.validate import RESUME_STMT, CostValidation, validate_cost
 from ..optimizer.costing import IOModel
 from ..optimizer.plan import Plan
 from ..storage import (BufferPool, DAFMatrix, FaultInjector, IOStats, LABTree,
@@ -54,7 +57,7 @@ class ExecutionReport:
 
     __slots__ = ("io", "simulated_io_seconds", "cpu_seconds", "wall_seconds",
                  "peak_memory_bytes", "pool_hits", "pool_misses", "instances",
-                 "resumed_from")
+                 "resumed_from", "validation")
 
     def __init__(self, io: IOStats, simulated_io_seconds: float,
                  cpu_seconds: float, wall_seconds: float,
@@ -71,6 +74,8 @@ class ExecutionReport:
         # than the plan's total) and the index execution restarted from.
         self.instances = instances
         self.resumed_from = resumed_from
+        # Filled by run_program(..., validate=...): the cost-model audit.
+        self.validation: CostValidation | None = None
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -165,6 +170,26 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     cpu = 0.0
     t_wall = time.perf_counter()
 
+    # Traced I/O attribution: each planned access is measured as the delta
+    # of the disk's counted byte totals around it, so checksum-healing
+    # re-reads land on the access that needed them.  One `exec.io` instant
+    # per non-zero access, keyed (stmt, array, op) — exactly the join key
+    # cost validation uses.
+    tracer = obs_trace.CURRENT
+    io_stats = disk.stats
+
+    def traced_io(fn, op, stmt_name, array_name):
+        if tracer is None:
+            return fn()
+        field = "read_bytes" if op == "read" else "write_bytes"
+        before = getattr(io_stats, field)
+        out = fn()
+        delta = getattr(io_stats, field) - before
+        if delta:
+            tracer.instant("exec.io", "engine", stmt=stmt_name,
+                           array=array_name, op=op, bytes=delta)
+        return out
+
     # Blocks whose newest version exists only in memory (WRITE_SKIP): the
     # on-disk copy is stale, so an opportunistic-mode REUSE fallback must
     # not silently re-read it.
@@ -183,7 +208,9 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
             # Re-warm every block held across the boundary; the fixpoint
             # above guarantees each has a current disk copy.
             for key, npins in warm_pins.items():
-                blk = pool.put(key, stores[key[0]].read_block(key[1]))
+                blk = pool.put(key, traced_io(
+                    lambda k=key: stores[k[0]].read_block(k[1]),
+                    "read", RESUME_STMT, key[0]))
                 blk.pins = npins
     if journal is not None:
         journal.start(resume=start_index > 0)
@@ -191,6 +218,9 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     try:
         for index in range(start_index, len(plan.instances)):
             inst = plan.instances[index]
+            if tracer is not None:
+                tracer.begin("exec.instance", "engine", index=index,
+                             stmt=inst.stmt.name, point=list(inst.point))
             read_blocks: list[np.ndarray] = []
             touched: list[tuple] = []
             instance_pins: list[tuple] = []
@@ -214,19 +244,25 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                         # Opportunistic LRU legally evicted a plan-retained
                         # block under a tight cap; the disk copy is current, so
                         # fall back to a counted re-read instead of crashing.
-                        blk = pool.fetch(
-                            key, loader=lambda s=store, b=pa.block: s.read_block(b))
+                        blk = traced_io(
+                            lambda: pool.fetch(key, loader=lambda s=store,
+                                               b=pa.block: s.read_block(b)),
+                            "read", inst.stmt.name, pa.access.array.name)
                     else:
                         blk = pool.fetch(key, loader=_no_loader(key))
                 elif plan_exact:
                     # READ is charged disk I/O even if incidentally resident:
                     # the engine replays exactly what the optimizer costed.
-                    data = store.read_block(pa.block)
+                    data = traced_io(
+                        lambda s=store, b=pa.block: s.read_block(b),
+                        "read", inst.stmt.name, pa.access.array.name)
                     blk = pool.put(key, data)
                 else:
                     # Opportunistic (LRU) mode: resident blocks are buffer hits.
-                    blk = pool.fetch(
-                        key, loader=lambda s=store, b=pa.block: s.read_block(b))
+                    blk = traced_io(
+                        lambda: pool.fetch(key, loader=lambda s=store,
+                                           b=pa.block: s.read_block(b)),
+                        "read", inst.stmt.name, pa.access.array.name)
                 read_blocks.append(blk.data)
                 touched.append(key)
                 # Operands stay resident until the kernel has consumed them.
@@ -251,7 +287,9 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                 blk = pool.put(key, result)
                 touched.append(key)
                 if pa.action is IOAction.WRITE:
-                    store.write_block(pa.block, result)
+                    traced_io(
+                        lambda s=store, b=pa.block, r=result: s.write_block(b, r),
+                        "write", inst.stmt.name, pa.access.array.name)
                     if key in memory_only:
                         memory_only.discard(key)
                         mem_del.append(key)
@@ -269,6 +307,8 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                     pool.release_if_unpinned(key)
             if journal is not None:
                 journal.append(index, mem_add, mem_del)
+            if tracer is not None:
+                tracer.end()
     finally:
         if journal is not None:
             journal.close()
@@ -298,13 +338,26 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                 retry: RetryPolicy | None = None,
                 atomic_writes: bool | None = None,
                 checkpoint: bool = False,
-                resume: bool = False
+                resume: bool = False,
+                tracer: "obs_trace.Tracer | None" = None,
+                validate: "bool | float" = False
                 ) -> tuple[ExecutionReport, dict[str, np.ndarray]]:
     """Create storage, load inputs, execute, read back outputs.
 
     ``inputs`` maps input-array names to dense matrices of the full (scaled)
     shape.  Returns the execution report and the dense contents of every
     OUTPUT array.
+
+    Observability:
+
+    * ``tracer`` — scope this run onto the given trace bus (otherwise the
+      globally installed tracer, if any, is used);
+    * ``validate`` — audit the cost model: join the plan's predicted I/O
+      against the traced actuals per statement and per array, attaching the
+      :class:`~repro.obs.validate.CostValidation` as ``report.validation``.
+      ``True`` audits byte-exact; a float is the relative byte tolerance.
+      Needs an event-keeping tracer; one is created automatically when none
+      is installed.
 
     Fault tolerance:
 
@@ -337,9 +390,21 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                                    plan_fingerprint(exec_plan))
     resuming = resume and (workdir / JOURNAL_NAME).exists()
 
-    with SimulatedDisk(workdir, io_model or IOModel(),
-                       fault_injector=injector, retry=retry,
-                       atomic_writes=atomic_writes) as disk:
+    want_validation = validate is not False
+    tolerance = float(validate) if not isinstance(validate, bool) else 0.0
+    eff_tracer = tracer if tracer is not None else obs_trace.CURRENT
+    if eff_tracer is None and want_validation:
+        # Validation joins against traced exec.io events, so it needs a bus;
+        # a private in-memory one keeps the run's default footprint at zero.
+        eff_tracer = obs_trace.Tracer()
+    scope = obs_trace.use(eff_tracer) if eff_tracer is not obs_trace.CURRENT \
+        else nullcontext()
+    events_start = len(eff_tracer.events) if eff_tracer is not None else 0
+
+    model = io_model or IOModel()
+    with scope, SimulatedDisk(workdir, model,
+                              fault_injector=injector, retry=retry,
+                              atomic_writes=atomic_writes) as disk:
         stores: dict[str, object] = {}
         try:
             if resuming:
@@ -363,8 +428,12 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                         # (LAB-tree blocks materialize on first write).
                         store.preallocate()
 
-            report = execute_plan(exec_plan, stores, disk, memory_cap_bytes,
-                                  plan_exact, journal=journal, resume=resuming)
+            with obs_trace.span("run_program", "engine",
+                                program=program.name, plan=plan.index,
+                                plan_exact=plan_exact, resume=resuming):
+                report = execute_plan(exec_plan, stores, disk,
+                                      memory_cap_bytes, plan_exact,
+                                      journal=journal, resume=resuming)
 
             outputs = {name: stores[name].read_matrix(count=False)
                        for name, arr in program.arrays.items()
@@ -378,4 +447,14 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                     store.close()
                 except StorageError:
                     pass
+
+    if want_validation:
+        note = ""
+        if not plan_exact:
+            note = ("opportunistic LRU mode: actual I/O may legally "
+                    "undershoot the plan-exact prediction")
+        report.validation = validate_cost(
+            exec_plan, eff_tracer.events[events_start:], io_model=model,
+            tolerance=tolerance, retries=report.io.retries,
+            checksum_failures=report.io.checksum_failures, note=note)
     return report, outputs

@@ -1,0 +1,78 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, validation.
+
+Three planes, all off by default and near-free when disabled (every
+instrumentation site guards on a module-global ``is None`` check):
+
+* :mod:`repro.obs.trace` — a structured trace bus with nested spans, a
+  JSONL sink, and a Chrome-trace / Perfetto exporter.  Install a
+  :class:`Tracer` (globally via :func:`enable` / ``trace.use``) and the
+  optimizer, engine, and storage layers emit typed events: Apriori levels,
+  schedule solves, plan costings, per-instance executor spans, buffer-pool
+  hit/miss/eviction/pin traffic, disk reads/writes/retries/checksum
+  failures, and fault-injector firings.
+* :mod:`repro.obs.metrics` — a registry of labeled counters, gauges, and
+  histograms with Prometheus-style text exposition and snapshot/diff for
+  tests.  ``IOStats``, ``BufferPool``, and ``AprioriStats`` keep their
+  public fields as thin views over these instruments and self-register
+  when a registry is installed.
+* :mod:`repro.obs.validate` — joins a plan's predicted I/O against traced
+  actuals per statement and per array: the cost-model audit behind
+  ``run_program(..., validate=True)`` and ``python -m repro demo
+  --validate-cost``.
+
+Typical use::
+
+    from repro import obs
+
+    tracer, registry = obs.enable(trace_path="run.jsonl")
+    ... optimize / run_program ...
+    obs.disable()                       # closes the JSONL sink
+    print(registry.expose_text())
+"""
+
+from __future__ import annotations
+
+from . import metrics, trace, validate
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (JsonlSink, TraceEvent, Tracer, chrome_trace,
+                    jsonl_to_chrome, read_jsonl)
+from .validate import CostValidation, ValidationRow, validate_cost
+
+__all__ = [
+    "trace", "metrics", "validate",
+    "Tracer", "TraceEvent", "JsonlSink", "chrome_trace", "jsonl_to_chrome",
+    "read_jsonl",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "CostValidation", "ValidationRow", "validate_cost",
+    "enable", "disable", "enabled",
+]
+
+
+def enabled() -> bool:
+    """Is any observability plane currently installed?"""
+    return trace.CURRENT is not None or metrics.CURRENT is not None
+
+
+def enable(tracer: Tracer | None = None, registry: MetricsRegistry | None = None,
+           trace_path=None) -> tuple[Tracer, MetricsRegistry]:
+    """Install a tracer and a metrics registry globally (creating defaults).
+
+    ``trace_path`` adds a JSONL sink to a newly created tracer.  Returns
+    the installed ``(tracer, registry)`` pair; pair with :func:`disable`.
+    """
+    if tracer is None:
+        sink = JsonlSink(trace_path) if trace_path is not None else None
+        tracer = Tracer(sink=sink)
+    if registry is None:
+        registry = MetricsRegistry()
+    trace.install(tracer)
+    metrics.install(registry)
+    return tracer, registry
+
+
+def disable() -> None:
+    """Uninstall both planes; closes the active tracer's sink, if any."""
+    if trace.CURRENT is not None:
+        trace.CURRENT.close()
+    trace.uninstall()
+    metrics.uninstall()

@@ -1,0 +1,254 @@
+"""Metrics registry: labeled counters, gauges, and histograms.
+
+Zero-dependency, Prometheus-flavoured.  Instruments are plain objects that
+exist whether or not a registry is installed — that is what lets the
+engine's statistics classes (:class:`~repro.storage.disk.IOStats`,
+:class:`~repro.storage.buffer.BufferPool`,
+:class:`~repro.optimizer.apriori.AprioriStats`) keep their public fields as
+*thin views* over instruments: the fields are properties reading the same
+objects the registry exposes.  Installing a registry
+(:func:`install` / :func:`use`) makes newly constructed stat holders
+register their instruments, so one :meth:`MetricsRegistry.expose_text`
+dump shows every live series.
+
+For tests, :meth:`MetricsRegistry.snapshot` captures every series as a flat
+``{"name{label=value}": number}`` dict and
+:meth:`MetricsRegistry.diff` reports what changed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Mapping
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "install", "uninstall", "use", "CURRENT"]
+
+#: The process-global registry; ``None`` means metrics collection is off.
+CURRENT: "MetricsRegistry | None" = None
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing (by convention) numeric series."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None,
+                 value: float = 0):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def series(self) -> list[tuple[str, dict, float]]:
+        return [(self.name, self.labels, self.value)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name}{_render_labels(self.labels)}={self.value})"
+
+
+class Gauge(Counter):
+    """A series that can go up and down (or be set directly)."""
+
+    kind = "gauge"
+
+    __slots__ = ()
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus style).
+
+    ``buckets`` are the inclusive upper bounds of the finite buckets; an
+    implicit ``+Inf`` bucket always exists.  Exposed series are
+    ``name_bucket{le=...}``, ``name_sum`` and ``name_count``.
+    """
+
+    kind = "histogram"
+
+    DEFAULT_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None = None,
+                 buckets: tuple[float, ...] | None = None):
+        self.name = name
+        self.labels = dict(labels or {})
+        self.buckets = tuple(sorted(buckets or self.DEFAULT_BUCKETS))
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.sum += v
+        self.count += 1
+        for i, le in enumerate(self.buckets):
+            if v <= le:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def series(self) -> list[tuple[str, dict, float]]:
+        out = []
+        cum = 0
+        for le, c in zip(self.buckets, self.counts):
+            cum += c
+            out.append((f"{self.name}_bucket", {**self.labels, "le": repr(le)},
+                        cum))
+        cum += self.counts[-1]
+        out.append((f"{self.name}_bucket", {**self.labels, "le": "+Inf"}, cum))
+        out.append((f"{self.name}_sum", self.labels, self.sum))
+        out.append((f"{self.name}_count", self.labels, self.count))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Histogram({self.name}{_render_labels(self.labels)}, "
+                f"count={self.count}, sum={self.sum:.6g})")
+
+
+class MetricsRegistry:
+    """Holds labeled instrument series; get-or-create plus adoption.
+
+    ``counter``/``gauge``/``histogram`` get-or-create a series owned by the
+    registry.  ``register`` adopts an externally owned instrument (the
+    thin-view pattern): an existing series with the same (name, labels) is
+    replaced — "the newest holder owns the series".
+    """
+
+    def __init__(self):
+        self._series: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._seq: dict[str, int] = {}
+
+    # -- get-or-create -------------------------------------------------------
+
+    def _get(self, cls, name: str, labels: Mapping[str, str], **kw):
+        key = (name, _label_key(labels))
+        inst = self._series.get(key)
+        if inst is None or not isinstance(inst, cls):
+            inst = self._series[key] = cls(name, labels, **kw)
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: tuple[float, ...] | None = None,
+                  **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._series.get(key)
+        if not isinstance(inst, Histogram):
+            inst = self._series[key] = Histogram(name, labels, buckets)
+        return inst
+
+    def register(self, instrument: Counter | Gauge | Histogram
+                 ) -> Counter | Gauge | Histogram:
+        """Adopt an externally owned instrument (replaces same-keyed series).
+
+        Re-registering the same object under new labels moves it: the old
+        key is dropped, so a stat holder re-bound with better labels does
+        not leave a stale duplicate series behind.
+        """
+        key = (instrument.name, _label_key(instrument.labels))
+        stale = [k for k, v in self._series.items()
+                 if v is instrument and k != key]
+        for k in stale:
+            del self._series[k]
+        self._series[key] = instrument
+        return instrument
+
+    def seq(self, prefix: str) -> str:
+        """A registry-scoped unique label value (``pool1``, ``pool2`` ...)."""
+        n = self._seq.get(prefix, 0) + 1
+        self._seq[prefix] = n
+        return f"{prefix}{n}"
+
+    # -- export --------------------------------------------------------------
+
+    def instruments(self) -> list:
+        return list(self._series.values())
+
+    def expose_text(self) -> str:
+        """Prometheus-style text exposition of every series."""
+        lines = []
+        seen_types: set[str] = set()
+        for key in sorted(self._series, key=lambda k: (k[0], k[1])):
+            inst = self._series[key]
+            if inst.name not in seen_types:
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+                seen_types.add(inst.name)
+            for name, labels, value in inst.series():
+                if isinstance(value, float) and value.is_integer():
+                    value = int(value)
+                lines.append(f"{name}{_render_labels(labels)} {value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``{"name{label=value}": number}`` view of every series."""
+        out: dict[str, float] = {}
+        for inst in self._series.values():
+            for name, labels, value in inst.series():
+                out[f"{name}{_render_labels(labels)}"] = value
+        return out
+
+    def diff(self, before: Mapping[str, float]) -> dict[str, float]:
+        """Per-series delta versus an earlier :meth:`snapshot` (zero deltas
+        and vanished series omitted; new series count from zero)."""
+        now = self.snapshot()
+        out = {}
+        for key, value in now.items():
+            delta = value - before.get(key, 0)
+            if delta:
+                out[key] = delta
+        return out
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._series)} series)"
+
+
+# -- global installation -------------------------------------------------------
+
+
+def install(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Make ``registry`` (or a fresh one) the process-global registry."""
+    global CURRENT
+    CURRENT = registry if registry is not None else MetricsRegistry()
+    return CURRENT
+
+
+def uninstall() -> None:
+    global CURRENT
+    CURRENT = None
+
+
+@contextmanager
+def use(registry: MetricsRegistry | None):
+    """Scoped install: restores the previous registry (or None) on exit."""
+    global CURRENT
+    prev = CURRENT
+    CURRENT = registry
+    try:
+        yield registry
+    finally:
+        CURRENT = prev

@@ -1,0 +1,253 @@
+"""Structured trace bus: typed events, nested spans, JSONL + Chrome export.
+
+The bus is a process-global :class:`Tracer` slot (``CURRENT``).  When no
+tracer is installed — the default — every instrumentation site in the
+optimizer, engine, and storage layers reduces to one module-attribute read
+and an ``is None`` test, so observability costs nothing unless asked for.
+
+Event model (deliberately close to the Chrome trace format so the export
+is a pure re-labelling):
+
+* ``ph="B"`` / ``ph="E"`` — begin/end of a nested span (depth tracked);
+* ``ph="i"`` — an instant event;
+* ``ts`` — seconds since the tracer's epoch (export converts to µs);
+* ``cat`` — the emitting layer (``optimizer`` / ``engine`` / ``storage`` /
+  ``pool`` / ``fault``);
+* ``args`` — free-form, JSON-serializable payload.
+
+Sinks: every event is appended to the tracer's in-memory list (unless
+``keep=False``) and streamed to an optional :class:`JsonlSink`.  The JSONL
+file is the durable artifact; :func:`chrome_trace` / :func:`jsonl_to_chrome`
+turn either source into a ``chrome://tracing`` / Perfetto-loadable JSON
+document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = ["TraceEvent", "Tracer", "JsonlSink", "chrome_trace",
+           "jsonl_to_chrome", "read_jsonl", "install", "uninstall", "use",
+           "span", "instant", "CURRENT"]
+
+#: The process-global tracer; ``None`` means observability is off and every
+#: instrumented call site short-circuits on an ``is None`` check.
+CURRENT: "Tracer | None" = None
+
+
+class TraceEvent:
+    """One typed event on the bus."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "tid", "depth", "args")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: float, tid: int,
+                 depth: int, args: dict | None):
+        self.name = name
+        self.cat = cat
+        self.ph = ph          # "B" | "E" | "i"  (Chrome phase letters)
+        self.ts = ts          # seconds since the tracer's epoch
+        self.tid = tid
+        self.depth = depth
+        self.args = args
+
+    def to_dict(self) -> dict:
+        d = {"name": self.name, "cat": self.cat, "ph": self.ph,
+             "ts": round(self.ts, 9), "tid": self.tid, "depth": self.depth}
+        if self.args:
+            d["args"] = self.args
+        return d
+
+    def __repr__(self) -> str:
+        return (f"TraceEvent({self.ph} {self.cat}:{self.name} "
+                f"@{self.ts:.6f}s depth={self.depth} {self.args or ''})")
+
+
+class JsonlSink:
+    """Streams events to a JSONL file, one JSON object per line."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fh = open(self.path, "w")
+        self.writes = 0
+
+    def write(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self.writes += 1
+
+    def flush(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink({self.path}, {self.writes} events)"
+
+
+class Tracer:
+    """Collects :class:`TraceEvent`\\ s with nested-span support.
+
+    Thread-safe in the cheap sense: span depth is tracked per thread, and
+    list appends / file writes are GIL-atomic enough for the engine's
+    single-writer usage.
+    """
+
+    def __init__(self, sink: JsonlSink | None = None, keep: bool = True):
+        self.sink = sink
+        self.events: list[TraceEvent] = []
+        self._keep = keep
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+
+    # -- emission ------------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def emit(self, name: str, cat: str, ph: str,
+             args: dict | None = None) -> TraceEvent:
+        ev = TraceEvent(name, cat, ph, time.perf_counter() - self._epoch,
+                        threading.get_ident() & 0xFFFFFFFF,
+                        len(self._stack()), args or None)
+        if self._keep:
+            self.events.append(ev)
+        if self.sink is not None:
+            self.sink.write(ev)
+        return ev
+
+    def instant(self, name: str, cat: str = "", **args) -> TraceEvent:
+        return self.emit(name, cat, "i", args)
+
+    def begin(self, name: str, cat: str = "", **args) -> TraceEvent:
+        ev = self.emit(name, cat, "B", args)
+        self._stack().append((name, cat))
+        return ev
+
+    def end(self, **args) -> TraceEvent | None:
+        """Close the innermost open span (no-op on an empty stack)."""
+        stack = self._stack()
+        if not stack:
+            return None
+        name, cat = stack.pop()
+        return self.emit(name, cat, "E", args)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "", **args):
+        """Nested span; the yielded dict becomes the end event's args."""
+        self.begin(name, cat, **args)
+        result: dict = {}
+        try:
+            yield result
+        finally:
+            self.end(**result)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.events)} events, sink={self.sink!r})"
+
+
+# -- global installation -------------------------------------------------------
+
+
+def install(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process-global bus (instrumentation turns on)."""
+    global CURRENT
+    CURRENT = tracer
+    return tracer
+
+
+def uninstall() -> None:
+    """Turn tracing off (instrumented sites go back to near-free)."""
+    global CURRENT
+    CURRENT = None
+
+
+@contextmanager
+def use(tracer: Tracer | None):
+    """Scoped install: restores the previous tracer (or None) on exit."""
+    global CURRENT
+    prev = CURRENT
+    CURRENT = tracer
+    try:
+        yield tracer
+    finally:
+        CURRENT = prev
+
+
+def span(name: str, cat: str = "", **args):
+    """Module-level convenience: a span on the current tracer, or a no-op."""
+    if CURRENT is None:
+        return _null_span()
+    return CURRENT.span(name, cat, **args)
+
+
+def instant(name: str, cat: str = "", **args) -> None:
+    """Module-level convenience: an instant on the current tracer, if any."""
+    if CURRENT is not None:
+        CURRENT.instant(name, cat, **args)
+
+
+@contextmanager
+def _null_span():
+    yield {}
+
+
+# -- Chrome / Perfetto export --------------------------------------------------
+
+
+def _chrome_event(d: Mapping, pid: int) -> dict:
+    out = {"name": d.get("name", "?"), "cat": d.get("cat") or "repro",
+           "ph": d.get("ph", "i"), "ts": round(d.get("ts", 0.0) * 1e6, 3),
+           "pid": pid, "tid": d.get("tid", 0)}
+    if d.get("ph") == "i":
+        out["s"] = "t"  # instant scope: thread
+    if d.get("args"):
+        out["args"] = d["args"]
+    return out
+
+
+def chrome_trace(events: Iterable[TraceEvent | Mapping],
+                 pid: int | None = None) -> str:
+    """A ``chrome://tracing`` / Perfetto-loadable JSON document."""
+    pid = os.getpid() if pid is None else pid
+    dicts = [e.to_dict() if isinstance(e, TraceEvent) else e for e in events]
+    doc = {"traceEvents": [_chrome_event(d, pid) for d in dicts],
+           "displayTimeUnit": "ms"}
+    return json.dumps(doc)
+
+
+def read_jsonl(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL trace file back into event dicts."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def jsonl_to_chrome(jsonl_path: str | os.PathLike,
+                    out_path: str | os.PathLike | None = None) -> str:
+    """Convert a JSONL trace to Chrome JSON; optionally write it to a file."""
+    doc = chrome_trace(read_jsonl(jsonl_path))
+    if out_path is not None:
+        Path(out_path).write_text(doc)
+    return doc

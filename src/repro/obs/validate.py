@@ -1,0 +1,228 @@
+"""Cost-model validation: the plan's predicted I/O vs traced actuals.
+
+The paper's argument (Section 5.4, Figures 3(b)-6(b)) is that a linear I/O
+model over exactly counted block transfers predicts real execution.  This
+module turns that claim into a machine-checkable audit: join the
+prediction embedded in an :class:`~repro.codegen.exec_plan.ExecutablePlan`
+(the same annotated trace the cost evaluator used) against the ``exec.io``
+events the engine emitted while running it, per statement and per array,
+and pass/fail each row under a configurable byte tolerance.
+
+The module is deliberately duck-typed — it needs only ``exec_plan.trace``
+(with ``ScheduledEvent``-shaped entries) and an iterable of trace events
+(:class:`~repro.obs.trace.TraceEvent` objects or their dicts), so it
+imports nothing from the rest of the package and stays dependency-free.
+
+On a fault-free plan-exact run every row is byte-exact (tolerance 0).
+Fault-absorbing runs read extra bytes healing checksum failures; the
+report carries ``retries`` / ``checksum_failures`` so those runs reconcile
+too (see ``report.predicted_vs_actual_csv``).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping
+
+__all__ = ["ValidationRow", "CostValidation", "validate_cost",
+           "predicted_io_by_group", "actual_io_from_events"]
+
+#: Statement label the engine uses for resume re-warm reads — real I/O that
+#: no plan prediction covers, so it is reported but excluded from pass/fail.
+RESUME_STMT = "<resume>"
+
+
+class ValidationRow:
+    """Predicted vs actual bytes for one scope (statement x array)."""
+
+    __slots__ = ("statement", "array", "predicted_read", "actual_read",
+                 "predicted_write", "actual_write")
+
+    def __init__(self, statement: str | None, array: str | None,
+                 predicted_read: int, actual_read: int,
+                 predicted_write: int, actual_write: int):
+        self.statement = statement      # None = aggregated over statements
+        self.array = array              # None = aggregated over arrays
+        self.predicted_read = predicted_read
+        self.actual_read = actual_read
+        self.predicted_write = predicted_write
+        self.actual_write = actual_write
+
+    @property
+    def scope(self) -> str:
+        if self.statement is None and self.array is None:
+            return "total"
+        if self.statement is None:
+            return f"array {self.array}"
+        return f"{self.statement} x {self.array}"
+
+    def ok(self, tolerance: float) -> bool:
+        return (_within(self.predicted_read, self.actual_read, tolerance)
+                and _within(self.predicted_write, self.actual_write,
+                            tolerance))
+
+    def __repr__(self) -> str:
+        return (f"ValidationRow({self.scope}: "
+                f"read {self.predicted_read}/{self.actual_read}, "
+                f"write {self.predicted_write}/{self.actual_write})")
+
+
+def _within(predicted: int, actual: int, tolerance: float) -> bool:
+    return abs(actual - predicted) <= tolerance * max(predicted, 1)
+
+
+class CostValidation:
+    """The full audit: per-scope rows, a verdict, and the durability story."""
+
+    __slots__ = ("rows", "extra_rows", "tolerance", "passed",
+                 "predicted_io_seconds", "actual_io_seconds",
+                 "retries", "checksum_failures", "note")
+
+    def __init__(self, rows: list[ValidationRow],
+                 extra_rows: list[ValidationRow], tolerance: float,
+                 predicted_io_seconds: float | None,
+                 actual_io_seconds: float | None,
+                 retries: int = 0, checksum_failures: int = 0,
+                 note: str = ""):
+        self.rows = rows                # audited (statement/array/total)
+        self.extra_rows = extra_rows    # shown, not audited (resume re-warms)
+        self.tolerance = tolerance
+        self.passed = all(r.ok(tolerance) for r in rows)
+        self.predicted_io_seconds = predicted_io_seconds
+        self.actual_io_seconds = actual_io_seconds
+        self.retries = retries
+        self.checksum_failures = checksum_failures
+        self.note = note
+
+    def failures(self) -> list[ValidationRow]:
+        return [r for r in self.rows if not r.ok(self.tolerance)]
+
+    @property
+    def total(self) -> ValidationRow:
+        return next(r for r in self.rows
+                    if r.statement is None and r.array is None)
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write("scope,predicted_read_bytes,actual_read_bytes,"
+                  "predicted_write_bytes,actual_write_bytes,ok\n")
+        for r in self.rows + self.extra_rows:
+            audited = r in self.rows
+            ok = r.ok(self.tolerance) if audited else ""
+            out.write(f"\"{r.scope}\",{r.predicted_read},{r.actual_read},"
+                      f"{r.predicted_write},{r.actual_write},{ok}\n")
+        return out.getvalue()
+
+    def to_text(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"cost-model validation: {verdict} "
+                 f"(byte tolerance {self.tolerance:.1%})"]
+        if self.predicted_io_seconds is not None:
+            lines.append(f"  predicted I/O {self.predicted_io_seconds:.3f}s, "
+                         f"traced actual {self.actual_io_seconds:.3f}s "
+                         f"(linear model over audited bytes)")
+        if self.retries or self.checksum_failures:
+            lines.append(f"  durability: {self.retries} transient retries, "
+                         f"{self.checksum_failures} checksum failures healed "
+                         f"(healing re-reads explain read-byte excess)")
+        if self.note:
+            lines.append(f"  note: {self.note}")
+        header = (f"  {'scope':<24} {'pred read':>12} {'act read':>12} "
+                  f"{'pred write':>12} {'act write':>12}  ok")
+        lines.append(header)
+        for r in self.rows:
+            lines.append(f"  {r.scope:<24} {r.predicted_read:>12} "
+                         f"{r.actual_read:>12} {r.predicted_write:>12} "
+                         f"{r.actual_write:>12}  "
+                         f"{'yes' if r.ok(self.tolerance) else 'NO'}")
+        for r in self.extra_rows:
+            lines.append(f"  {r.scope:<24} {r.predicted_read:>12} "
+                         f"{r.actual_read:>12} {r.predicted_write:>12} "
+                         f"{r.actual_write:>12}  (not audited)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"CostValidation({'PASS' if self.passed else 'FAIL'}, "
+                f"{len(self.rows)} rows, tol={self.tolerance})")
+
+
+def predicted_io_by_group(exec_plan) -> dict[tuple[str, str], list[int]]:
+    """Predicted counted bytes per (statement, array) from the plan's own
+    annotated trace — exactly what ``evaluate_plan`` charges at run scale."""
+    groups: dict[tuple[str, str], list[int]] = {}
+    for ev in exec_plan.trace.events:
+        key = (ev.access.statement.name, ev.access.array.name)
+        rw = groups.setdefault(key, [0, 0])
+        if ev.is_write:
+            if not (ev.saved or ev.elided):
+                rw[1] += ev.bytes
+        elif not ev.saved:
+            rw[0] += ev.bytes
+    return groups
+
+
+def actual_io_from_events(events: Iterable) -> dict[tuple[str, str], list[int]]:
+    """Traced counted bytes per (statement, array) from ``exec.io`` events."""
+    groups: dict[tuple[str, str], list[int]] = {}
+    for ev in events:
+        if isinstance(ev, Mapping):
+            name, args = ev.get("name"), ev.get("args") or {}
+        else:
+            name, args = ev.name, ev.args or {}
+        if name != "exec.io" or not args.get("bytes"):
+            continue
+        key = (args["stmt"], args["array"])
+        rw = groups.setdefault(key, [0, 0])
+        rw[0 if args["op"] == "read" else 1] += args["bytes"]
+    return groups
+
+
+def validate_cost(exec_plan, events: Iterable, io_model=None,
+                  tolerance: float = 0.0, retries: int = 0,
+                  checksum_failures: int = 0, note: str = "") -> CostValidation:
+    """Join plan prediction against traced actuals; audit every scope.
+
+    ``events`` is any iterable of trace events (live
+    :class:`~repro.obs.trace.TraceEvent` objects or dicts loaded from a
+    JSONL file); only ``exec.io`` events participate.  ``io_model`` (any
+    object with ``seconds(read_bytes, write_bytes)``) converts audited byte
+    totals to the headline predicted/actual seconds.
+    """
+    predicted = predicted_io_by_group(exec_plan)
+    actual = actual_io_from_events(events)
+
+    extra_rows: list[ValidationRow] = []
+    for key in sorted(set(actual) - set(predicted)):
+        if key[0] == RESUME_STMT:
+            a = actual.pop(key)
+            extra_rows.append(ValidationRow(key[0], key[1], 0, a[0], 0, a[1]))
+
+    rows: list[ValidationRow] = []
+    per_array: dict[str, list[int]] = {}
+    tot_p = [0, 0]
+    tot_a = [0, 0]
+    for key in sorted(set(predicted) | set(actual)):
+        p = predicted.get(key, [0, 0])
+        a = actual.get(key, [0, 0])
+        rows.append(ValidationRow(key[0], key[1], p[0], a[0], p[1], a[1]))
+        arr = per_array.setdefault(key[1], [0, 0, 0, 0])
+        arr[0] += p[0]
+        arr[1] += a[0]
+        arr[2] += p[1]
+        arr[3] += a[1]
+        tot_p[0] += p[0]
+        tot_p[1] += p[1]
+        tot_a[0] += a[0]
+        tot_a[1] += a[1]
+    array_rows = [ValidationRow(None, name, *vals)
+                  for name, vals in sorted(per_array.items())]
+    total_row = ValidationRow(None, None, tot_p[0], tot_a[0], tot_p[1],
+                              tot_a[1])
+
+    pred_s = act_s = None
+    if io_model is not None:
+        pred_s = io_model.seconds(tot_p[0], tot_p[1])
+        act_s = io_model.seconds(tot_a[0], tot_a[1])
+    return CostValidation([total_row] + array_rows + rows, extra_rows,
+                          tolerance, pred_s, act_s, retries,
+                          checksum_failures, note)

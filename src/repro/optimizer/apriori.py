@@ -21,6 +21,8 @@ from typing import Iterable, Sequence
 
 from ..analysis import ProgramAnalysis, SharingOpportunity
 from ..ir import Schedule
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .constraints import ConstraintCache
 from .find_schedule import find_schedule
 
@@ -39,28 +41,39 @@ class AprioriStats:
     balance are observable.
     """
 
-    __slots__ = ("candidates_tested", "feasible", "total_subsets", "seconds",
-                 "truncated", "level_candidates", "level_feasible",
-                 "level_seconds", "workers", "tasks_dispatched", "worker_tasks",
-                 "pool_restarts", "sequential_fallbacks")
+    _COUNTERS = ("candidates_tested", "feasible", "total_subsets",
+                 "tasks_dispatched", "pool_restarts", "sequential_fallbacks")
+    _GAUGES = ("seconds",)
+
+    __slots__ = tuple("_" + f for f in _COUNTERS + _GAUGES) + (
+        "truncated", "level_candidates", "level_feasible",
+        "level_seconds", "workers", "worker_tasks")
 
     def __init__(self):
-        self.candidates_tested = 0
-        self.feasible = 0
-        self.total_subsets = 0
-        self.seconds = 0.0
+        for f in self._COUNTERS:
+            setattr(self, "_" + f, obs_metrics.Counter("repro_apriori_" + f))
+        for f in self._GAUGES:
+            setattr(self, "_" + f, obs_metrics.Gauge("repro_apriori_" + f))
         self.truncated = False
         self.level_candidates: dict[int, int] = {}
         self.level_feasible: dict[int, int] = {}
         self.level_seconds: dict[int, float] = {}
         self.workers = 1
-        self.tasks_dispatched = 0
         self.worker_tasks: dict[int, int] = {}
-        # Crash recovery in the parallel layer: pools restarted after a
-        # BrokenProcessPool, and levels/costings that fell back to the
-        # driver when a restarted pool broke again.
-        self.pool_restarts = 0
-        self.sequential_fallbacks = 0
+        registry = obs_metrics.CURRENT
+        if registry is not None:
+            self.bind(registry, search=registry.seq("search"))
+        # pool_restarts / sequential_fallbacks: crash recovery in the
+        # parallel layer — pools restarted after a BrokenProcessPool, and
+        # levels/costings that fell back to the driver when a restarted
+        # pool broke again.
+
+    def bind(self, registry: "obs_metrics.MetricsRegistry", **labels) -> None:
+        """Adopt this search's instruments into ``registry`` under ``labels``."""
+        for f in self._COUNTERS + self._GAUGES:
+            inst = getattr(self, "_" + f)
+            inst.labels = dict(labels)
+            registry.register(inst)
 
     @property
     def pruned_fraction(self) -> float:
@@ -84,6 +97,23 @@ class AprioriStats:
         return (f"AprioriStats(tested={self.candidates_tested}/{self.total_subsets}, "
                 f"feasible={self.feasible}, pruned={self.pruned_fraction:.1%}, "
                 f"{self.seconds:.2f}s{par})")
+
+
+def _stat_view(field: str) -> property:
+    attr = "_" + field
+
+    def fget(self):
+        return getattr(self, attr).value
+
+    def fset(self, value):
+        getattr(self, attr).value = value
+
+    return property(fget, fset)
+
+
+for _f in AprioriStats._COUNTERS + AprioriStats._GAUGES:
+    setattr(AprioriStats, _f, _stat_view(_f))
+del _f
 
 
 def generate_level_candidates(feasible_prev: Iterable[frozenset[int]],
@@ -150,18 +180,23 @@ def enumerate_feasible_sets(analysis: ProgramAnalysis,
     # untested candidate, so running out must mark the search truncated.
     t_level = time.perf_counter()
     feasible_singletons: list = []
-    for o in usable:
-        if not budget_left():
-            stats.truncated = True
-            break
-        stats.candidates_tested += 1
-        sched = find_schedule(program, cache, [o], analysis.dependences)
-        if sched is not None:
-            key = frozenset([o.index])
-            feasible_prev.add(key)
-            results.append((key, sched))
-            feasible_singletons.append(o)
-            stats.feasible += 1
+    with obs_trace.span("apriori.level", "optimizer", k=1) as sp:
+        for o in usable:
+            if not budget_left():
+                stats.truncated = True
+                break
+            stats.candidates_tested += 1
+            sched = find_schedule(program, cache, [o], analysis.dependences)
+            obs_trace.instant("opt.solve", "optimizer", set=[o.index],
+                              feasible=sched is not None)
+            if sched is not None:
+                key = frozenset([o.index])
+                feasible_prev.add(key)
+                results.append((key, sched))
+                feasible_singletons.append(o)
+                stats.feasible += 1
+        sp["candidates"] = stats.candidates_tested
+        sp["feasible"] = stats.feasible
     stats.record_level(1, stats.candidates_tested, stats.feasible,
                        time.perf_counter() - t_level)
 
@@ -179,17 +214,23 @@ def enumerate_feasible_sets(analysis: ProgramAnalysis,
         t_level = time.perf_counter()
         tested_before, feasible_before = stats.candidates_tested, stats.feasible
         feasible_now: set[frozenset[int]] = set()
-        for cand in candidates:
-            if not budget_left():
-                stats.truncated = True
-                break
-            stats.candidates_tested += 1
-            opps = [by_index[i] for i in sorted(cand)]
-            sched = find_schedule(program, cache, opps, analysis.dependences)
-            if sched is not None:
-                feasible_now.add(cand)
-                results.append((cand, sched))
-                stats.feasible += 1
+        with obs_trace.span("apriori.level", "optimizer", k=k,
+                            candidates=len(candidates)) as sp:
+            for cand in candidates:
+                if not budget_left():
+                    stats.truncated = True
+                    break
+                stats.candidates_tested += 1
+                opps = [by_index[i] for i in sorted(cand)]
+                sched = find_schedule(program, cache, opps, analysis.dependences)
+                obs_trace.instant("opt.solve", "optimizer", set=sorted(cand),
+                                  feasible=sched is not None)
+                if sched is not None:
+                    feasible_now.add(cand)
+                    results.append((cand, sched))
+                    stats.feasible += 1
+            sp["tested"] = stats.candidates_tested - tested_before
+            sp["feasible"] = stats.feasible - feasible_before
         stats.record_level(k, stats.candidates_tested - tested_before,
                            stats.feasible - feasible_before,
                            time.perf_counter() - t_level)

@@ -16,6 +16,8 @@ from typing import Mapping, Sequence
 from ..analysis import ProgramAnalysis, analyze
 from ..exceptions import OptimizationError
 from ..ir import Program
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .apriori import AprioriStats, enumerate_feasible_sets
 from .constraints import ConstraintCache
 from .costing import IOModel, evaluate_plan
@@ -92,30 +94,50 @@ class Optimizer:
         if workers is not None and workers < 1:
             raise OptimizationError(f"workers must be >= 1, got {workers}")
         t0 = time.perf_counter()
-        analysis = analyze(self.program, param_values=params)
-        if workers is not None and workers > 1:
-            from .parallel import ParallelOptimizerPool
-            with ParallelOptimizerPool(
-                    analysis, params, self.io_model, workers,
-                    dead_write_elimination=self.dead_write_elimination,
-                    block_bytes=block_bytes) as pool:
-                feasible, stats = pool.enumerate_feasible_sets(max_set_size,
-                                                               max_candidates)
-                plans = pool.cost_plans(feasible, stats)
-        else:
-            cache = ConstraintCache(self.program)
-            feasible, stats = enumerate_feasible_sets(analysis, cache,
-                                                      max_set_size,
-                                                      max_candidates)
-            by_index = {o.index: o for o in analysis.opportunities}
-            plans = []
-            for plan_id, (idx_set, schedule) in enumerate(feasible):
-                realized = [by_index[i] for i in sorted(idx_set)]
-                cost = evaluate_plan(self.program, params, schedule, realized,
-                                     self.io_model,
-                                     dead_write_elimination=self.dead_write_elimination,
-                                     block_bytes=block_bytes)
-                plans.append(Plan(plan_id, schedule, realized, cost))
+        with obs_trace.span("optimize", "optimizer", program=self.program.name,
+                            workers=workers or 1) as top:
+            with obs_trace.span("optimize.analyze", "optimizer") as sp:
+                analysis = analyze(self.program, param_values=params)
+                sp["opportunities"] = len(analysis.opportunities)
+            if workers is not None and workers > 1:
+                from .parallel import ParallelOptimizerPool
+                with ParallelOptimizerPool(
+                        analysis, params, self.io_model, workers,
+                        dead_write_elimination=self.dead_write_elimination,
+                        block_bytes=block_bytes) as pool:
+                    with obs_trace.span("optimize.enumerate", "optimizer"):
+                        feasible, stats = pool.enumerate_feasible_sets(
+                            max_set_size, max_candidates)
+                    with obs_trace.span("optimize.cost", "optimizer"):
+                        plans = pool.cost_plans(feasible, stats)
+            else:
+                cache = ConstraintCache(self.program)
+                with obs_trace.span("optimize.enumerate", "optimizer"):
+                    feasible, stats = enumerate_feasible_sets(analysis, cache,
+                                                              max_set_size,
+                                                              max_candidates)
+                by_index = {o.index: o for o in analysis.opportunities}
+                plans = []
+                with obs_trace.span("optimize.cost", "optimizer"):
+                    for plan_id, (idx_set, schedule) in enumerate(feasible):
+                        realized = [by_index[i] for i in sorted(idx_set)]
+                        cost = evaluate_plan(
+                            self.program, params, schedule, realized,
+                            self.io_model,
+                            dead_write_elimination=self.dead_write_elimination,
+                            block_bytes=block_bytes)
+                        plans.append(Plan(plan_id, schedule, realized, cost))
+                        obs_trace.instant(
+                            "opt.plan_cost", "optimizer", plan=plan_id,
+                            read_bytes=cost.read_bytes,
+                            write_bytes=cost.write_bytes,
+                            io_seconds=cost.io_seconds,
+                            memory_bytes=cost.memory_bytes)
+            top["plans"] = len(plans)
+            top["tested"] = stats.candidates_tested
+        registry = obs_metrics.CURRENT
+        if registry is not None:
+            stats.bind(registry, program=self.program.name)
         seconds = time.perf_counter() - t0
         result = OptimizationResult(self.program, params, analysis, plans,
                                     stats, self.io_model, seconds)

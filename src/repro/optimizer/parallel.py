@@ -41,6 +41,8 @@ from typing import Mapping, Sequence
 
 from ..analysis import ProgramAnalysis
 from ..ir import Schedule
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .apriori import AprioriStats, generate_level_candidates, grow_greedy_maximal
 from .constraints import ConstraintCache
 from .costing import IOModel, evaluate_plan
@@ -62,6 +64,11 @@ _STATE: dict | None = None
 def _init_worker(payload: bytes) -> None:
     """Pool initializer: one analysis + one warm-started cache per process."""
     global _STATE
+    # Workers forked from an instrumented driver would inherit its tracer /
+    # registry globals (and, worse, its open JSONL file descriptor); the
+    # driver is the single observer, so observability is off in workers.
+    obs_trace.uninstall()
+    obs_metrics.uninstall()
     analysis, params, io_model, dwe, block_bytes, seed = pickle.loads(payload)
     cache = ConstraintCache(analysis.program)
     if seed:
@@ -226,6 +233,8 @@ class ParallelOptimizerPool:
         for fut in futures:
             pid, results, worker_delta = fut.result()
             stats.record_task(pid)
+            obs_trace.instant("opt.task", "optimizer", kind="legality",
+                              pid=pid, candidates=len(results))
             # Merged worker entries are deliberately NOT added to
             # _sent_keys: the *other* workers still lack them, so the next
             # level's broadcast must carry them (re-merging is idempotent).
@@ -287,14 +296,19 @@ class ParallelOptimizerPool:
         t_level = time.perf_counter()
         feasible_singletons: list = []
         level1 = take_budget([frozenset([o.index]) for o in usable])
-        for cand, sched in self._run_level(level1, stats):
-            stats.candidates_tested += 1
-            if sched is not None:
-                feasible_prev.add(cand)
-                results.append((cand, sched))
-                feasible_singletons.append(
-                    next(o for o in usable if o.index in cand))
-                stats.feasible += 1
+        with obs_trace.span("apriori.level", "optimizer", k=1,
+                            candidates=len(level1)) as sp:
+            for cand, sched in self._run_level(level1, stats):
+                stats.candidates_tested += 1
+                obs_trace.instant("opt.solve", "optimizer", set=sorted(cand),
+                                  feasible=sched is not None)
+                if sched is not None:
+                    feasible_prev.add(cand)
+                    results.append((cand, sched))
+                    feasible_singletons.append(
+                        next(o for o in usable if o.index in cand))
+                    stats.feasible += 1
+            sp["feasible"] = stats.feasible
         stats.record_level(1, stats.candidates_tested, stats.feasible,
                            time.perf_counter() - t_level)
 
@@ -313,12 +327,18 @@ class ParallelOptimizerPool:
             tested_before = stats.candidates_tested
             feasible_before = stats.feasible
             feasible_now: set[frozenset[int]] = set()
-            for cand, sched in self._run_level(candidates, stats):
-                stats.candidates_tested += 1
-                if sched is not None:
-                    feasible_now.add(cand)
-                    results.append((cand, sched))
-                    stats.feasible += 1
+            with obs_trace.span("apriori.level", "optimizer", k=k,
+                                candidates=len(candidates)) as sp:
+                for cand, sched in self._run_level(candidates, stats):
+                    stats.candidates_tested += 1
+                    obs_trace.instant("opt.solve", "optimizer",
+                                      set=sorted(cand),
+                                      feasible=sched is not None)
+                    if sched is not None:
+                        feasible_now.add(cand)
+                        results.append((cand, sched))
+                        stats.feasible += 1
+                sp["feasible"] = stats.feasible - feasible_before
             stats.record_level(k, stats.candidates_tested - tested_before,
                                stats.feasible - feasible_before,
                                time.perf_counter() - t_level)
@@ -365,7 +385,13 @@ class ParallelOptimizerPool:
         plans: list[Plan] = []
         for plan_id, (idx_set, schedule) in enumerate(feasible):
             realized = [by_index[i] for i in sorted(idx_set)]
-            plans.append(Plan(plan_id, schedule, realized, costs[plan_id]))
+            cost = costs[plan_id]
+            plans.append(Plan(plan_id, schedule, realized, cost))
+            obs_trace.instant("opt.plan_cost", "optimizer", plan=plan_id,
+                              read_bytes=cost.read_bytes,
+                              write_bytes=cost.write_bytes,
+                              io_seconds=cost.io_seconds,
+                              memory_bytes=cost.memory_bytes)
         return plans
 
     def _cost_plans_pool(self, items, stats) -> dict[int, object]:

@@ -37,6 +37,20 @@ def plan_space_ascii(result: OptimizationResult, width: int = 64,
     lo_m, hi_m = min(mems), max(mems)
     lo_t, hi_t = min(ios), max(ios)
 
+    # An axis with zero spread cannot be scaled; points are centered on it
+    # and an explicit note says so, instead of letting a silently collapsed
+    # axis read as "all plans coincide at the midpoint of a real range".
+    degenerate: list[str] = []
+    if len(plans) == 1:
+        degenerate.append("note: single plan — both axes degenerate")
+    else:
+        if hi_m == lo_m:
+            degenerate.append(f"note: degenerate memory axis — every plan "
+                              f"needs {lo_m / 1e6:.1f} MB")
+        if hi_t == lo_t:
+            degenerate.append(f"note: degenerate I/O axis — every plan "
+                              f"costs {lo_t:.2f} s")
+
     def col(m):
         if hi_m == lo_m:
             return width // 2
@@ -54,8 +68,9 @@ def plan_space_ascii(result: OptimizationResult, width: int = 64,
         grid[r][c] = "*" if p.index == best.index else ("0" if p.is_original else "o")
     lines = [f"I/O time (s): {lo_t:.1f} (top) .. {hi_t:.1f} (bottom); "
              f"memory: {lo_m / 1e6:.1f} .. {hi_m / 1e6:.1f} MB",
-             "legend: 0 = original plan, * = best plan, o = other plans",
-             "+" + "-" * width + "+"]
+             "legend: 0 = original plan, * = best plan, o = other plans"]
+    lines += degenerate
+    lines.append("+" + "-" * width + "+")
     for r in grid:
         lines.append("|" + "".join(r) + "|")
     lines.append("+" + "-" * width + "+")
@@ -63,12 +78,24 @@ def plan_space_ascii(result: OptimizationResult, width: int = 64,
 
 
 def predicted_vs_actual_csv(rows: Sequence[tuple]) -> str:
-    """CSV for the (b)-figures: plan, predicted/actual I/O s, CPU s.
+    """CSV for the (b)-figures: plan, predicted/actual I/O s, CPU s, and the
+    durability counters that reconcile fault-absorbing runs.
 
-    ``rows`` is a sequence of (label, predicted_io_s, actual_io_s, cpu_s).
+    ``rows`` is a sequence of ``(label, predicted_io_s, actual_io_s, cpu_s)``
+    or ``(label, predicted_io_s, actual_io_s, cpu_s, retries,
+    checksum_failures)``.  The durability columns are always emitted
+    (defaulting to 0): a run that absorbed transient faults keeps actual ==
+    predicted, while each healed checksum failure re-reads one block, so
+    ``actual = predicted + checksum_failures * block_io`` — the counters make
+    the report reconcile byte-exactly instead of showing unexplained excess.
     """
     out = io.StringIO()
-    out.write("plan,predicted_io_seconds,actual_io_seconds,cpu_seconds\n")
-    for label, pred, actual, cpu in rows:
-        out.write(f"\"{label}\",{pred:.6f},{actual:.6f},{cpu:.6f}\n")
+    out.write("plan,predicted_io_seconds,actual_io_seconds,cpu_seconds,"
+              "retries,checksum_failures\n")
+    for row in rows:
+        label, pred, actual, cpu = row[:4]
+        retries = row[4] if len(row) > 4 else 0
+        checksum_failures = row[5] if len(row) > 5 else 0
+        out.write(f"\"{label}\",{pred:.6f},{actual:.6f},{cpu:.6f},"
+                  f"{retries},{checksum_failures}\n")
     return out.getvalue()

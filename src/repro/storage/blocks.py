@@ -15,6 +15,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import StorageError
+from ..obs import trace as obs_trace
 
 try:  # hardware CRC32C (Castagnoli) when the optional wheel is present
     from crc32c import crc32c as _crc32
@@ -90,6 +91,11 @@ def read_block_verified(file, offset: int, nbytes: int,
         if expected is None or block_checksum(data) == expected:
             return data
         disk.stats.checksum_failures += 1
+        tracer = obs_trace.CURRENT
+        if tracer is not None:
+            tracer.instant("disk.checksum_failure", "storage",
+                           store=store_name, block=list(coords),
+                           attempt=attempt + 1)
         attempt += 1
         if attempt > disk.retry.max_retries:
             raise CorruptBlockError(

@@ -21,6 +21,8 @@ from typing import Callable
 import numpy as np
 
 from ..exceptions import BufferPoolError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 
 __all__ = ["BufferPool", "BufferedBlock"]
 
@@ -42,18 +44,36 @@ class BufferedBlock:
 
 
 class BufferPool:
-    """LRU pool of matrix blocks under a hard byte cap."""
+    """LRU pool of matrix blocks under a hard byte cap.
+
+    The statistics fields (``hits``/``misses``/``evictions``/``used_bytes``/
+    ``peak_bytes``) are thin views over :mod:`repro.obs.metrics` instruments;
+    when a registry is installed at construction time the pool binds them
+    under a unique ``pool=...`` label so ``expose_text`` shows live pools.
+    """
+
+    _COUNTERS = ("hits", "misses", "evictions")
+    _GAUGES = ("used_bytes", "peak_bytes")
 
     def __init__(self, cap_bytes: int | None = None):
         if cap_bytes is not None and cap_bytes <= 0:
             raise BufferPoolError("cap must be positive (or None for unlimited)")
         self.cap_bytes = cap_bytes
         self._blocks: "OrderedDict[tuple, BufferedBlock]" = OrderedDict()
-        self.used_bytes = 0
-        self.peak_bytes = 0
-        self.evictions = 0
-        self.hits = 0
-        self.misses = 0
+        for f in self._COUNTERS:
+            setattr(self, "_" + f, obs_metrics.Counter("repro_pool_" + f))
+        for f in self._GAUGES:
+            setattr(self, "_" + f, obs_metrics.Gauge("repro_pool_" + f))
+        registry = obs_metrics.CURRENT
+        if registry is not None:
+            self.bind(registry, pool=registry.seq("pool"))
+
+    def bind(self, registry: obs_metrics.MetricsRegistry, **labels) -> None:
+        """Adopt this pool's instruments into ``registry`` under ``labels``."""
+        for f in self._COUNTERS + self._GAUGES:
+            inst = getattr(self, "_" + f)
+            inst.labels = dict(labels)
+            registry.register(inst)
 
     # -- residency ------------------------------------------------------------
 
@@ -63,11 +83,16 @@ class BufferPool:
     def fetch(self, key: tuple, loader: Callable[[], np.ndarray]) -> BufferedBlock:
         """Resident block for ``key``, loading via ``loader`` on a miss."""
         blk = self._blocks.get(key)
+        tracer = obs_trace.CURRENT
         if blk is not None:
             self.hits += 1
+            if tracer is not None:
+                tracer.instant("pool.hit", "pool", key=str(key))
             self._blocks.move_to_end(key)
             return blk
         self.misses += 1
+        if tracer is not None:
+            tracer.instant("pool.miss", "pool", key=str(key))
         data = loader()
         return self._admit(key, data)
 
@@ -110,14 +135,22 @@ class BufferPool:
             del self._blocks[victim.key]
             self.used_bytes -= victim.nbytes
             self.evictions += 1
+            tracer = obs_trace.CURRENT
+            if tracer is not None:
+                tracer.instant("pool.evict", "pool", key=str(victim.key),
+                               bytes=victim.nbytes)
 
     # -- pinning -----------------------------------------------------------------
 
     def pin(self, key: tuple) -> None:
         try:
-            self._blocks[key].pins += 1
+            blk = self._blocks[key]
         except KeyError:
             raise BufferPoolError(f"pin of non-resident block {key}") from None
+        blk.pins += 1
+        tracer = obs_trace.CURRENT
+        if tracer is not None:
+            tracer.instant("pool.pin", "pool", key=str(key), pins=blk.pins)
 
     def unpin(self, key: tuple) -> None:
         try:
@@ -127,6 +160,9 @@ class BufferPool:
         if blk.pins <= 0:
             raise BufferPoolError(f"unpin without pin on {key}")
         blk.pins -= 1
+        tracer = obs_trace.CURRENT
+        if tracer is not None:
+            tracer.instant("pool.unpin", "pool", key=str(key), pins=blk.pins)
 
     def release(self, key: tuple, force: bool = False) -> None:
         """Drop a block regardless of LRU position (pins must be zero).
@@ -185,3 +221,20 @@ class BufferPool:
         cap = "unbounded" if self.cap_bytes is None else f"{self.cap_bytes}B"
         return (f"BufferPool({len(self._blocks)} blocks, {self.used_bytes}B used, "
                 f"cap {cap}, peak {self.peak_bytes}B)")
+
+
+def _stat_view(field: str) -> property:
+    attr = "_" + field
+
+    def fget(self):
+        return getattr(self, attr).value
+
+    def fset(self, value):
+        getattr(self, attr).value = value
+
+    return property(fget, fset)
+
+
+for _f in BufferPool._COUNTERS + BufferPool._GAUGES:
+    setattr(BufferPool, _f, _stat_view(_f))
+del _f

@@ -28,6 +28,8 @@ import os
 from pathlib import Path
 
 from ..exceptions import StorageError, TransientIOError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from ..optimizer.costing import IOModel
 from .faults import FaultInjector, RetryPolicy
 
@@ -35,23 +37,39 @@ __all__ = ["IOStats", "SimulatedDisk", "DiskFile"]
 
 _UNDO_SUFFIX = ".undo"
 
+# Histogram bucket bounds for counted-op payload sizes (bytes).
+_BYTE_BUCKETS = (4096, 65536, 1 << 20, 4 << 20, 16 << 20, 64 << 20)
+
 
 class IOStats:
-    """Byte and operation counters for one disk."""
+    """Byte and operation counters for one disk.
 
-    __slots__ = ("read_bytes", "write_bytes", "read_ops", "write_ops",
-                 "retries", "checksum_failures")
+    Every public field is a thin view over a
+    :class:`repro.obs.metrics.Counter`; :meth:`bind` adopts those counters
+    into a metrics registry (done automatically by :class:`SimulatedDisk`
+    when a registry is installed), so the same numbers the engine asserts
+    on are the numbers the exposition dump shows.
+    """
+
+    _FIELDS = ("read_bytes", "write_bytes", "read_ops", "write_ops",
+               "retries", "checksum_failures")
+
+    __slots__ = tuple("_" + f for f in _FIELDS)
 
     def __init__(self):
-        self.reset()
+        for f in self._FIELDS:
+            setattr(self, "_" + f, obs_metrics.Counter("repro_io_" + f))
+
+    def bind(self, registry: "obs_metrics.MetricsRegistry", **labels) -> None:
+        """Register this holder's counters as labeled registry series."""
+        for f in self._FIELDS:
+            counter = getattr(self, "_" + f)
+            counter.labels = dict(labels)
+            registry.register(counter)
 
     def reset(self) -> None:
-        self.read_bytes = 0
-        self.write_bytes = 0
-        self.read_ops = 0
-        self.write_ops = 0
-        self.retries = 0
-        self.checksum_failures = 0
+        for f in self._FIELDS:
+            getattr(self, "_" + f).value = 0
 
     def snapshot(self) -> "IOStats":
         s = IOStats()
@@ -80,6 +98,22 @@ class IOStats:
                 f"write={self.write_bytes}B/{self.write_ops}ops{extra})")
 
 
+def _stat_view(field: str) -> property:
+    attr = "_" + field
+
+    def fget(self):
+        return getattr(self, attr).value
+
+    def fset(self, value):
+        getattr(self, attr).value = value
+
+    return property(fget, fset)
+
+
+for _f in IOStats._FIELDS:
+    setattr(IOStats, _f, _stat_view(_f))
+
+
 class SimulatedDisk:
     """A directory of flat files with centralized I/O accounting."""
 
@@ -91,6 +125,19 @@ class SimulatedDisk:
         self.root.mkdir(parents=True, exist_ok=True)
         self.io_model = io_model or IOModel()
         self.stats = IOStats()
+        # Metrics (off unless a registry is installed): adopt the stats
+        # counters as labeled series and keep per-op payload histograms.
+        registry = obs_metrics.CURRENT
+        self._hist_read = self._hist_write = None
+        if registry is not None:
+            label = registry.seq("disk")
+            self.stats.bind(registry, disk=label)
+            self._hist_read = registry.histogram(
+                "repro_disk_op_bytes", buckets=_BYTE_BUCKETS,
+                op="read", disk=label)
+            self._hist_write = registry.histogram(
+                "repro_disk_op_bytes", buckets=_BYTE_BUCKETS,
+                op="write", disk=label)
         self.fault_injector = fault_injector
         self.retry = retry or RetryPolicy()
         self.atomic_writes = atomic_writes
@@ -204,6 +251,11 @@ class DiskFile:
                         f"{self.path.name}: read at {offset} failed after "
                         f"{attempt} attempts (transient I/O errors)") from err
                 self.disk.stats.retries += 1
+                tracer = obs_trace.CURRENT
+                if tracer is not None:
+                    tracer.instant("disk.retry", "storage", op="read",
+                                   file=self.path.name, offset=offset,
+                                   attempt=attempt)
                 self.disk.retry.sleep(attempt)
                 continue
             self._fh.seek(offset)
@@ -217,6 +269,13 @@ class DiskFile:
             if count:
                 self.disk.stats.read_bytes += size
                 self.disk.stats.read_ops += 1
+                if self.disk._hist_read is not None:
+                    self.disk._hist_read.observe(size)
+                tracer = obs_trace.CURRENT
+                if tracer is not None:
+                    tracer.instant("disk.read", "storage",
+                                   file=self.path.name, offset=offset,
+                                   bytes=size)
             return data
 
     def write_at(self, offset: int, data: bytes, count: bool = True,
@@ -235,6 +294,12 @@ class DiskFile:
         if count:
             self.disk.stats.write_bytes += len(data)
             self.disk.stats.write_ops += 1
+            if self.disk._hist_write is not None:
+                self.disk._hist_write.observe(len(data))
+            tracer = obs_trace.CURRENT
+            if tracer is not None:
+                tracer.instant("disk.write", "storage", file=self.path.name,
+                               offset=offset, bytes=len(data))
 
     def _stage_undo(self, offset: int, size: int) -> Path | None:
         """Publish the pre-write image of ``[offset, offset+size)``.
@@ -281,6 +346,11 @@ class DiskFile:
                         f"{self.path.name}: write at {offset} failed after "
                         f"{attempt} attempts ({kind} I/O errors)") from err
                 self.disk.stats.retries += 1
+                tracer = obs_trace.CURRENT
+                if tracer is not None:
+                    tracer.instant("disk.retry", "storage", op="write",
+                                   kind=kind, file=self.path.name,
+                                   offset=offset, attempt=attempt)
                 self.disk.retry.sleep(attempt)
                 continue
             self._fh.seek(offset)

@@ -28,6 +28,8 @@ import time
 from fnmatch import fnmatch
 from typing import Iterable, Sequence
 
+from ..obs import trace as obs_trace
+
 __all__ = ["FaultPolicy", "FaultInjector", "InjectedFault", "RetryPolicy"]
 
 log = logging.getLogger("repro.storage.faults")
@@ -202,6 +204,10 @@ class FaultInjector:
         fault = InjectedFault(self._seq, op, name, offset, size, kind, detail)
         self._seq += 1
         self.trace.append(fault)
+        tracer = obs_trace.CURRENT
+        if tracer is not None:
+            tracer.instant("fault.injected", "fault", kind=kind, op=op,
+                           file=name, offset=offset, bytes=size, seq=fault.seq)
         log.debug("injected %r", fault)
         return kind, detail
 

@@ -77,3 +77,25 @@ def test_demo_command(capsys):
     out = capsys.readouterr().out
     assert "result correct: True" in out
     assert "byte-exact vs prediction: True" in out
+
+
+def test_demo_observed_and_validated(tmp_path, capsys):
+    trace_file = tmp_path / "demo.jsonl"
+    assert main(["demo", "--blocks", "2", "--trace", str(trace_file),
+                 "--metrics", "--validate-cost"]) == 0
+    out = capsys.readouterr().out
+    assert "cost-model validation: PASS" in out
+    assert "# TYPE" in out                       # metrics exposition printed
+    # the JSONL trace and its Chrome companion both exist and parse
+    events = [json.loads(line) for line in trace_file.read_text().splitlines()]
+    assert any(e["name"] == "exec.io" for e in events)
+    assert any(e["name"] == "run_program" for e in events)
+    chrome = json.loads((tmp_path / "demo.jsonl.chrome.json").read_text())
+    assert chrome["traceEvents"]
+
+
+def test_demo_parallel_search_validates(capsys):
+    assert main(["demo", "--blocks", "2", "--workers", "2",
+                 "--validate-cost"]) == 0
+    out = capsys.readouterr().out
+    assert "cost-model validation: PASS" in out

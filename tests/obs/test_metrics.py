@@ -1,0 +1,149 @@
+"""Metrics registry: instruments, adoption, exposition, snapshot/diff."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_registry():
+    metrics.uninstall()
+    yield
+    metrics.uninstall()
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("repro_x", {"disk": "d1"})
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.series() == [("repro_x", {"disk": "d1"}, 42)]
+
+    def test_gauge_set_and_dec(self):
+        g = Gauge("repro_g")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_histogram_cumulative_buckets(self):
+        h = Histogram("repro_h", buckets=(10, 100))
+        for v in (5, 5, 50, 500):
+            h.observe(v)
+        series = {f"{n}{metrics._render_labels(l)}": v
+                  for n, l, v in h.series()}
+        assert series['repro_h_bucket{le="10"}'] == 2
+        assert series['repro_h_bucket{le="100"}'] == 3   # cumulative
+        assert series['repro_h_bucket{le="+Inf"}'] == 4
+        assert series["repro_h_sum"] == 560
+        assert series["repro_h_count"] == 4
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        r = MetricsRegistry()
+        a = r.counter("repro_reads", disk="d1")
+        b = r.counter("repro_reads", disk="d1")
+        assert a is b
+
+    def test_labels_distinguish_series(self):
+        r = MetricsRegistry()
+        a = r.counter("repro_reads", disk="d1")
+        b = r.counter("repro_reads", disk="d2")
+        assert a is not b
+        a.inc(5)
+        assert b.value == 0
+
+    def test_register_adopts_external_instrument(self):
+        r = MetricsRegistry()
+        c = Counter("repro_io_read_bytes")
+        r.register(c)
+        c.inc(100)
+        assert r.snapshot()["repro_io_read_bytes"] == 100
+
+    def test_rebind_moves_series_without_duplicate(self):
+        # The thin-view pattern: a stat holder self-binds with a seq label,
+        # then gets rebound with a better one.  The stale key must vanish.
+        r = MetricsRegistry()
+        c = Counter("repro_apriori_feasible", {"search": "search1"})
+        r.register(c)
+        c.labels = {"program": "two_matmul"}
+        r.register(c)
+        snap = r.snapshot()
+        assert 'repro_apriori_feasible{program="two_matmul"}' in snap
+        assert 'repro_apriori_feasible{search="search1"}' not in snap
+        assert len(snap) == 1
+
+    def test_seq_labels_are_unique(self):
+        r = MetricsRegistry()
+        assert r.seq("pool") == "pool1"
+        assert r.seq("pool") == "pool2"
+        assert r.seq("disk") == "disk1"
+
+    def test_expose_text_format(self):
+        r = MetricsRegistry()
+        r.counter("repro_reads", disk="d1").inc(3)
+        r.gauge("repro_used").set(2.0)
+        text = r.expose_text()
+        assert "# TYPE repro_reads counter" in text
+        assert 'repro_reads{disk="d1"} 3' in text
+        assert "# TYPE repro_used gauge" in text
+        assert "repro_used 2\n" in text         # integral floats int-ified
+        assert text.endswith("\n")
+
+    def test_snapshot_diff(self):
+        r = MetricsRegistry()
+        c = r.counter("repro_reads")
+        g = r.gauge("repro_used")
+        c.inc(10)
+        before = r.snapshot()
+        c.inc(5)
+        delta = r.diff(before)
+        assert delta == {"repro_reads": 5}       # zero-delta gauge omitted
+        assert g.value == 0
+
+
+class TestGlobalInstall:
+    def test_install_and_use_scoping(self):
+        assert metrics.CURRENT is None
+        r = metrics.install()
+        assert metrics.CURRENT is r
+        other = MetricsRegistry()
+        with metrics.use(other):
+            assert metrics.CURRENT is other
+        assert metrics.CURRENT is r
+        metrics.uninstall()
+        assert metrics.CURRENT is None
+
+
+class TestThinViews:
+    """The engine's stat classes read/write the same instrument objects."""
+
+    def test_iostats_fields_are_instrument_views(self):
+        from repro.storage.disk import IOStats
+        stats = IOStats()
+        stats.read_bytes += 4096
+        stats.read_ops += 1
+        assert stats.read_bytes == 4096
+        r = MetricsRegistry()
+        stats.bind(r, disk="d1")
+        stats.write_bytes += 100
+        snap = r.snapshot()
+        assert snap['repro_io_read_bytes{disk="d1"}'] == 4096
+        assert snap['repro_io_write_bytes{disk="d1"}'] == 100
+
+    def test_iostats_reset_zeroes_series(self):
+        from repro.storage.disk import IOStats
+        stats = IOStats()
+        stats.read_bytes += 10
+        stats.reset()
+        assert stats.read_bytes == 0
+
+    def test_pool_stats_registered_when_installed(self):
+        from repro.storage.buffer import BufferPool
+        r = metrics.install()
+        pool = BufferPool(cap_bytes=1 << 20)
+        pool.hits += 2
+        assert r.snapshot()['repro_pool_hits{pool="pool1"}'] == 2

@@ -1,0 +1,114 @@
+"""Satellite (c): observability is near-free when off and non-perturbing
+when on — enabling tracing/metrics must not change the measured I/O."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import run_program
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.optimizer import optimize
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_obs():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program(6, 4)
+
+
+@pytest.fixture(scope="module")
+def result(prog):
+    return optimize(prog, P)
+
+
+@pytest.fixture(scope="module")
+def inputs(prog):
+    rng = np.random.default_rng(9)
+    return {n: rng.standard_normal(prog.arrays[n].shape_elems(P))
+            for n in ("A", "B", "D")}
+
+
+class TestDisabledIsFree:
+    def test_no_events_no_sink_writes_when_disabled(self, prog, result,
+                                                    inputs, tmp_path,
+                                                    monkeypatch):
+        """With no tracer installed the hot paths must never construct an
+        event or touch a sink."""
+        calls = {"emit": 0, "write": 0}
+        real_emit = obs_trace.Tracer.emit
+
+        def counting_emit(self, *a, **kw):
+            calls["emit"] += 1
+            return real_emit(self, *a, **kw)
+
+        real_write = obs_trace.JsonlSink.write
+
+        def counting_write(self, ev):
+            calls["write"] += 1
+            return real_write(self, ev)
+
+        monkeypatch.setattr(obs_trace.Tracer, "emit", counting_emit)
+        monkeypatch.setattr(obs_trace.JsonlSink, "write", counting_write)
+        assert obs_trace.CURRENT is None
+        run_program(prog, P, result.best(), tmp_path, inputs)
+        assert calls == {"emit": 0, "write": 0}
+
+    def test_optimizer_emits_nothing_when_disabled(self, prog, monkeypatch):
+        calls = {"emit": 0}
+        real_emit = obs_trace.Tracer.emit
+
+        def counting_emit(self, *a, **kw):
+            calls["emit"] += 1
+            return real_emit(self, *a, **kw)
+
+        monkeypatch.setattr(obs_trace.Tracer, "emit", counting_emit)
+        optimize(prog, P)
+        assert calls["emit"] == 0
+
+
+class TestEnabledIsNonPerturbing:
+    def test_io_identical_with_and_without_obs(self, prog, result, inputs,
+                                               tmp_path_factory, tmp_path):
+        """Tracing + metrics observe the run; they must not change it."""
+        td = tmp_path_factory.mktemp("plain")
+        plain, plain_out = run_program(prog, P, result.best(), td, inputs)
+
+        tracer, registry = obs.enable(trace_path=tmp_path / "run.jsonl")
+        try:
+            td = tmp_path_factory.mktemp("traced")
+            traced, traced_out = run_program(prog, P, result.best(), td,
+                                             inputs, validate=True)
+        finally:
+            obs.disable()
+
+        assert traced.io.read_bytes == plain.io.read_bytes
+        assert traced.io.write_bytes == plain.io.write_bytes
+        assert traced.io.read_ops == plain.io.read_ops
+        assert traced.io.write_ops == plain.io.write_ops
+        assert traced.pool_hits == plain.pool_hits
+        for name in plain_out:
+            assert np.array_equal(plain_out[name], traced_out[name])
+        assert traced.validation.passed
+        # the enabled run actually observed something
+        assert any(e.name == "exec.io" for e in tracer.events)
+        assert any(k.startswith("repro_io_read_bytes")
+                   for k in registry.snapshot())
+        assert (tmp_path / "run.jsonl").stat().st_size > 0
+
+    def test_disable_restores_globals(self):
+        obs.enable()
+        assert obs.enabled()
+        obs.disable()
+        assert not obs.enabled()
+        assert obs_trace.CURRENT is None
+        assert obs_metrics.CURRENT is None

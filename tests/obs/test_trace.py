@@ -1,0 +1,146 @@
+"""Trace bus: events, spans, JSONL sink, Chrome export, global install."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_tracer():
+    trace.uninstall()
+    yield
+    trace.uninstall()
+
+
+class TestTracer:
+    def test_instant_records_args(self):
+        t = trace.Tracer()
+        ev = t.instant("disk.read", "storage", file="A.daf", bytes=4096)
+        assert ev.ph == "i"
+        assert ev.cat == "storage"
+        assert ev.args == {"file": "A.daf", "bytes": 4096}
+        assert t.events == [ev]
+
+    def test_begin_end_tracks_depth(self):
+        t = trace.Tracer()
+        t.begin("outer")
+        t.begin("inner")
+        t.end()
+        t.end()
+        phases = [(e.name, e.ph, e.depth) for e in t.events]
+        assert phases == [("outer", "B", 0), ("inner", "B", 1),
+                          ("inner", "E", 1), ("outer", "E", 0)]
+
+    def test_end_on_empty_stack_is_noop(self):
+        t = trace.Tracer()
+        assert t.end() is None
+        assert t.events == []
+
+    def test_span_merges_result_dict_into_end_event(self):
+        t = trace.Tracer()
+        with t.span("level", "optimizer", k=2) as result:
+            result["feasible"] = 3
+        begin, end = t.events
+        assert begin.args == {"k": 2}
+        assert end.args == {"feasible": 3}
+
+    def test_span_closes_on_exception(self):
+        t = trace.Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("boom"):
+                raise RuntimeError
+        assert [e.ph for e in t.events] == ["B", "E"]
+
+    def test_timestamps_monotonic(self):
+        t = trace.Tracer()
+        first = t.instant("a")
+        second = t.instant("b")
+        assert second.ts >= first.ts >= 0.0
+
+    def test_keep_false_drops_events_but_still_sinks(self, tmp_path):
+        sink = trace.JsonlSink(tmp_path / "t.jsonl")
+        t = trace.Tracer(sink=sink, keep=False)
+        t.instant("x")
+        t.close()
+        assert t.events == []
+        assert sink.writes == 1
+
+    def test_depth_is_per_thread(self):
+        t = trace.Tracer()
+        t.begin("main-span")
+        seen = {}
+
+        def worker():
+            seen["depth"] = t.instant("from-thread").depth
+
+        th = threading.Thread(target=worker)
+        th.start()
+        th.join()
+        assert seen["depth"] == 0          # the other thread's stack is empty
+        assert t.instant("from-main").depth == 1
+
+
+class TestJsonl:
+    def test_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = trace.Tracer(sink=trace.JsonlSink(path))
+        with t.span("s", "engine", idx=1):
+            t.instant("io", "storage", bytes=10)
+        t.close()
+        events = trace.read_jsonl(path)
+        assert [e["ph"] for e in events] == ["B", "i", "E"]
+        assert events[1]["args"] == {"bytes": 10}
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = trace.JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestGlobalInstall:
+    def test_module_helpers_noop_when_disabled(self):
+        assert trace.CURRENT is None
+        trace.instant("nothing")           # must not raise
+        with trace.span("nothing") as result:
+            assert result == {}
+
+    def test_use_scopes_and_restores(self):
+        t = trace.Tracer()
+        with trace.use(t):
+            assert trace.CURRENT is t
+            trace.instant("inside")
+        assert trace.CURRENT is None
+        assert [e.name for e in t.events] == ["inside"]
+
+    def test_install_uninstall(self):
+        t = trace.install(trace.Tracer())
+        assert trace.CURRENT is t
+        trace.uninstall()
+        assert trace.CURRENT is None
+
+
+class TestChromeExport:
+    def test_chrome_trace_shape(self):
+        t = trace.Tracer()
+        with t.span("phase", "optimizer"):
+            t.instant("mark", "engine")
+        doc = json.loads(trace.chrome_trace(t.events, pid=42))
+        evs = doc["traceEvents"]
+        assert [e["ph"] for e in evs] == ["B", "i", "E"]
+        assert all(e["pid"] == 42 for e in evs)
+        # instants carry thread scope; ts is microseconds
+        assert evs[1]["s"] == "t"
+        assert evs[-1]["ts"] >= evs[0]["ts"]
+
+    def test_jsonl_to_chrome_writes_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = trace.Tracer(sink=trace.JsonlSink(path))
+        t.instant("x", "storage", bytes=1)
+        t.close()
+        out = tmp_path / "t.chrome.json"
+        trace.jsonl_to_chrome(path, out)
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"][0]["name"] == "x"

@@ -86,3 +86,42 @@ class TestReportHelpers:
     def test_predicted_vs_actual_csv(self):
         csv = predicted_vs_actual_csv([("plan 0", 1.0, 1.0, 0.1)])
         assert "plan 0" in csv and csv.count("\n") == 2
+
+    def test_predicted_vs_actual_csv_durability_columns(self):
+        csv = predicted_vs_actual_csv([("plain", 1.0, 1.0, 0.1),
+                                       ("faulted", 1.0, 1.2, 0.1, 3, 1)])
+        header, plain, faulted = csv.strip().split("\n")
+        assert header.endswith("retries,checksum_failures")
+        assert plain.endswith(",0,0")       # 4-tuples default the counters
+        assert faulted.endswith(",3,1")
+
+
+def _stub_result(costs):
+    """A duck-typed OptimizationResult: plans with fixed (memory, io)."""
+    from types import SimpleNamespace
+    plans = [SimpleNamespace(index=i, is_original=(i == 0),
+                             cost=SimpleNamespace(memory_bytes=m,
+                                                  io_seconds=t))
+             for i, (m, t) in enumerate(costs)]
+    return SimpleNamespace(plans=plans, best=lambda **kw: plans[-1])
+
+
+class TestPlanSpaceDegenerateAxes:
+    def test_single_plan_notes_both_axes(self):
+        art = plan_space_ascii(_stub_result([(1 << 20, 2.0)]))
+        assert "single plan — both axes degenerate" in art
+        assert "*" in art                    # the lone plan still plotted
+
+    def test_equal_memory_notes_memory_axis(self):
+        art = plan_space_ascii(_stub_result([(1 << 20, 2.0), (1 << 20, 1.0)]))
+        assert "degenerate memory axis" in art
+        assert "degenerate I/O axis" not in art
+
+    def test_equal_io_notes_io_axis(self):
+        art = plan_space_ascii(_stub_result([(1 << 20, 2.0), (2 << 20, 2.0)]))
+        assert "degenerate I/O axis" in art
+        assert "degenerate memory axis" not in art
+
+    def test_spread_axes_have_no_notes(self):
+        art = plan_space_ascii(_stub_result([(1 << 20, 2.0), (2 << 20, 1.0)]))
+        assert "degenerate" not in art
