@@ -1,0 +1,128 @@
+"""Multi-query service benchmark: plan caching and inter-query I/O sharing.
+
+Measures what :class:`repro.service.ArrayService` buys over running the same
+jobs in isolation:
+
+* **plan cache** — K identical jobs submitted serially: one Apriori search,
+  K-1 cache hits, and the hit rate recorded;
+* **I/O sharing** — K jobs over the *same* input matrices running
+  concurrently: total disk reads vs K * (isolated reads), at worker counts
+  1 and 4;
+* **distinct jobs** — K jobs over distinct inputs as the no-sharing control:
+  the shared pool must not conflate them, and total reads approach the
+  isolated sum.
+
+Writes ``BENCH_service.json`` with one record per (scenario, workers) cell.
+"""
+
+import json
+import tempfile
+import time
+
+import numpy as np
+
+from conftest import banner, save_artifact
+from repro import add_multiply_program, optimize
+from repro.engine import run_program
+from repro.service import ArrayService
+
+P = {"n1": 4, "n2": 4, "n3": 1}
+CAP = 16 << 20
+K = 4
+WORKER_COUNTS = (1, 4)
+
+
+def _inputs(program, seed):
+    rng = np.random.default_rng(seed)
+    return {n: rng.standard_normal(program.arrays[n].shape_elems(P))
+            for n in ("A", "B", "D")}
+
+
+def _isolated_baseline(program, plan, seed):
+    with tempfile.TemporaryDirectory() as d:
+        report, outputs = run_program(program, P, plan, d,
+                                      _inputs(program, seed),
+                                      memory_cap_bytes=CAP,
+                                      plan_exact=False)
+    return report, outputs
+
+
+def _run_batch(program, plan, seeds, workers, workdir, expected):
+    """Submit one job per seed; return wall time + per-batch I/O totals."""
+    t0 = time.perf_counter()
+    with ArrayService(workdir, memory_cap_bytes=K * CAP,
+                      workers=workers) as svc:
+        futures = [svc.submit(program, P, _inputs(program, seed), plan=plan)
+                   for seed in seeds]
+        results = [f.result() for f in futures]
+    wall = time.perf_counter() - t0
+    for seed, r in zip(seeds, results):
+        for name, ref in expected[seed].items():
+            assert np.array_equal(r.outputs[name], ref), \
+                f"seed {seed}: {name} diverged under workers={workers}"
+    return {
+        "wall_seconds": wall,
+        "read_bytes": sum(r.report.io.read_bytes for r in results),
+        "write_bytes": sum(r.report.io.write_bytes for r in results),
+        "pool_hits": sum(r.report.pool_hits for r in results),
+        "pool_misses": sum(r.report.pool_misses for r in results),
+    }
+
+
+def test_service_sharing_and_caching(tmp_path_factory):
+    program = add_multiply_program()
+    plan = optimize(program, P).best(CAP)
+
+    distinct_seeds = list(range(K))
+    identical_seeds = [0] * K
+    baselines = {}
+    expected = {}
+    for seed in set(distinct_seeds):
+        report, outputs = _isolated_baseline(program, plan, seed)
+        baselines[seed] = report
+        expected[seed] = outputs
+    iso_read = baselines[0].io.read_bytes
+
+    banner("Multi-query service: sharing and plan caching (add+multiply)")
+    print(f"{'scenario':>10} {'workers':>8} {'wall(s)':>8} {'reads':>10} "
+          f"{'vs isolated':>12} {'pool h/m':>12}")
+    records = []
+    for scenario, seeds in (("identical", identical_seeds),
+                            ("distinct", distinct_seeds)):
+        iso_sum = sum(baselines[s].io.read_bytes for s in seeds)
+        for workers in WORKER_COUNTS:
+            workdir = tmp_path_factory.mktemp(f"svc_{scenario}_{workers}w")
+            cell = _run_batch(program, plan, seeds, workers, workdir,
+                              expected)
+            ratio = cell["read_bytes"] / iso_sum
+            print(f"{scenario:>10} {workers:>8} {cell['wall_seconds']:>8.2f} "
+                  f"{cell['read_bytes']:>10} {ratio:>11.1%} "
+                  f"{cell['pool_hits']:>5}/{cell['pool_misses']}")
+            records.append({
+                "scenario": scenario, "workers": workers, "jobs": K,
+                "isolated_read_bytes_sum": iso_sum, **cell,
+                "read_ratio_vs_isolated": ratio,
+            })
+            if scenario == "identical":
+                # K jobs over one shared dataset must beat K isolated runs.
+                assert cell["read_bytes"] < iso_sum
+
+    # Plan cache: K identical jobs serially — one search, K-1 hits.
+    cache_dir = tmp_path_factory.mktemp("svc_plan_cache")
+    t0 = time.perf_counter()
+    with ArrayService(tmp_path_factory.mktemp("svc_cached"),
+                      memory_cap_bytes=K * CAP, workers=1,
+                      plan_cache=cache_dir) as svc:
+        hits = sum(svc.run(program, P, _inputs(program, 0)).cache_hit
+                   for _ in range(K))
+    cache_wall = time.perf_counter() - t0
+    hit_rate = hits / K
+    print(f"plan cache: {hits}/{K} hits ({hit_rate:.0%}), "
+          f"{cache_wall:.2f}s for {K} planned jobs")
+    assert hits == K - 1
+    records.append({
+        "scenario": "plan_cache", "jobs": K, "cache_hits": hits,
+        "cache_hit_rate": hit_rate, "wall_seconds": cache_wall,
+        "isolated_read_bytes": iso_read,
+    })
+    save_artifact("BENCH_service.json", json.dumps(records, indent=2) + "\n")

@@ -15,7 +15,9 @@ The package implements the paper's full stack:
 * the operator library, paper workloads, comparator baselines, and the
   block-size-advisor extension,
 * an opt-in observability subsystem — structured tracing, metrics, and
-  predicted-vs-actual cost-model validation (:mod:`repro.obs`).
+  predicted-vs-actual cost-model validation (:mod:`repro.obs`),
+* a concurrent multi-query service with plan caching, admission
+  control, and inter-query I/O sharing (:mod:`repro.service`).
 
 Quickstart::
 
@@ -42,6 +44,7 @@ from .ir import Program, ProgramBuilder, Schedule
 from .ops import (Pipeline, add_multiply_program, linreg_program,
                   two_matmul_program)
 from .optimizer import IOModel, OptimizationResult, Plan, optimize
+from .service import ArrayService, JobResult, PlanCache
 from .workloads import (add_multiply_config, generate_inputs, linreg_config,
                         two_matmul_config)
 
@@ -61,6 +64,9 @@ __all__ = [
     "Plan",
     "OptimizationResult",
     "IOModel",
+    "ArrayService",
+    "JobResult",
+    "PlanCache",
     "ReproError",
     "add_multiply_program",
     "two_matmul_program",

@@ -7,7 +7,16 @@ Commands:
 * ``explain``  — like optimize, but also print the generated pseudo-C for
   the chosen plan;
 * ``demo``     — run the built-in Example-1 demo end to end (optimize,
-  execute on the simulated disk, verify numerically).
+  execute on the simulated disk, verify numerically);
+* ``serve``    — batch mode for the multi-query service: run a JSONL job
+  file through one :class:`~repro.service.ArrayService` (shared buffer
+  pool, plan cache, admission control) and report per-job I/O, cache
+  hits, and queue statistics.
+
+Example job file (one JSON object per line)::
+
+    {"program": "add_multiply", "params": {"n1": 2, "n2": 2, "n3": 1}, "seed": 0}
+    {"program": "add_multiply", "params": {"n1": 2, "n2": 2, "n3": 1}, "seed": 0}
 
 Example array-declaration JSON::
 
@@ -85,9 +94,37 @@ def main(argv: list[str] | None = None) -> int:
                       help="relative byte tolerance for --validate-cost "
                            "(default 0 = byte-exact)")
 
+    serve = sub.add_parser("serve")
+    serve.add_argument("jobs", help="JSONL job file: one job object per line "
+                                    "({\"program\": ..., \"params\": {...}, "
+                                    "\"seed\": 0, ...})")
+    serve.add_argument("--service-workers", type=int, default=2,
+                       help="concurrent executor threads (default 2)")
+    serve.add_argument("--memory-cap", type=int, default=8 << 20,
+                       help="global buffer-memory budget in bytes the "
+                            "service partitions across jobs (default 8 MiB)")
+    serve.add_argument("--plan-cache", default=None, metavar="DIR",
+                       help="persistent plan-cache directory; repeat "
+                            "submissions of a program template skip the "
+                            "Apriori search")
+    serve.add_argument("--workdir", default=None,
+                       help="service working directory holding the shared "
+                            "stores (default: a temp dir)")
+    serve.add_argument("--admission-timeout", type=float, default=None,
+                       help="default seconds a job may wait for memory "
+                            "budget before a typed rejection")
+    serve.add_argument("--verify", action="store_true",
+                       help="check every job's outputs against the "
+                            "in-memory reference implementation")
+    serve.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics registry (Prometheus text "
+                            "exposition) to FILE after the batch")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo(args)
+    if args.command == "serve":
+        return _serve(args)
     return _optimize(args, explain=args.command == "explain")
 
 
@@ -219,6 +256,122 @@ def _demo(args) -> int:
     # (it skips completed instances and re-warms held blocks).
     return 0 if (ok and (exact or report.resumed_from)
                  and validation_ok) else 1
+
+
+def _serve_jobs(path):
+    """Parse the JSONL job file into (spec dict, line number) pairs."""
+    jobs = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                spec = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{lineno}: bad JSON: {err}")
+            if "program" not in spec or "params" not in spec:
+                raise SystemExit(
+                    f"{path}:{lineno}: job needs \"program\" and \"params\"")
+            jobs.append((spec, lineno))
+    if not jobs:
+        raise SystemExit(f"{path}: no jobs")
+    return jobs
+
+
+def _serve(args) -> int:
+    import numpy as np
+
+    from . import obs
+    from .engine import reference_outputs
+    from .exceptions import ServiceError
+    from .ir import ArrayKind
+    from .ops import add_multiply_program, linreg_program, two_matmul_program
+    from .service import ArrayService
+
+    builders = {"add_multiply": add_multiply_program,
+                "linreg": linreg_program}
+    _ = two_matmul_program  # needs shapes; jobs pass them via "args"
+
+    jobs = _serve_jobs(args.jobs)
+    observing = bool(args.metrics_out)
+    registry = None
+    if observing:
+        _, registry = obs.enable()
+
+    def run_batch(workdir) -> int:
+        failures = 0
+        with ArrayService(workdir, memory_cap_bytes=args.memory_cap,
+                          workers=args.service_workers,
+                          plan_cache=args.plan_cache,
+                          admission_timeout=args.admission_timeout) as svc:
+            futures = []
+            for spec, lineno in jobs:
+                builder = builders.get(spec["program"])
+                if builder is None:
+                    raise SystemExit(
+                        f"{args.jobs}:{lineno}: unknown program "
+                        f"{spec['program']!r} (known: {sorted(builders)})")
+                program = builder(*spec.get("args", ()))
+                params = {k: int(v) for k, v in spec["params"].items()}
+                rng = np.random.default_rng(spec.get("seed", 0))
+                inputs = {n: rng.standard_normal(a.shape_elems(params))
+                          for n, a in sorted(program.arrays.items())
+                          if a.kind is ArrayKind.INPUT}
+                fut = svc.submit(
+                    program, params, inputs,
+                    name=spec.get("name"),
+                    memory_cap_bytes=spec.get("memory_cap"),
+                    plan_exact=bool(spec.get("plan_exact", False)),
+                    checkpoint=bool(spec.get("checkpoint", False)),
+                    resume=bool(spec.get("resume", False)))
+                futures.append((fut, program, params, inputs, lineno))
+            for fut, program, params, inputs, lineno in futures:
+                try:
+                    r = fut.result()
+                except ServiceError as err:
+                    failures += 1
+                    print(f"job @{lineno}: REJECTED "
+                          f"({type(err).__name__}: {err})")
+                    continue
+                line = (f"job {r.job}: plan #{r.plan.index} "
+                        f"{'(cached) ' if r.cache_hit else ''}"
+                        f"read {r.report.io.read_bytes / 1e6:.2f} MB, "
+                        f"wrote {r.report.io.write_bytes / 1e6:.2f} MB, "
+                        f"pool {r.report.pool_hits}h/"
+                        f"{r.report.pool_misses}m, "
+                        f"waited {r.admission_wait_seconds:.3f}s")
+                if args.verify:
+                    expected = reference_outputs(program, params, inputs)
+                    ok = all(np.allclose(r.outputs[n], expected[n])
+                             for n in r.outputs)
+                    line += f", verified: {ok}"
+                    if not ok:
+                        failures += 1
+                print(line)
+            s = svc.stats
+            print(f"\n{s.jobs_completed}/{s.jobs_submitted} jobs completed, "
+                  f"{s.jobs_rejected} rejected, {s.jobs_failed} failed; "
+                  f"disk totals: {svc.disk.stats!r}")
+            if svc.plan_cache is not None:
+                pc = svc.plan_cache
+                print(f"plan cache: {pc.hits} hits, {pc.misses} misses, "
+                      f"{len(pc)} plans stored")
+        return failures
+
+    try:
+        if args.workdir:
+            failures = run_batch(args.workdir)
+        else:
+            with tempfile.TemporaryDirectory() as workdir:
+                failures = run_batch(workdir)
+    finally:
+        if observing:
+            from pathlib import Path
+            Path(args.metrics_out).write_text(registry.expose_text())
+            print(f"metrics exposition -> {args.metrics_out}")
+            obs.disable()
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -163,9 +163,19 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                  memory_cap_bytes: int | None = None,
                  plan_exact: bool = True,
                  journal: ExecutionJournal | None = None,
-                 resume: bool = False) -> ExecutionReport:
-    """Run an executable plan against open stores on ``disk``."""
-    pool = BufferPool(memory_cap_bytes)
+                 resume: bool = False,
+                 pool: BufferPool | None = None) -> ExecutionReport:
+    """Run an executable plan against open stores on ``disk``.
+
+    ``pool`` injects an externally owned buffer pool (``memory_cap_bytes``
+    is then ignored — the injected pool already enforces its own cap).
+    This is how :mod:`repro.service` runs many concurrent queries over one
+    shared :class:`~repro.storage.SharedBufferPool`: blocks another query
+    loaded are hits here, and the pool-level statistics in the returned
+    report then aggregate over every query sharing the pool.
+    """
+    if pool is None:
+        pool = BufferPool(memory_cap_bytes)
     start_stats = disk.stats.snapshot()
     cpu = 0.0
     t_wall = time.perf_counter()
@@ -206,12 +216,13 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                     f"journal inconsistent with plan replay at instance "
                     f"{completed}: memory-only sets differ")
             # Re-warm every block held across the boundary; the fixpoint
-            # above guarantees each has a current disk copy.
+            # above guarantees each has a current disk copy.  Pins are
+            # applied atomically with the install so an injected shared
+            # pool cannot evict the block in between.
             for key, npins in warm_pins.items():
-                blk = pool.put(key, traced_io(
+                pool.put(key, traced_io(
                     lambda k=key: stores[k[0]].read_block(k[1]),
-                    "read", RESUME_STMT, key[0]))
-                blk.pins = npins
+                    "read", RESUME_STMT, key[0]), pin=npins)
     if journal is not None:
         journal.start(resume=start_index > 0)
 
@@ -230,43 +241,52 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                 store = stores[pa.access.array.name]
                 key = pa.block_key
                 if pa.action is IOAction.REUSE:
-                    if not pool.contains(key):
-                        if plan_exact:
+                    if plan_exact:
+                        if not pool.contains(key):
                             raise ExecutionError(
                                 f"plan bug: REUSE of non-resident block {key} at "
                                 f"{inst.stmt.name}@{inst.point}")
-                        if key in memory_only:
+                        blk = pool.fetch(key, loader=_no_loader(key), pin=1)
+                    elif key in memory_only:
+                        # The newest version never reached disk (WRITE_SKIP):
+                        # a re-read would resurrect stale data, so eviction
+                        # here is unrecoverable data loss.
+                        if not pool.contains(key):
                             raise ExecutionError(
                                 f"REUSE of evicted block {key} at "
                                 f"{inst.stmt.name}@{inst.point}: its newest "
                                 f"version was never written to disk "
                                 f"(WRITE_SKIP), so the data is lost")
-                        # Opportunistic LRU legally evicted a plan-retained
-                        # block under a tight cap; the disk copy is current, so
-                        # fall back to a counted re-read instead of crashing.
+                        blk = pool.fetch(key, loader=_no_loader(key), pin=1)
+                    else:
+                        # Opportunistic LRU may legally evict a plan-retained
+                        # block under a tight cap — and a *shared* pool may
+                        # evict it between any residency check and the fetch —
+                        # so fetch with a counted re-read fallback: a resident
+                        # block is simply a hit and the loader never runs.
                         blk = traced_io(
                             lambda: pool.fetch(key, loader=lambda s=store,
-                                               b=pa.block: s.read_block(b)),
+                                               b=pa.block: s.read_block(b),
+                                               pin=1),
                             "read", inst.stmt.name, pa.access.array.name)
-                    else:
-                        blk = pool.fetch(key, loader=_no_loader(key))
                 elif plan_exact:
                     # READ is charged disk I/O even if incidentally resident:
                     # the engine replays exactly what the optimizer costed.
                     data = traced_io(
                         lambda s=store, b=pa.block: s.read_block(b),
                         "read", inst.stmt.name, pa.access.array.name)
-                    blk = pool.put(key, data)
+                    blk = pool.put(key, data, pin=1)
                 else:
                     # Opportunistic (LRU) mode: resident blocks are buffer hits.
                     blk = traced_io(
                         lambda: pool.fetch(key, loader=lambda s=store,
-                                           b=pa.block: s.read_block(b)),
+                                           b=pa.block: s.read_block(b),
+                                           pin=1),
                         "read", inst.stmt.name, pa.access.array.name)
                 read_blocks.append(blk.data)
                 touched.append(key)
-                # Operands stay resident until the kernel has consumed them.
-                pool.pin(key)
+                # Operands stay resident until the kernel has consumed them;
+                # the pin rode along atomically with the fetch/put above.
                 instance_pins.append(key)
                 for _ in range(pa.unpin_before):
                     pool.unpin(key)
@@ -284,7 +304,9 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                 cpu += time.perf_counter() - t0
                 for _ in range(pa.unpin_before):
                     pool.unpin(key)
-                blk = pool.put(key, result)
+                # Retention pins apply atomically with the install: a shared
+                # pool must not see the result unpinned in between.
+                pool.put(key, result, pin=pa.pin_after)
                 touched.append(key)
                 if pa.action is IOAction.WRITE:
                     traced_io(
@@ -297,8 +319,6 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                     if key not in memory_only:
                         memory_only.add(key)
                         mem_add.append(key)
-                for _ in range(pa.pin_after):
-                    pool.pin(key)
 
             for key in instance_pins:
                 pool.unpin(key)

@@ -59,3 +59,23 @@ class BufferPoolError(StorageError):
 
 class ExecutionError(ReproError):
     """Plan execution failure (kernel error, verification mismatch, ...)."""
+
+
+class ServiceError(ReproError):
+    """Multi-query array service failure (see :mod:`repro.service`)."""
+
+
+class ServiceClosed(ServiceError):
+    """Job submitted to a service that has been shut down."""
+
+
+class ServiceQueueFull(ServiceError):
+    """The service's bounded job queue is at capacity; resubmit later."""
+
+
+class AdmissionRejected(ServiceError):
+    """The job's plan can never fit the service's global memory budget."""
+
+
+class AdmissionTimeout(ServiceError):
+    """The job waited longer than its admission timeout for memory budget."""

@@ -18,6 +18,7 @@ For tests, :meth:`MetricsRegistry.snapshot` captures every series as a flat
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Mapping
 
@@ -88,7 +89,8 @@ class Histogram:
 
     DEFAULT_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0)
 
-    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count",
+                 "_lock")
 
     def __init__(self, name: str, labels: Mapping[str, str] | None = None,
                  buckets: tuple[float, ...] | None = None):
@@ -98,15 +100,17 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # +Inf last
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, v: float) -> None:
-        self.sum += v
-        self.count += 1
-        for i, le in enumerate(self.buckets):
-            if v <= le:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += v
+            self.count += 1
+            for i, le in enumerate(self.buckets):
+                if v <= le:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     def series(self) -> list[tuple[str, dict, float]]:
         out = []
@@ -138,15 +142,19 @@ class MetricsRegistry:
     def __init__(self):
         self._series: dict[tuple, Counter | Gauge | Histogram] = {}
         self._seq: dict[str, int] = {}
+        # Concurrent executors (repro.service) register stat holders from
+        # worker threads; registry mutations are serialized on this lock.
+        self._lock = threading.RLock()
 
     # -- get-or-create -------------------------------------------------------
 
     def _get(self, cls, name: str, labels: Mapping[str, str], **kw):
         key = (name, _label_key(labels))
-        inst = self._series.get(key)
-        if inst is None or not isinstance(inst, cls):
-            inst = self._series[key] = cls(name, labels, **kw)
-        return inst
+        with self._lock:
+            inst = self._series.get(key)
+            if inst is None or not isinstance(inst, cls):
+                inst = self._series[key] = cls(name, labels, **kw)
+            return inst
 
     def counter(self, name: str, **labels) -> Counter:
         return self._get(Counter, name, labels)
@@ -157,10 +165,11 @@ class MetricsRegistry:
     def histogram(self, name: str, buckets: tuple[float, ...] | None = None,
                   **labels) -> Histogram:
         key = (name, _label_key(labels))
-        inst = self._series.get(key)
-        if not isinstance(inst, Histogram):
-            inst = self._series[key] = Histogram(name, labels, buckets)
-        return inst
+        with self._lock:
+            inst = self._series.get(key)
+            if not isinstance(inst, Histogram):
+                inst = self._series[key] = Histogram(name, labels, buckets)
+            return inst
 
     def register(self, instrument: Counter | Gauge | Histogram
                  ) -> Counter | Gauge | Histogram:
@@ -171,30 +180,35 @@ class MetricsRegistry:
         not leave a stale duplicate series behind.
         """
         key = (instrument.name, _label_key(instrument.labels))
-        stale = [k for k, v in self._series.items()
-                 if v is instrument and k != key]
-        for k in stale:
-            del self._series[k]
-        self._series[key] = instrument
-        return instrument
+        with self._lock:
+            stale = [k for k, v in self._series.items()
+                     if v is instrument and k != key]
+            for k in stale:
+                del self._series[k]
+            self._series[key] = instrument
+            return instrument
 
     def seq(self, prefix: str) -> str:
         """A registry-scoped unique label value (``pool1``, ``pool2`` ...)."""
-        n = self._seq.get(prefix, 0) + 1
-        self._seq[prefix] = n
-        return f"{prefix}{n}"
+        with self._lock:
+            n = self._seq.get(prefix, 0) + 1
+            self._seq[prefix] = n
+            return f"{prefix}{n}"
 
     # -- export --------------------------------------------------------------
 
     def instruments(self) -> list:
-        return list(self._series.values())
+        with self._lock:
+            return list(self._series.values())
 
     def expose_text(self) -> str:
         """Prometheus-style text exposition of every series."""
+        with self._lock:
+            series = dict(self._series)
         lines = []
         seen_types: set[str] = set()
-        for key in sorted(self._series, key=lambda k: (k[0], k[1])):
-            inst = self._series[key]
+        for key in sorted(series, key=lambda k: (k[0], k[1])):
+            inst = series[key]
             if inst.name not in seen_types:
                 lines.append(f"# TYPE {inst.name} {inst.kind}")
                 seen_types.add(inst.name)
@@ -207,7 +221,7 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, float]:
         """Flat ``{"name{label=value}": number}`` view of every series."""
         out: dict[str, float] = {}
-        for inst in self._series.values():
+        for inst in self.instruments():
             for name, labels, value in inst.series():
                 out[f"{name}{_render_labels(labels)}"] = value
         return out

@@ -27,14 +27,21 @@ __all__ = ["OptimizationResult", "optimize", "Optimizer"]
 
 
 class OptimizationResult:
-    """All legal plans plus selection helpers."""
+    """All legal plans plus selection helpers.
+
+    ``cache_hit`` marks a result served from a plan cache: ``plans`` then
+    holds just the cached best plan and ``stats`` is a fresh
+    :class:`AprioriStats` whose ``candidates_tested`` stays zero — the
+    search never ran.
+    """
 
     __slots__ = ("program", "params", "analysis", "plans", "stats",
-                 "io_model", "seconds")
+                 "io_model", "seconds", "cache_hit")
 
     def __init__(self, program: Program, params: Mapping[str, int],
                  analysis: ProgramAnalysis, plans: Sequence[Plan],
-                 stats: AprioriStats, io_model: IOModel, seconds: float):
+                 stats: AprioriStats, io_model: IOModel, seconds: float,
+                 cache_hit: bool = False):
         self.program = program
         self.params = dict(params)
         self.analysis = analysis
@@ -42,6 +49,7 @@ class OptimizationResult:
         self.stats = stats
         self.io_model = io_model
         self.seconds = seconds
+        self.cache_hit = cache_hit
 
     @property
     def original_plan(self) -> Plan:
@@ -82,7 +90,8 @@ class Optimizer:
                  max_set_size: int | None = None,
                  max_candidates: int | None = None,
                  block_bytes: Mapping[str, int] | None = None,
-                 workers: int | None = None) -> OptimizationResult:
+                 workers: int | None = None,
+                 plan_cache=None) -> OptimizationResult:
         """Run the pipeline.
 
         ``workers`` selects the search execution layer: ``None`` or ``1``
@@ -90,15 +99,40 @@ class Optimizer:
         and the per-plan costing out to a process pool
         (:mod:`repro.optimizer.parallel`).  Both layers return identical
         plans in identical order — parallelism changes wall time only.
+
+        ``plan_cache`` (any object with the
+        :class:`repro.service.PlanCache` ``load``/``store`` protocol) short-
+        circuits the search: a cached best plan for this exact
+        (program, params, memory cap, knobs) fingerprint is re-costed and
+        returned without evaluating a single Apriori candidate
+        (``result.cache_hit`` is then true); a miss runs the search and
+        stores the winner for next time.
         """
         if workers is not None and workers < 1:
             raise OptimizationError(f"workers must be >= 1, got {workers}")
         t0 = time.perf_counter()
+        knobs = dict(max_set_size=max_set_size, max_candidates=max_candidates,
+                     dead_write_elimination=self.dead_write_elimination,
+                     block_bytes=block_bytes)
         with obs_trace.span("optimize", "optimizer", program=self.program.name,
                             workers=workers or 1) as top:
             with obs_trace.span("optimize.analyze", "optimizer") as sp:
                 analysis = analyze(self.program, param_values=params)
                 sp["opportunities"] = len(analysis.opportunities)
+            if plan_cache is not None:
+                cached = plan_cache.load(self.program, params,
+                                         memory_cap_bytes, self.io_model,
+                                         analysis=analysis, **knobs)
+                if cached is not None:
+                    top["cache_hit"] = True
+                    stats = AprioriStats()
+                    registry = obs_metrics.CURRENT
+                    if registry is not None:
+                        stats.bind(registry, program=self.program.name)
+                    seconds = time.perf_counter() - t0
+                    return OptimizationResult(
+                        self.program, params, analysis, [cached], stats,
+                        self.io_model, seconds, cache_hit=True)
             if workers is not None and workers > 1:
                 from .parallel import ParallelOptimizerPool
                 with ParallelOptimizerPool(
@@ -141,7 +175,14 @@ class Optimizer:
         seconds = time.perf_counter() - t0
         result = OptimizationResult(self.program, params, analysis, plans,
                                     stats, self.io_model, seconds)
-        _ = memory_cap_bytes  # selection is a query on the result
+        if plan_cache is not None:
+            try:
+                best = result.best(memory_cap_bytes)
+            except OptimizationError:
+                pass  # nothing fits the cap — nothing worth caching
+            else:
+                plan_cache.store(self.program, params, best,
+                                 memory_cap_bytes, self.io_model, **knobs)
         return result
 
 
@@ -152,8 +193,9 @@ def optimize(program: Program, params: Mapping[str, int],
              max_candidates: int | None = None,
              dead_write_elimination: bool = True,
              block_bytes: Mapping[str, int] | None = None,
-             workers: int | None = None) -> OptimizationResult:
+             workers: int | None = None,
+             plan_cache=None) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`Optimizer`."""
     opt = Optimizer(program, io_model, dead_write_elimination)
     return opt.optimize(params, memory_cap_bytes, max_set_size, max_candidates,
-                        block_bytes, workers)
+                        block_bytes, workers, plan_cache)

@@ -1,0 +1,24 @@
+"""Concurrent multi-query array service (see :mod:`repro.service.service`).
+
+Public surface:
+
+* :class:`ArrayService` — submit jobs (program + params + inputs), get
+  futures of :class:`JobResult`; one shared buffer pool, plan caching,
+  admission control;
+* :class:`PlanCache` / :func:`optimization_fingerprint` — the persistent
+  plan cache also usable standalone via ``optimize(plan_cache=...)``;
+* :class:`ServiceStats`, :class:`JobPoolView` — accounting and the per-job
+  shared-pool facade, exposed for tests and instrumentation.
+"""
+
+from .plan_cache import PlanCache, optimization_fingerprint
+from .service import ArrayService, JobPoolView, JobResult, ServiceStats
+
+__all__ = [
+    "ArrayService",
+    "JobResult",
+    "JobPoolView",
+    "ServiceStats",
+    "PlanCache",
+    "optimization_fingerprint",
+]

@@ -1,0 +1,631 @@
+"""In-process multi-query array service.
+
+The paper's §7 outlook — many analytics queries contending for one machine's
+memory and disk — realized over the existing single-query stack:
+
+* a front end (:class:`ArrayService`) accepts *jobs* (program + parameter
+  binding + input matrices) and runs them on a thread-pool of workers;
+* planning goes through the persistent :class:`~repro.service.PlanCache`,
+  so repeat submissions of a program template skip the Apriori search;
+* every job executes against one **shared**
+  :class:`~repro.storage.SharedBufferPool` and one shared
+  :class:`~repro.storage.SimulatedDisk` — inputs are content-addressed, so
+  two queries over the same base array share buffered blocks (and a block
+  being read by one query satisfies a concurrent fetch of it without a
+  second disk read);
+* **admission control** partitions the global memory budget: a job enters
+  execution only when its plan's memory high-water mark fits what is left,
+  otherwise it waits in a bounded FIFO queue (per-job timeout); a job that
+  can never fit is rejected immediately with a typed error.
+
+Key namespacing — how many queries coexist in one pool:
+
+* INPUT arrays are stored once per *content* under ``ds_<digest>`` names
+  (digest over bytes, dtype, shape and block geometry), so identical inputs
+  of different jobs collide deliberately into shared buffer keys;
+* every other array is private under ``<job>__<name>``, so two jobs running
+  the same program template never alias their intermediates.
+
+Jobs run in **opportunistic** (LRU) buffer mode by default: plan-exact
+replay charges every planned READ to disk by design (that is its point —
+matching the cost model byte for byte), which would ignore blocks a
+concurrent query already buffered.  Opportunistic mode turns those into
+hits, which is exactly the inter-query sharing this service exists for.
+
+Fault tolerance composes: the shared disk can carry a fault injector and
+atomic-write protection, and each job may checkpoint to its own journal
+(``<workdir>/jobs/<job>/execution.journal``) and later be resubmitted with
+``resume=True`` under the *same job name*.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from pathlib import Path
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from ..codegen.exec_plan import build_executable_plan
+from ..engine.executor import ExecutionReport, execute_plan
+from ..engine.journal import ExecutionJournal, plan_fingerprint
+from ..exceptions import (AdmissionRejected, AdmissionTimeout,
+                          OptimizationError, ServiceClosed, ServiceError,
+                          ServiceQueueFull)
+from ..ir import ArrayKind, Program
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..optimizer import IOModel, Optimizer
+from ..optimizer.plan import Plan
+from ..storage import (DAFMatrix, FaultInjector, IOStats, RetryPolicy,
+                       SharedBufferPool, SimulatedDisk)
+from .plan_cache import PlanCache
+
+__all__ = ["ArrayService", "JobResult", "ServiceStats", "JobPoolView"]
+
+_UNSET = object()
+
+
+class ServiceStats:
+    """Service-level accounting, thin views over metrics instruments."""
+
+    _COUNTERS = ("jobs_submitted", "jobs_completed", "jobs_failed",
+                 "jobs_rejected", "pins_reclaimed")
+    _GAUGES = ("queue_depth", "admitted_bytes", "active_jobs")
+
+    __slots__ = tuple("_" + f for f in _COUNTERS + _GAUGES)
+
+    def __init__(self):
+        for f in self._COUNTERS:
+            setattr(self, "_" + f, obs_metrics.Counter("repro_service_" + f))
+        for f in self._GAUGES:
+            setattr(self, "_" + f, obs_metrics.Gauge("repro_service_" + f))
+        registry = obs_metrics.CURRENT
+        if registry is not None:
+            self.bind(registry, service=registry.seq("service"))
+
+    def bind(self, registry: obs_metrics.MetricsRegistry, **labels) -> None:
+        for f in self._COUNTERS + self._GAUGES:
+            inst = getattr(self, "_" + f)
+            inst.labels = dict(labels)
+            registry.register(inst)
+
+    def __repr__(self) -> str:
+        return (f"ServiceStats(submitted={self.jobs_submitted}, "
+                f"completed={self.jobs_completed}, failed={self.jobs_failed}, "
+                f"rejected={self.jobs_rejected})")
+
+
+def _stat_view(field: str) -> property:
+    attr = "_" + field
+
+    def fget(self):
+        return getattr(self, attr).value
+
+    def fset(self, value):
+        getattr(self, attr).value = value
+
+    return property(fget, fset)
+
+
+for _f in ServiceStats._COUNTERS + ServiceStats._GAUGES:
+    setattr(ServiceStats, _f, _stat_view(_f))
+del _f
+
+
+class JobPoolView:
+    """One job's window onto the shared buffer pool.
+
+    Translates the engine's ``(array name, block)`` keys into the service's
+    global namespace, tags every pin with the job as *owner* (so crashed
+    jobs can be swept with
+    :meth:`~repro.storage.SharedBufferPool.release_owner`), and keeps
+    per-job hit/miss counters: a fetch satisfied without invoking *this
+    job's* loader — whether the block was resident or another query's
+    in-flight read was joined — counts as a hit, because this job issued no
+    disk read for it.  ``peak_bytes`` is the shared pool's aggregate peak.
+    """
+
+    __slots__ = ("pool", "names", "owner", "hits", "misses")
+
+    def __init__(self, pool: SharedBufferPool, names: Mapping[str, str],
+                 owner: Hashable):
+        self.pool = pool
+        self.names = dict(names)
+        self.owner = owner
+        self.hits = 0
+        self.misses = 0
+
+    def _k(self, key: tuple) -> tuple:
+        name, block = key
+        return (self.names[name], block)
+
+    def contains(self, key: tuple) -> bool:
+        return self.pool.contains(self._k(key))
+
+    def fetch(self, key: tuple, loader, pin: int = 0):
+        invoked = []
+
+        def counted_loader():
+            invoked.append(True)
+            return loader()
+
+        blk = self.pool.fetch(self._k(key), counted_loader, pin=pin,
+                              owner=self.owner)
+        if invoked:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return blk
+
+    def put(self, key: tuple, data, dirty: bool = False, pin: int = 0):
+        return self.pool.put(self._k(key), data, dirty, pin=pin,
+                             owner=self.owner)
+
+    def pin(self, key: tuple) -> None:
+        self.pool.pin(self._k(key), owner=self.owner)
+
+    def unpin(self, key: tuple) -> None:
+        self.pool.unpin(self._k(key), owner=self.owner)
+
+    def release(self, key: tuple, force: bool = False) -> None:
+        self.pool.release(self._k(key), force)
+
+    def release_if_unpinned(self, key: tuple, force: bool = False) -> bool:
+        return self.pool.release_if_unpinned(self._k(key), force)
+
+    def pin_count(self, key: tuple) -> int:
+        return self.pool.pin_count(self._k(key))
+
+    def mark_clean(self, key: tuple) -> None:
+        self.pool.mark_clean(self._k(key))
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.pool.peak_bytes
+
+
+class _CountingStore:
+    """Per-job I/O attribution proxy around one store.
+
+    The shared disk's counters aggregate every concurrent job; this proxy
+    counts the *logical* block I/O this job issued (fault-retry and
+    checksum-healing re-reads stay global-only).  Touched by exactly one
+    worker thread, so plain ints suffice.
+    """
+
+    __slots__ = ("store", "read_bytes", "write_bytes", "read_ops",
+                 "write_ops")
+
+    def __init__(self, store):
+        self.store = store
+        self.read_bytes = self.write_bytes = 0
+        self.read_ops = self.write_ops = 0
+
+    def read_block(self, coords, count: bool = True):
+        block = self.store.read_block(coords, count=count)
+        if count:
+            self.read_bytes += self.store.layout.block_bytes
+            self.read_ops += 1
+        return block
+
+    def write_block(self, coords, block, count: bool = True) -> None:
+        self.store.write_block(coords, block, count=count)
+        if count:
+            self.write_bytes += self.store.layout.block_bytes
+            self.write_ops += 1
+
+
+class _Job:
+    """Everything one submission carries through the pipeline."""
+
+    __slots__ = ("key", "program", "params", "inputs", "memory_cap_bytes",
+                 "plan", "plan_exact", "checkpoint", "resume",
+                 "admission_timeout", "workers")
+
+    def __init__(self, **kw):
+        for f in self.__slots__:
+            setattr(self, f, kw[f])
+
+
+class JobResult:
+    """What a completed job hands back through its future."""
+
+    __slots__ = ("job", "outputs", "report", "plan", "cache_hit",
+                 "optimize_seconds", "admission_wait_seconds")
+
+    def __init__(self, job: str, outputs: dict, report: ExecutionReport,
+                 plan: Plan, cache_hit: bool, optimize_seconds: float,
+                 admission_wait_seconds: float):
+        self.job = job
+        self.outputs = outputs
+        self.report = report
+        self.plan = plan
+        self.cache_hit = cache_hit
+        self.optimize_seconds = optimize_seconds
+        self.admission_wait_seconds = admission_wait_seconds
+
+    def __repr__(self) -> str:
+        return (f"JobResult({self.job}, plan #{self.plan.index}, "
+                f"cache_hit={self.cache_hit}, "
+                f"read={self.report.io.read_bytes}B, "
+                f"waited {self.admission_wait_seconds:.3f}s)")
+
+
+class _Ticket:
+    __slots__ = ("need",)
+
+    def __init__(self, need: int):
+        self.need = need
+
+
+class ArrayService:
+    """Concurrent multi-query front end over one disk and one buffer pool.
+
+    ``memory_cap_bytes`` is the *global* budget: it caps the shared buffer
+    pool and is the pie admission control slices.  ``workers`` bounds
+    execution concurrency; ``max_pending`` (when set) bounds how many jobs
+    may be in flight — submitted but unfinished — before :meth:`submit`
+    raises :class:`~repro.exceptions.ServiceQueueFull`.
+
+    Use as a context manager, or call :meth:`shutdown`.
+    """
+
+    def __init__(self, workdir, memory_cap_bytes: int,
+                 workers: int = 4,
+                 io_model: IOModel | None = None,
+                 plan_cache: "PlanCache | str | Path | None" = None,
+                 max_pending: int | None = None,
+                 admission_timeout: float | None = None,
+                 faults: "FaultInjector | int | None" = None,
+                 retry: RetryPolicy | None = None,
+                 atomic_writes: bool | None = None,
+                 max_set_size: int | None = None,
+                 max_candidates: int | None = None):
+        if memory_cap_bytes <= 0:
+            raise ServiceError("memory_cap_bytes must be positive")
+        if workers < 1:
+            raise ServiceError("workers must be >= 1")
+        self.workdir = Path(workdir)
+        self.memory_cap_bytes = int(memory_cap_bytes)
+        self.io_model = io_model or IOModel()
+        injector = FaultInjector.transient(seed=faults) \
+            if isinstance(faults, int) else faults
+        if atomic_writes is None:
+            atomic_writes = injector is not None
+        self.disk = SimulatedDisk(self.workdir, self.io_model,
+                                  fault_injector=injector, retry=retry,
+                                  atomic_writes=atomic_writes)
+        if atomic_writes:
+            # A previous service process may have died mid-write; roll torn
+            # regions back before any job opens a store.
+            self.disk.recover()
+        self.pool = SharedBufferPool(self.memory_cap_bytes)
+        if isinstance(plan_cache, (str, Path)):
+            plan_cache = PlanCache(plan_cache)
+        self.plan_cache = plan_cache
+        self.max_pending = max_pending
+        self.admission_timeout = admission_timeout
+        self.max_set_size = max_set_size
+        self.max_candidates = max_candidates
+        self.stats = ServiceStats()
+
+        self._executor = ThreadPoolExecutor(workers,
+                                            thread_name_prefix="repro-svc")
+        self._adm = threading.Condition()
+        self._adm_queue: deque[_Ticket] = deque()
+        self._admitted = 0
+        self._pending = 0
+        self._lock = threading.Lock()  # job naming + dataset catalog
+        self._job_seq = 0
+        self._active: set[str] = set()
+        self._datasets: dict[str, DAFMatrix] = {}
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ArrayService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs; optionally wait for in-flight ones.
+
+        Jobs parked in the admission queue are woken and fail with
+        :class:`~repro.exceptions.ServiceClosed` — shutdown never hangs on
+        a queue that can no longer drain.
+        """
+        with self._adm:
+            self._closed = True
+            self._adm.notify_all()
+        self._executor.shutdown(wait=wait)
+        for store in self._datasets.values():
+            store.close()
+        self.disk.close()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, program: Program, params: Mapping[str, int],
+               inputs: Mapping[str, np.ndarray], *,
+               name: str | None = None,
+               memory_cap_bytes: int | None = None,
+               plan: Plan | None = None,
+               plan_exact: bool = False,
+               checkpoint: bool = False,
+               resume: bool = False,
+               admission_timeout: "float | None" = _UNSET,
+               workers: int | None = None) -> "Future[JobResult]":
+        """Queue one job; returns a future resolving to a :class:`JobResult`.
+
+        ``memory_cap_bytes`` caps *plan selection* for this job (default:
+        the service's global cap); admission always checks the chosen
+        plan's high-water mark against the global budget.  ``plan`` skips
+        planning entirely.  ``name`` must be unique among in-flight jobs
+        and is required stable for ``checkpoint``/``resume`` pairs.
+        ``workers`` parallelizes this job's Apriori search (process pool).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            if self.max_pending is not None and \
+                    self._pending >= self.max_pending:
+                raise ServiceQueueFull(
+                    f"{self._pending} jobs already pending "
+                    f"(max_pending={self.max_pending})")
+            if name is None:
+                self._job_seq += 1
+                name = f"j{self._job_seq}"
+            if name in self._active:
+                raise ServiceError(f"job name {name!r} already in flight")
+            self._active.add(name)
+            self._pending += 1
+        self.stats.jobs_submitted += 1
+        timeout = self.admission_timeout if admission_timeout is _UNSET \
+            else admission_timeout
+        job = _Job(key=name, program=program, params=dict(params),
+                   inputs=dict(inputs), memory_cap_bytes=memory_cap_bytes,
+                   plan=plan, plan_exact=plan_exact, checkpoint=checkpoint,
+                   resume=resume, admission_timeout=timeout, workers=workers)
+        try:
+            return self._executor.submit(self._run_job, job)
+        except BaseException as err:
+            with self._lock:
+                self._active.discard(name)
+                self._pending -= 1
+            if isinstance(err, RuntimeError):  # pool already shut down
+                raise ServiceClosed("service is shut down") from err
+            raise
+
+    def run(self, program: Program, params: Mapping[str, int],
+            inputs: Mapping[str, np.ndarray], **kw) -> JobResult:
+        """Submit one job and wait for its result."""
+        return self.submit(program, params, inputs, **kw).result()
+
+    # -- admission control --------------------------------------------------
+
+    def _admit(self, need: int, timeout: float | None) -> None:
+        """Block until ``need`` bytes of the global budget are ours (FIFO)."""
+        if need > self.memory_cap_bytes:
+            raise AdmissionRejected(
+                f"plan needs {need} bytes of buffer memory; the service "
+                f"budget is {self.memory_cap_bytes} — this job can never "
+                f"be admitted")
+        ticket = _Ticket(need)
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        with self._adm:
+            self._adm_queue.append(ticket)
+            self.stats.queue_depth = len(self._adm_queue)
+            try:
+                while True:
+                    if self._closed:
+                        raise ServiceClosed(
+                            "service shut down while awaiting admission")
+                    if self._adm_queue[0] is ticket and \
+                            self._admitted + need <= self.memory_cap_bytes:
+                        self._adm_queue.popleft()
+                        self._admitted += need
+                        self.stats.queue_depth = len(self._adm_queue)
+                        self.stats.admitted_bytes = self._admitted
+                        # A successor may fit in what is left.
+                        self._adm.notify_all()
+                        return
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise AdmissionTimeout(
+                                f"no {need} bytes of budget freed within "
+                                f"{timeout:.3f}s (admitted: "
+                                f"{self._admitted}/{self.memory_cap_bytes})")
+                    self._adm.wait(remaining)
+            except BaseException:
+                self._adm_queue.remove(ticket)
+                self.stats.queue_depth = len(self._adm_queue)
+                self._adm.notify_all()
+                raise
+
+    def _release_admission(self, need: int) -> None:
+        with self._adm:
+            self._admitted -= need
+            self.stats.admitted_bytes = self._admitted
+            self._adm.notify_all()
+
+    # -- storage namespace --------------------------------------------------
+
+    @staticmethod
+    def _dataset_digest(data: np.ndarray, block_shape: tuple,
+                        dtype: np.dtype) -> str:
+        canon = np.ascontiguousarray(data, dtype=dtype)
+        h = hashlib.sha256()
+        h.update(repr((canon.dtype.str, canon.shape,
+                       tuple(block_shape))).encode())
+        h.update(canon.tobytes())
+        return h.hexdigest()[:16]
+
+    def _setup_stores(self, job: _Job, resuming: bool
+                      ) -> tuple[dict[str, DAFMatrix], dict[str, str]]:
+        """Open/create every array's store; returns (stores, name map).
+
+        INPUT arrays land in the content-addressed shared catalog — one
+        store per distinct (content, geometry), written once, never per
+        job.  Everything else is private under ``<job>__<array>``.
+        """
+        stores: dict[str, DAFMatrix] = {}
+        names: dict[str, str] = {}
+        for lname, arr in job.program.arrays.items():
+            dtype = {8: np.float64, 4: np.float32}[arr.dtype_bytes]
+            grid = arr.num_blocks(job.params)
+            if arr.kind is ArrayKind.INPUT:
+                if lname not in job.inputs:
+                    raise ServiceError(f"missing input matrix {lname!r}")
+                digest = self._dataset_digest(job.inputs[lname],
+                                              arr.block_shape, dtype)
+                gname = f"ds_{digest}"
+                with self._lock:
+                    store = self._datasets.get(gname)
+                    if store is None:
+                        if self.disk.exists(gname + ".daf"):
+                            store = DAFMatrix.open(self.disk, gname)
+                        else:
+                            store = DAFMatrix.create(self.disk, gname, grid,
+                                                     arr.block_shape, dtype)
+                            store.write_matrix(job.inputs[lname], count=False)
+                        self._datasets[gname] = store
+            else:
+                gname = f"{job.key}__{lname}"
+                if resuming and self.disk.exists(gname + ".daf"):
+                    store = DAFMatrix.open(self.disk, gname)
+                else:
+                    store = DAFMatrix.create(self.disk, gname, grid,
+                                             arr.block_shape, dtype)
+                    store.preallocate()
+            stores[lname] = store
+            names[lname] = gname
+        return stores, names
+
+    # -- the job pipeline ---------------------------------------------------
+
+    def _plan_job(self, job: _Job) -> tuple[Plan, bool, float]:
+        if job.plan is not None:
+            return job.plan, False, 0.0
+        cap = job.memory_cap_bytes if job.memory_cap_bytes is not None \
+            else self.memory_cap_bytes
+        opt = Optimizer(job.program, self.io_model)
+        result = opt.optimize(job.params, memory_cap_bytes=cap,
+                              max_set_size=self.max_set_size,
+                              max_candidates=self.max_candidates,
+                              workers=job.workers,
+                              plan_cache=self.plan_cache)
+        try:
+            plan = result.best(cap)
+        except OptimizationError as err:
+            raise AdmissionRejected(
+                f"no plan for {job.program.name} fits {cap} bytes") from err
+        return plan, result.cache_hit, result.seconds
+
+    def _run_job(self, job: _Job) -> JobResult:
+        try:
+            with obs_trace.span("service.job", "service", job=job.key,
+                                program=job.program.name) as sp:
+                result = self._execute_admitted(job, sp)
+            self.stats.jobs_completed += 1
+            return result
+        except (AdmissionRejected, AdmissionTimeout):
+            self.stats.jobs_rejected += 1
+            raise
+        except ServiceClosed:
+            raise
+        except BaseException:
+            self.stats.jobs_failed += 1
+            raise
+        finally:
+            with self._lock:
+                self._active.discard(job.key)
+                self._pending -= 1
+
+    def _execute_admitted(self, job: _Job, sp) -> JobResult:
+        with obs_trace.span("service.plan", "service", job=job.key):
+            plan, cache_hit, opt_seconds = self._plan_job(job)
+        need = plan.cost.memory_bytes
+        sp["plan"] = plan.index
+        sp["cache_hit"] = cache_hit
+        sp["need_bytes"] = need
+
+        t0 = time.monotonic()
+        with obs_trace.span("service.admission", "service", job=job.key,
+                            need_bytes=need):
+            self._admit(need, job.admission_timeout)
+        wait = time.monotonic() - t0
+        self.stats.active_jobs += 1
+        private_prefix = f"{job.key}__"
+        try:
+            exec_plan = build_executable_plan(job.program, job.params, plan)
+            jobdir = self.workdir / "jobs" / job.key
+            journal = None
+            resuming = False
+            if job.checkpoint or job.resume:
+                jobdir.mkdir(parents=True, exist_ok=True)
+                jpath = jobdir / "execution.journal"
+                journal = ExecutionJournal(jpath, plan_fingerprint(exec_plan))
+                resuming = job.resume and jpath.exists()
+            stores, names = self._setup_stores(job, resuming)
+            counted = {n: _CountingStore(s) for n, s in stores.items()}
+            view = JobPoolView(self.pool, names, owner=job.key)
+
+            with obs_trace.span("service.execute", "service", job=job.key):
+                report = execute_plan(exec_plan, counted, self.disk,
+                                      plan_exact=job.plan_exact,
+                                      journal=journal, resume=resuming,
+                                      pool=view)
+            outputs = {n: stores[n].read_matrix(count=False)
+                       for n, arr in job.program.arrays.items()
+                       if arr.kind is ArrayKind.OUTPUT}
+
+            # The in-executor report drew on the *shared* disk counters —
+            # polluted by whatever ran concurrently.  Re-attribute from the
+            # per-job proxies (assignable slots on the report).
+            io = IOStats()
+            io.add(read_bytes=sum(c.read_bytes for c in counted.values()),
+                   write_bytes=sum(c.write_bytes for c in counted.values()),
+                   read_ops=sum(c.read_ops for c in counted.values()),
+                   write_ops=sum(c.write_ops for c in counted.values()))
+            report.io = io
+            report.simulated_io_seconds = self.io_model.seconds(
+                io.read_bytes, io.write_bytes)
+            return JobResult(job.key, outputs, report, plan, cache_hit,
+                             opt_seconds, wait)
+        finally:
+            # Crash-or-finish sweep: drop any pins the job still holds,
+            # then evict its private blocks so the budget it vacates is
+            # actually reusable.  Shared dataset blocks stay — they are the
+            # inter-query sharing capital.
+            leaked = self.pool.release_owner(job.key)
+            if leaked:
+                self.stats.pins_reclaimed += leaked
+                obs_trace.instant("service.pins_reclaimed", "service",
+                                  job=job.key, pins=leaked)
+            self.pool.drop_matching(
+                lambda k: isinstance(k[0], str)
+                and k[0].startswith(private_prefix), force=True)
+            self.stats.active_jobs -= 1
+            self._release_admission(need)
+
+    # -- introspection ------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        with self._adm:
+            return len(self._adm_queue)
+
+    def admitted_bytes(self) -> int:
+        with self._adm:
+            return self._admitted
+
+    def __repr__(self) -> str:
+        return (f"ArrayService({self.workdir}, "
+                f"cap={self.memory_cap_bytes}B, {self.stats!r})")

@@ -10,12 +10,14 @@ Public surface:
 * :class:`BlockLayout` / :class:`BlockChecksums` — column-major layout
   arithmetic and the per-block checksum sidecar;
 * :class:`BufferPool` — explicitly capped memory with pinning (Section 4.2);
+* :class:`SharedBufferPool` — the thread-safe variant concurrent queries
+  share (single lock, loader de-duplication, per-owner pin accounting);
 * :class:`FaultInjector` / :class:`FaultPolicy` / :class:`RetryPolicy` —
   deterministic fault injection and the retry policy that absorbs it.
 """
 
 from .blocks import BlockChecksums, BlockLayout, block_checksum
-from .buffer import BufferedBlock, BufferPool
+from .buffer import BufferedBlock, BufferPool, SharedBufferPool
 from .daf import DAFMatrix
 from .disk import DiskFile, IOStats, SimulatedDisk
 from .faults import FaultInjector, FaultPolicy, InjectedFault, RetryPolicy
@@ -26,6 +28,7 @@ __all__ = [
     "BlockLayout",
     "BufferPool",
     "BufferedBlock",
+    "SharedBufferPool",
     "DAFMatrix",
     "FaultInjector",
     "FaultPolicy",

@@ -90,7 +90,7 @@ def read_block_verified(file, offset: int, nbytes: int,
         data = file.read_at(offset, nbytes, count=count)
         if expected is None or block_checksum(data) == expected:
             return data
-        disk.stats.checksum_failures += 1
+        disk.stats.add(checksum_failures=1)
         tracer = obs_trace.CURRENT
         if tracer is not None:
             tracer.instant("disk.checksum_failure", "storage",

@@ -15,8 +15,9 @@ for how long.  This pool enforces that contract:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Callable
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -24,7 +25,7 @@ from ..exceptions import BufferPoolError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
-__all__ = ["BufferPool", "BufferedBlock"]
+__all__ = ["BufferPool", "SharedBufferPool", "BufferedBlock"]
 
 
 class BufferedBlock:
@@ -80,8 +81,16 @@ class BufferPool:
     def contains(self, key: tuple) -> bool:
         return key in self._blocks
 
-    def fetch(self, key: tuple, loader: Callable[[], np.ndarray]) -> BufferedBlock:
-        """Resident block for ``key``, loading via ``loader`` on a miss."""
+    def fetch(self, key: tuple, loader: Callable[[], np.ndarray],
+              pin: int = 0) -> BufferedBlock:
+        """Resident block for ``key``, loading via ``loader`` on a miss.
+
+        ``pin`` adds that many pins *atomically with the lookup*: a caller
+        that fetches and then pins in two steps leaves a window in which a
+        concurrent eviction can drop the block (impossible here, real in
+        :class:`SharedBufferPool`), so the engine always pins through this
+        argument.
+        """
         blk = self._blocks.get(key)
         tracer = obs_trace.CURRENT
         if blk is not None:
@@ -89,14 +98,18 @@ class BufferPool:
             if tracer is not None:
                 tracer.instant("pool.hit", "pool", key=str(key))
             self._blocks.move_to_end(key)
+            blk.pins += pin
             return blk
         self.misses += 1
         if tracer is not None:
             tracer.instant("pool.miss", "pool", key=str(key))
         data = loader()
-        return self._admit(key, data)
+        blk = self._admit(key, data)
+        blk.pins += pin
+        return blk
 
-    def put(self, key: tuple, data: np.ndarray, dirty: bool = False) -> BufferedBlock:
+    def put(self, key: tuple, data: np.ndarray, dirty: bool = False,
+            pin: int = 0) -> BufferedBlock:
         """Install (or replace) a block produced in memory."""
         old = self._blocks.pop(key, None)
         if old is not None:
@@ -105,6 +118,7 @@ class BufferPool:
         if old is not None:
             blk.pins = old.pins
         blk.dirty = dirty
+        blk.pins += pin
         return blk
 
     def _admit(self, key: tuple, data: np.ndarray) -> BufferedBlock:
@@ -238,3 +252,184 @@ def _stat_view(field: str) -> property:
 for _f in BufferPool._COUNTERS + BufferPool._GAUGES:
     setattr(BufferPool, _f, _stat_view(_f))
 del _f
+
+
+class SharedBufferPool(BufferPool):
+    """Thread-safe :class:`BufferPool` shared by concurrent queries.
+
+    The inter-query sharing substrate of :mod:`repro.service`: one pool,
+    one global byte cap, many executor threads.  Three additions over the
+    single-threaded base:
+
+    * **one lock** (a condition over an ``RLock``) serializes every
+      residency / pin / eviction transition, so the cap is never exceeded
+      and a pinned block is never evicted, exactly as in the sequential
+      pool;
+    * **loader de-duplication** — a fetch that must go to disk marks the
+      key *in flight* and drops the lock while the loader runs; concurrent
+      fetches of the same key wait on the condition instead of issuing a
+      second disk read, while fetches of other keys proceed in parallel;
+    * **per-owner pin accounting** — pins taken with an ``owner`` tag are
+      remembered per owner, so :meth:`release_owner` can drop everything a
+      crashed query still held without touching other queries' pins.
+    """
+
+    def __init__(self, cap_bytes: int | None = None):
+        super().__init__(cap_bytes)
+        self._cond = threading.Condition(threading.RLock())
+        self._loading: set[tuple] = set()
+        self._owner_pins: dict[Hashable, dict[tuple, int]] = {}
+
+    # -- residency ------------------------------------------------------------
+
+    def contains(self, key: tuple) -> bool:
+        with self._cond:
+            return key in self._blocks
+
+    def fetch(self, key: tuple, loader: Callable[[], np.ndarray],
+              pin: int = 0, owner: Hashable | None = None) -> BufferedBlock:
+        tracer = obs_trace.CURRENT
+        with self._cond:
+            while True:
+                blk = self._blocks.get(key)
+                if blk is not None:
+                    self.hits += 1
+                    if tracer is not None:
+                        tracer.instant("pool.hit", "pool", key=str(key))
+                    self._blocks.move_to_end(key)
+                    self._pin_locked(key, blk, pin, owner)
+                    return blk
+                if key not in self._loading:
+                    self._loading.add(key)
+                    break
+                # Another thread is already reading this block from disk:
+                # wait for it instead of issuing a duplicate read.
+                self._cond.wait()
+        # Load outside the lock — distinct keys load in parallel and the
+        # pool stays responsive during (possibly fault-retried) disk I/O.
+        try:
+            data = loader()
+        except BaseException:
+            with self._cond:
+                self._loading.discard(key)
+                self._cond.notify_all()
+            raise
+        with self._cond:
+            self._loading.discard(key)
+            self.misses += 1
+            if tracer is not None:
+                tracer.instant("pool.miss", "pool", key=str(key))
+            blk = self._admit(key, data)
+            self._pin_locked(key, blk, pin, owner)
+            self._cond.notify_all()
+            return blk
+
+    def put(self, key: tuple, data: np.ndarray, dirty: bool = False,
+            pin: int = 0, owner: Hashable | None = None) -> BufferedBlock:
+        with self._cond:
+            blk = super().put(key, data, dirty)
+            self._pin_locked(key, blk, pin, owner)
+            self._cond.notify_all()
+            return blk
+
+    # -- pinning -----------------------------------------------------------------
+
+    def _pin_locked(self, key: tuple, blk: BufferedBlock, n: int,
+                    owner: Hashable | None) -> None:
+        if n <= 0:
+            return
+        blk.pins += n
+        if owner is not None:
+            held = self._owner_pins.setdefault(owner, {})
+            held[key] = held.get(key, 0) + n
+
+    def pin(self, key: tuple, owner: Hashable | None = None) -> None:
+        with self._cond:
+            blk = self._blocks.get(key)
+            if blk is None:
+                raise BufferPoolError(f"pin of non-resident block {key}")
+            self._pin_locked(key, blk, 1, owner)
+            tracer = obs_trace.CURRENT
+            if tracer is not None:
+                tracer.instant("pool.pin", "pool", key=str(key), pins=blk.pins)
+
+    def unpin(self, key: tuple, owner: Hashable | None = None) -> None:
+        with self._cond:
+            blk = self._blocks.get(key)
+            if blk is None:
+                raise BufferPoolError(f"unpin of non-resident block {key}")
+            if blk.pins <= 0:
+                raise BufferPoolError(f"unpin without pin on {key}")
+            blk.pins -= 1
+            if owner is not None:
+                held = self._owner_pins.get(owner)
+                if held and key in held:
+                    held[key] -= 1
+                    if held[key] <= 0:
+                        del held[key]
+            tracer = obs_trace.CURRENT
+            if tracer is not None:
+                tracer.instant("pool.unpin", "pool", key=str(key), pins=blk.pins)
+
+    def release_owner(self, owner: Hashable) -> int:
+        """Drop every pin ``owner`` still holds (crashed-query cleanup).
+
+        Returns the number of pins released.  Blocks themselves stay
+        resident — unpinned, they are normal LRU victims.
+        """
+        with self._cond:
+            held = self._owner_pins.pop(owner, {})
+            released = 0
+            for key, n in held.items():
+                blk = self._blocks.get(key)
+                if blk is not None:
+                    drop = min(n, blk.pins)
+                    blk.pins -= drop
+                    released += drop
+            return released
+
+    def owner_pin_count(self, owner: Hashable) -> int:
+        with self._cond:
+            return sum(self._owner_pins.get(owner, {}).values())
+
+    def drop_matching(self, pred: Callable[[tuple], bool],
+                      force: bool = False) -> int:
+        """Release every unpinned resident block whose key satisfies
+        ``pred`` (e.g. a finished query's private blocks).  Returns the
+        number of blocks dropped."""
+        with self._cond:
+            victims = [k for k, b in self._blocks.items()
+                       if b.pins == 0 and pred(k)]
+            for key in victims:
+                super().release(key, force=force)
+            return len(victims)
+
+    # -- locked passthroughs of the single-threaded surface ----------------------
+
+    def release(self, key: tuple, force: bool = False) -> None:
+        with self._cond:
+            super().release(key, force)
+
+    def release_if_unpinned(self, key: tuple, force: bool = False) -> bool:
+        with self._cond:
+            return super().release_if_unpinned(key, force)
+
+    def pin_count(self, key: tuple) -> int:
+        with self._cond:
+            return super().pin_count(key)
+
+    def mark_clean(self, key: tuple) -> None:
+        with self._cond:
+            super().mark_clean(key)
+
+    def resident_keys(self) -> list[tuple]:
+        with self._cond:
+            return super().resident_keys()
+
+    def pinned_bytes(self) -> int:
+        with self._cond:
+            return super().pinned_bytes()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._blocks)

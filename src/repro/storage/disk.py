@@ -25,6 +25,7 @@ Durability (this layer's contract under injected faults, see
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 
 from ..exceptions import StorageError, TransientIOError
@@ -54,11 +55,25 @@ class IOStats:
     _FIELDS = ("read_bytes", "write_bytes", "read_ops", "write_ops",
                "retries", "checksum_failures")
 
-    __slots__ = tuple("_" + f for f in _FIELDS)
+    __slots__ = tuple("_" + f for f in _FIELDS) + ("_lock",)
 
     def __init__(self):
         for f in self._FIELDS:
             setattr(self, "_" + f, obs_metrics.Counter("repro_io_" + f))
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: int) -> None:
+        """Atomically accumulate counter deltas (``add(read_bytes=n, ...)``).
+
+        Concurrent executors sharing one disk (:mod:`repro.service`) hammer
+        these counters from many threads; the plain ``stats.field += n``
+        property path is a read-modify-write that loses increments under
+        contention, so every counted-op hot path goes through here.
+        """
+        with self._lock:
+            for f, n in deltas.items():
+                counter = getattr(self, "_" + f)
+                counter.value += n
 
     def bind(self, registry: "obs_metrics.MetricsRegistry", **labels) -> None:
         """Register this holder's counters as labeled registry series."""
@@ -73,10 +88,11 @@ class IOStats:
 
     def snapshot(self) -> "IOStats":
         s = IOStats()
-        s.read_bytes, s.write_bytes = self.read_bytes, self.write_bytes
-        s.read_ops, s.write_ops = self.read_ops, self.write_ops
-        s.retries = self.retries
-        s.checksum_failures = self.checksum_failures
+        with self._lock:
+            s.read_bytes, s.write_bytes = self.read_bytes, self.write_bytes
+            s.read_ops, s.write_ops = self.read_ops, self.write_ops
+            s.retries = self.retries
+            s.checksum_failures = self.checksum_failures
         return s
 
     def since(self, other: "IOStats") -> "IOStats":
@@ -143,14 +159,18 @@ class SimulatedDisk:
         self.atomic_writes = atomic_writes
         self.fsync = fsync
         self._files: dict[str, DiskFile] = {}
+        self._open_lock = threading.Lock()
         self._closed = False
 
     def open(self, name: str) -> "DiskFile":
-        if self._closed:
-            raise StorageError("disk is closed")
-        if name not in self._files:
-            self._files[name] = DiskFile(self, self.root / name)
-        return self._files[name]
+        # Serialized: concurrent executors opening the same store must share
+        # one DiskFile (and its file lock), not race two handles into being.
+        with self._open_lock:
+            if self._closed:
+                raise StorageError("disk is closed")
+            if name not in self._files:
+                self._files[name] = DiskFile(self, self.root / name)
+            return self._files[name]
 
     def exists(self, name: str) -> bool:
         return (self.root / name).exists()
@@ -232,6 +252,11 @@ class DiskFile:
         if not path.exists():
             path.touch()
         self._fh = open(path, "r+b")
+        # Positional I/O is a seek-then-transfer pair on one shared handle;
+        # concurrent executors reading different blocks of the same store
+        # must not interleave the pairs.  Held only around file-handle
+        # operations — never across retry backoff sleeps.
+        self._lock = threading.Lock()
 
     def read_at(self, offset: int, size: int, count: bool = True) -> bytes:
         if offset < 0 or size < 0:
@@ -250,7 +275,7 @@ class DiskFile:
                     raise StorageError(
                         f"{self.path.name}: read at {offset} failed after "
                         f"{attempt} attempts (transient I/O errors)") from err
-                self.disk.stats.retries += 1
+                self.disk.stats.add(retries=1)
                 tracer = obs_trace.CURRENT
                 if tracer is not None:
                     tracer.instant("disk.retry", "storage", op="read",
@@ -258,8 +283,9 @@ class DiskFile:
                                    attempt=attempt)
                 self.disk.retry.sleep(attempt)
                 continue
-            self._fh.seek(offset)
-            data = self._fh.read(size)
+            with self._lock:
+                self._fh.seek(offset)
+                data = self._fh.read(size)
             if len(data) != size:
                 raise StorageError(
                     f"{self.path.name}: short read at {offset} "
@@ -267,8 +293,7 @@ class DiskFile:
             if fault is not None and fault[0] == "corrupt":
                 data = FaultInjector.corrupt(data, fault[1])
             if count:
-                self.disk.stats.read_bytes += size
-                self.disk.stats.read_ops += 1
+                self.disk.stats.add(read_bytes=size, read_ops=1)
                 if self.disk._hist_read is not None:
                     self.disk._hist_read.observe(size)
                 tracer = obs_trace.CURRENT
@@ -292,8 +317,7 @@ class DiskFile:
         if undo is not None:
             undo.unlink(missing_ok=True)
         if count:
-            self.disk.stats.write_bytes += len(data)
-            self.disk.stats.write_ops += 1
+            self.disk.stats.add(write_bytes=len(data), write_ops=1)
             if self.disk._hist_write is not None:
                 self.disk._hist_write.observe(len(data))
             tracer = obs_trace.CURRENT
@@ -312,8 +336,9 @@ class DiskFile:
         if offset >= current:
             return None
         keep = min(size, current - offset)
-        self._fh.seek(offset)
-        old = self._fh.read(keep)
+        with self._lock:
+            self._fh.seek(offset)
+            old = self._fh.read(keep)
         undo = self.path.parent / _undo_name(self.path.name, offset)
         tmp = undo.parent / (undo.name + ".tmp")
         with open(tmp, "wb") as fh:
@@ -334,9 +359,10 @@ class DiskFile:
                 kind, detail = fault
                 if kind == "torn":
                     # A strict prefix lands before the op dies.
-                    self._fh.seek(offset)
-                    self._fh.write(data[:detail])
-                    self._fh.flush()
+                    with self._lock:
+                        self._fh.seek(offset)
+                        self._fh.write(data[:detail])
+                        self._fh.flush()
                 attempt += 1
                 err = TransientIOError(
                     f"{self.path.name}: injected {kind} write fault at "
@@ -345,7 +371,7 @@ class DiskFile:
                     raise StorageError(
                         f"{self.path.name}: write at {offset} failed after "
                         f"{attempt} attempts ({kind} I/O errors)") from err
-                self.disk.stats.retries += 1
+                self.disk.stats.add(retries=1)
                 tracer = obs_trace.CURRENT
                 if tracer is not None:
                     tracer.instant("disk.retry", "storage", op="write",
@@ -353,16 +379,18 @@ class DiskFile:
                                    offset=offset, attempt=attempt)
                 self.disk.retry.sleep(attempt)
                 continue
-            self._fh.seek(offset)
-            self._fh.write(data)
-            if self.disk.fsync:
-                self._fh.flush()
-                os.fsync(self._fh.fileno())
+            with self._lock:
+                self._fh.seek(offset)
+                self._fh.write(data)
+                if self.disk.fsync:
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
             return
 
     def size(self) -> int:
-        self._fh.seek(0, os.SEEK_END)
-        return self._fh.tell()
+        with self._lock:
+            self._fh.seek(0, os.SEEK_END)
+            return self._fh.tell()
 
     def truncate(self, size: int) -> None:
         self._fh.truncate(size)

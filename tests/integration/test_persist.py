@@ -66,6 +66,30 @@ class TestSaveLoad:
                            (inputs["A"] + inputs["B"]) @ inputs["D"])
         assert report.io.read_bytes == loaded.cost.read_bytes
 
+    def test_roundtripped_plan_executes_byte_identically(self, prog, result,
+                                                         tmp_path):
+        """Plan -> bytes -> plan: the reloaded plan's execution is
+        indistinguishable from the original's — byte-identical outputs and
+        identical I/O counters."""
+        best = result.best()
+        path = tmp_path / "plan.json"
+        save_plan(path, best, prog)
+        analysis = analyze(prog, param_values=P)
+        loaded = load_plan(path, prog, analysis, P, result.io_model)
+
+        rng = np.random.default_rng(5)
+        inputs = {n: rng.standard_normal(prog.arrays[n].shape_elems(P))
+                  for n in ("A", "B", "D")}
+        rep_a, out_a = run_program(prog, P, best, tmp_path / "a", inputs)
+        rep_b, out_b = run_program(prog, P, loaded, tmp_path / "b", inputs)
+        assert set(out_a) == set(out_b)
+        for name in out_a:
+            assert np.array_equal(out_a[name], out_b[name])
+        for field in ("read_bytes", "write_bytes", "read_ops", "write_ops"):
+            assert getattr(rep_a.io, field) == getattr(rep_b.io, field)
+        assert rep_a.pool_hits == rep_b.pool_hits
+        assert rep_a.peak_memory_bytes == rep_b.peak_memory_bytes
+
     def test_recost_at_new_params(self, prog, result, tmp_path):
         """The Remark's workflow: same schedule template, new sizes."""
         best = result.best()

@@ -1,0 +1,90 @@
+"""Tests for the persistent plan cache and its optimizer hook."""
+
+import pytest
+
+from repro import optimize
+from repro.obs import metrics as obs_metrics
+from repro.service import PlanCache, optimization_fingerprint
+from tests.fixtures import example1_program
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+CAP = 4 << 20
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return example1_program()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, prog):
+        assert optimization_fingerprint(prog, P, CAP) == \
+            optimization_fingerprint(example1_program(), P, CAP)
+
+    def test_sensitive_to_params_cap_and_knobs(self, prog):
+        base = optimization_fingerprint(prog, P, CAP)
+        assert optimization_fingerprint(prog, {**P, "n1": 3}, CAP) != base
+        assert optimization_fingerprint(prog, P, 2 * CAP) != base
+        assert optimization_fingerprint(prog, P, CAP, max_set_size=1) != base
+
+    def test_sensitive_to_io_model(self, prog):
+        from repro.optimizer import IOModel
+        assert optimization_fingerprint(prog, P, CAP,
+                                        IOModel(read_bw=1e6)) != \
+            optimization_fingerprint(prog, P, CAP)
+
+
+class TestCacheThroughOptimize:
+    def test_miss_then_hit_skips_apriori(self, prog, tmp_path):
+        cache = PlanCache(tmp_path)
+        r1 = optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        assert not r1.cache_hit
+        assert r1.stats.candidates_tested > 0
+        assert cache.misses == 1 and cache.stores == 1
+
+        r2 = optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        assert r2.cache_hit
+        # The acceptance bar: a hit evaluates ZERO Apriori candidates.
+        assert r2.stats.candidates_tested == 0
+        assert cache.hits == 1
+
+        b1, b2 = r1.best(CAP), r2.best(CAP)
+        assert b1.realized_labels == b2.realized_labels
+        assert b1.cost.read_bytes == b2.cost.read_bytes
+        assert b1.cost.io_seconds == b2.cost.io_seconds
+
+    def test_hit_resets_registered_apriori_series(self, prog, tmp_path):
+        cache = PlanCache(tmp_path)
+        registry = obs_metrics.MetricsRegistry()
+        with obs_metrics.use(registry):
+            optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+            optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        snap = registry.snapshot()
+        key = f'repro_apriori_candidates_tested{{program="{prog.name}"}}'
+        # The hit's freshly bound stats own the series — and tested nothing.
+        assert snap[key] == 0
+
+    def test_different_cap_is_a_different_entry(self, prog, tmp_path):
+        cache = PlanCache(tmp_path)
+        optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        r = optimize(prog, P, memory_cap_bytes=2 * CAP, plan_cache=cache)
+        assert not r.cache_hit
+        assert len(cache) == 2
+
+    def test_corrupt_entry_degrades_to_miss(self, prog, tmp_path):
+        cache = PlanCache(tmp_path)
+        optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        fp = optimization_fingerprint(
+            prog, P, CAP, None, max_set_size=None, max_candidates=None,
+            dead_write_elimination=True, block_bytes=None)
+        cache.path_for(fp).write_text("{not json")
+        r = optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        assert not r.cache_hit
+        assert r.stats.candidates_tested > 0
+
+    def test_clear(self, prog, tmp_path):
+        cache = PlanCache(tmp_path)
+        optimize(prog, P, memory_cap_bytes=CAP, plan_cache=cache)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0

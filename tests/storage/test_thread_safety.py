@@ -1,0 +1,172 @@
+"""Thread-safety regression tests for the storage counters and disk layer.
+
+The multi-query service (:mod:`repro.service`) hammers one
+:class:`SimulatedDisk` — and its :class:`IOStats` counters — from many
+executor threads.  These tests drive the same contention patterns from 8
+threads and assert the totals are *exact*: a lost increment anywhere in the
+counted-op hot path shows up as an off-by-n here.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.storage import DAFMatrix, IOStats, SimulatedDisk
+
+THREADS = 8
+ITERS = 400
+
+
+def _spawn(fn, n=THREADS):
+    errors = []
+
+    def wrapped(i):
+        try:
+            fn(i)
+        except BaseException as err:  # surfaced after join
+            errors.append(err)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestIOStatsConcurrent:
+    def test_add_is_atomic_across_threads(self):
+        stats = IOStats()
+
+        def hammer(_):
+            for _ in range(ITERS):
+                stats.add(read_bytes=3, read_ops=1)
+                stats.add(write_bytes=7, write_ops=1, retries=1)
+
+        _spawn(hammer)
+        assert stats.read_bytes == THREADS * ITERS * 3
+        assert stats.read_ops == THREADS * ITERS
+        assert stats.write_bytes == THREADS * ITERS * 7
+        assert stats.write_ops == THREADS * ITERS
+        assert stats.retries == THREADS * ITERS
+
+    def test_snapshot_is_consistent_under_writers(self):
+        stats = IOStats()
+        stop = threading.Event()
+
+        def writer(_):
+            while not stop.is_set():
+                # Keep the pair invariant: bytes == 3 * ops, always.
+                stats.add(read_bytes=3, read_ops=1)
+
+        snaps = []
+
+        def reader(_):
+            for _ in range(200):
+                snaps.append(stats.snapshot())
+
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            _spawn(reader, n=2)
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+        for s in snaps:
+            assert s.read_bytes == 3 * s.read_ops
+
+
+class TestDiskConcurrent:
+    def test_open_returns_one_shared_handle(self, tmp_path):
+        disk = SimulatedDisk(tmp_path)
+        files = []
+        lock = threading.Lock()
+
+        def opener(_):
+            f = disk.open("shared.bin")
+            with lock:
+                files.append(f)
+
+        _spawn(opener)
+        assert len({id(f) for f in files}) == 1
+        disk.close()
+
+    def test_eight_thread_hammer_exact_totals(self, tmp_path):
+        """8 threads read/write disjoint regions; counters land exactly."""
+        disk = SimulatedDisk(tmp_path)
+        f = disk.open("hammer.bin")
+        region = 64
+        f.truncate(THREADS * ITERS * region)
+
+        def hammer(i):
+            base = i * ITERS * region
+            payload = bytes([i + 1]) * region
+            for k in range(ITERS):
+                f.write_at(base + k * region, payload)
+            for k in range(ITERS):
+                assert f.read_at(base + k * region, region) == payload
+
+        _spawn(hammer)
+        total_ops = THREADS * ITERS
+        assert disk.stats.read_ops == total_ops
+        assert disk.stats.write_ops == total_ops
+        assert disk.stats.read_bytes == total_ops * region
+        assert disk.stats.write_bytes == total_ops * region
+        disk.close()
+
+    def test_concurrent_daf_block_reads_are_exact(self, tmp_path):
+        """One DAF store, 8 readers: counted bytes == blocks * block size."""
+        disk = SimulatedDisk(tmp_path)
+        mat = DAFMatrix.create(disk, "m", (4, 4), (8, 8))
+        rng = np.random.default_rng(0)
+        full = rng.standard_normal((32, 32))
+        mat.write_matrix(full, count=False)
+        reads_per_thread = 50
+
+        def reader(i):
+            rng_t = np.random.default_rng(i)
+            for _ in range(reads_per_thread):
+                bi, bj = int(rng_t.integers(4)), int(rng_t.integers(4))
+                blk = mat.read_block((bi, bj))
+                assert np.array_equal(
+                    blk, full[bi * 8:(bi + 1) * 8, bj * 8:(bj + 1) * 8])
+
+        _spawn(reader)
+        total = THREADS * reads_per_thread
+        assert disk.stats.read_ops == total
+        assert disk.stats.read_bytes == total * mat.layout.block_bytes
+        assert disk.stats.checksum_failures == 0
+        disk.close()
+
+    @pytest.mark.slow
+    def test_hammer_with_fault_injection(self, tmp_path):
+        """Retries from 8 threads are absorbed and counted, data intact."""
+        from repro.storage import FaultInjector, RetryPolicy
+
+        disk = SimulatedDisk(tmp_path,
+                             fault_injector=FaultInjector.transient(seed=7),
+                             retry=RetryPolicy(max_retries=8,
+                                               backoff_base=0.0))
+        f = disk.open("faulty.bin")
+        region = 32
+        iters = 100
+        f.truncate(THREADS * iters * region)
+
+        def hammer(i):
+            base = i * iters * region
+            payload = bytes([i + 1]) * region
+            for k in range(iters):
+                f.write_at(base + k * region, payload)
+                assert f.read_at(base + k * region, region) == payload
+
+        _spawn(hammer)
+        total = THREADS * iters
+        assert disk.stats.read_ops == total
+        assert disk.stats.write_ops == total
+        assert disk.stats.retries > 0
+        disk.close()
