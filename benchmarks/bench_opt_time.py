@@ -11,12 +11,126 @@ larger — the claims checked here are the paper's structural ones:
   workloads (the paper reports 94% for linear regression, whose lattice in
   our extraction is almost fully feasible and therefore budget-bounded —
   see EXPERIMENTS.md).
+
+This file is also the optimizer's performance harness: ``test_opt_time_json``
+times exhaustive vs bound-pruned search on the golden-plan corpus cases,
+prints the per-level candidate funnel (generated → tested → feasible →
+costed) and writes ``benchmarks/results/BENCH_opt_time.json``.  CI's
+optimizer-perf job replays it and gates on the committed baseline via
+``benchmarks/check_opt_time_regression.py`` (see docs/optimizer_performance.md).
 """
 
+import importlib.util
+import json
 import os
+import pathlib
 import time
+from fractions import Fraction
 
 from conftest import banner, save_artifact
+
+_GOLDEN = (pathlib.Path(__file__).resolve().parents[1]
+           / "tests" / "fixtures" / "golden_plans" / "regenerate.py")
+_spec = importlib.util.spec_from_file_location("golden_cases", _GOLDEN)
+golden_cases = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden_cases)
+
+# The perf-gated lane: small enough for every push, large enough that a
+# kernel or search regression moves the needle well past noise.
+QUICK_CASES = ["example1", "add_multiply", "two_matmul_B"]
+
+
+def calibration_seconds() -> float:
+    """A fixed, deterministic CPU workload (integer + Fraction arithmetic,
+    the optimizer's own mix).  Recorded alongside every measurement so the
+    regression gate compares machine-normalized times, not wall clocks."""
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(1_500_000):
+        acc = (acc * 1103515245 + i) % (1 << 62)
+    x = Fraction(acc % 97, 89)
+    for i in range(1, 3000):
+        x += Fraction(1, i)
+    return time.perf_counter() - t0
+
+
+def level_rows(stats) -> list[dict]:
+    return [{
+        "k": k,
+        "generated": stats.level_generated.get(k, 0),
+        "tested": stats.level_candidates.get(k, 0),
+        "feasible": stats.level_feasible.get(k, 0),
+        "costed": stats.level_costed.get(k, 0),
+        "seconds": round(stats.level_seconds.get(k, 0.0), 4),
+    } for k in sorted(stats.level_candidates)]
+
+
+def print_levels(stats) -> None:
+    print(f"  {'level':>6} {'generated':>10} {'tested':>7} {'feasible':>9} "
+          f"{'costed':>7} {'seconds':>8}")
+    for row in level_rows(stats):
+        print(f"  {row['k']:>6} {row['generated']:>10} {row['tested']:>7} "
+              f"{row['feasible']:>9} {row['costed']:>7} {row['seconds']:>8.2f}")
+
+
+def measure(name: str, mode: str) -> tuple[dict, object]:
+    from repro import optimize
+
+    program, params, knobs = golden_cases.build_case(name)
+    t0 = time.perf_counter()
+    result = optimize(program, params, prune=(mode == "pruned"), **knobs)
+    seconds = time.perf_counter() - t0
+    best = result.best()
+    s = result.stats
+    record = {
+        "workload": name,
+        "mode": mode,
+        "params": params,
+        "optimizer_seconds": seconds,
+        "candidates_tested": s.candidates_tested,
+        "feasible": s.feasible,
+        "plans": len(result.plans),
+        "cost_skips": s.cost_skips,
+        "bound_exits": s.bound_exits,
+        "io_lower_bound": s.io_lower_bound,
+        "best_labels": sorted(best.realized_labels),
+        "best_io_seconds": best.cost.io_seconds,
+        "levels": level_rows(s),
+    }
+    return record, s
+
+
+def test_opt_time_json(benchmark):
+    """Exhaustive vs bound-pruned optimizer time on the golden corpus,
+    with the per-level candidate funnel, emitted as BENCH_opt_time.json."""
+    calibration = calibration_seconds()
+    records = []
+    banner("Optimizer time: exhaustive vs bound-pruned search")
+    print(f"[calibration workload: {calibration:.3f}s]")
+    for name in QUICK_CASES:
+        for mode in ("exhaustive", "pruned"):
+            rec, stats = measure(name, mode)
+            rec["calibration_seconds"] = calibration
+            records.append(rec)
+            print(f"\n{name} [{mode}]: {rec['optimizer_seconds']:.2f}s, "
+                  f"tested={rec['candidates_tested']} "
+                  f"feasible={rec['feasible']} plans={rec['plans']} "
+                  f"cost_skips={rec['cost_skips']} "
+                  f"best_io={rec['best_io_seconds']}")
+            print_levels(stats)
+    save_artifact("BENCH_opt_time.json", json.dumps(records, indent=1) + "\n")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # Pruned and exhaustive must agree on the chosen plan, always.
+    by_case: dict = {}
+    for rec in records:
+        by_case.setdefault(rec["workload"], {})[rec["mode"]] = rec
+    for name, modes in by_case.items():
+        assert (modes["pruned"]["best_labels"],
+                modes["pruned"]["best_io_seconds"]) == \
+               (modes["exhaustive"]["best_labels"],
+                modes["exhaustive"]["best_io_seconds"]), name
+        assert modes["pruned"]["plans"] <= modes["exhaustive"]["plans"]
 
 
 def test_optimization_times(fig3_result, fig4_result, fig6_result, benchmark):
@@ -32,6 +146,9 @@ def test_optimization_times(fig3_result, fig4_result, fig6_result, benchmark):
         s = result.stats
         print(f"{name:>24} {paper:>9} {result.seconds:>8.1f}s "
               f"{s.candidates_tested:>7} {s.feasible:>9} {s.pruned_fraction:>7.1%}")
+    for name, _paper, result in rows:
+        print(f"\n{name} candidate funnel:")
+        print_levels(result.stats)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     # Complexity ordering holds: the 7-statement program costs the most.

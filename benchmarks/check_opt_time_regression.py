@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Gate optimizer performance against the committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_opt_time.py::test_opt_time_json -q
+    python benchmarks/check_opt_time_regression.py \
+        [--fresh benchmarks/results/BENCH_opt_time.json] \
+        [--baseline benchmarks/results/BENCH_opt_time.baseline.json] \
+        [--max-slowdown 1.25]
+
+Two classes of check, per (workload, mode) record:
+
+* **Determinism** — search counters and the chosen plan are exact-matched:
+  ``candidates_tested``, ``feasible``, ``plans``, ``cost_skips``,
+  ``best_labels``, ``best_io_seconds``.  Any drift means the search
+  explored or chose differently, which is a correctness bug, not noise.
+
+* **Time** — wall clocks are normalized by each run's recorded
+  ``calibration_seconds`` (a fixed CPU workload timed on the same machine,
+  in the same process) before comparing, so the gate tolerates slow CI
+  hardware but catches real slowdowns:
+
+      fresh.optimizer_seconds / fresh.calibration_seconds
+          <= max_slowdown * baseline.optimizer_seconds / baseline.calibration_seconds
+
+Exit status is 1 if any check fails.  To refresh the baseline after an
+intentional change, re-run the bench on a quiet machine and copy
+``BENCH_opt_time.json`` over ``BENCH_opt_time.baseline.json`` (see
+docs/optimizer_performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS = pathlib.Path(__file__).resolve().parent / "results"
+EXACT_KEYS = ("candidates_tested", "feasible", "plans", "cost_skips",
+              "best_labels", "best_io_seconds")
+
+
+def load(path: pathlib.Path) -> dict[tuple[str, str], dict]:
+    records = json.loads(path.read_text())
+    return {(r["workload"], r["mode"]): r for r in records}
+
+
+def check(fresh: dict, baseline: dict, max_slowdown: float) -> list[str]:
+    failures = []
+    missing = set(baseline) - set(fresh)
+    if missing:
+        failures.append(f"fresh run is missing cases: {sorted(missing)}")
+    for key in sorted(set(fresh) & set(baseline)):
+        f, b = fresh[key], baseline[key]
+        name = f"{key[0]} [{key[1]}]"
+        for field in EXACT_KEYS:
+            if f[field] != b[field]:
+                failures.append(
+                    f"{name}: {field} changed {b[field]!r} -> {f[field]!r}")
+        f_ratio = f["optimizer_seconds"] / f["calibration_seconds"]
+        b_ratio = b["optimizer_seconds"] / b["calibration_seconds"]
+        if f_ratio > max_slowdown * b_ratio:
+            failures.append(
+                f"{name}: normalized time {f_ratio:.2f} exceeds "
+                f"{max_slowdown:.2f}x baseline {b_ratio:.2f} "
+                f"(raw {f['optimizer_seconds']:.2f}s vs "
+                f"{b['optimizer_seconds']:.2f}s, calibration "
+                f"{f['calibration_seconds']:.3f}s vs "
+                f"{b['calibration_seconds']:.3f}s)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", type=pathlib.Path,
+                    default=RESULTS / "BENCH_opt_time.json")
+    ap.add_argument("--baseline", type=pathlib.Path,
+                    default=RESULTS / "BENCH_opt_time.baseline.json")
+    ap.add_argument("--max-slowdown", type=float, default=1.25,
+                    help="allowed calibration-normalized slowdown (default 1.25)")
+    args = ap.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = check(fresh, baseline, args.max_slowdown)
+    if failures:
+        print(f"optimizer perf gate: {len(failures)} failure(s)")
+        for line in failures:
+            print(f"  FAIL {line}")
+        return 1
+    print(f"optimizer perf gate: {len(set(fresh) & set(baseline))} case(s) "
+          f"within {args.max_slowdown:.2f}x of baseline, counters identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

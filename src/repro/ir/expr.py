@@ -21,6 +21,7 @@ from ..polyhedral.matrix import Rational, as_fraction
 __all__ = ["AffineExpr", "affine"]
 
 _TOKEN = re.compile(r"\s*(?:(\d+)|([A-Za-z_][A-Za-z_0-9']*)|([()*+-]))")
+_MISSING = object()
 
 
 class AffineExpr:
@@ -30,7 +31,7 @@ class AffineExpr:
     allowed when one side is constant (affine closure).
     """
 
-    __slots__ = ("coeffs", "const")
+    __slots__ = ("coeffs", "const", "_intform")
 
     def __init__(self, coeffs: Mapping[str, Rational] | None = None,
                  const: Rational = 0):
@@ -40,6 +41,9 @@ class AffineExpr:
             if f:
                 self.coeffs[name] = f
         self.const: Fraction = as_fraction(const)
+        # Lazily compiled pure-int form used by evaluate(); None = not yet
+        # compiled, False = the expression has non-integer coefficients.
+        self._intform: tuple | None | bool = None
 
     # -- construction --------------------------------------------------------
 
@@ -101,13 +105,45 @@ class AffineExpr:
     def is_constant(self) -> bool:
         return not self.coeffs
 
-    def evaluate(self, bindings: Mapping[str, Rational]) -> Fraction:
+    def evaluate(self, bindings: Mapping[str, Rational]) -> Rational:
+        """Value of the expression under ``bindings``.
+
+        Returns a plain ``int`` when the expression and the bound values are
+        all integers (``int`` and ``Fraction`` compare and hash identically,
+        so callers never see a difference) — the common case by far, since
+        schedules are integer affine maps evaluated at integer points.
+        """
+        form = self._intform
+        if form is None:
+            form = self._compile_int_form()
+        if form is not False:
+            total = form[0]
+            for name, c in form[1]:
+                v = bindings.get(name, _MISSING)
+                if type(v) is not int:
+                    if v is _MISSING:
+                        raise ProgramError(
+                            f"unbound variable {name!r} when evaluating {self}")
+                    break
+                total += c * v
+            else:
+                return total
         total = self.const
         for name, coeff in self.coeffs.items():
             if name not in bindings:
                 raise ProgramError(f"unbound variable {name!r} when evaluating {self}")
             total += coeff * as_fraction(bindings[name])
         return total
+
+    def _compile_int_form(self) -> tuple | bool:
+        if self.const.denominator != 1 or any(
+                c.denominator != 1 for c in self.coeffs.values()):
+            form = False
+        else:
+            form = (int(self.const),
+                    tuple((name, int(c)) for name, c in self.coeffs.items()))
+        self._intform = form
+        return form
 
     def substitute(self, bindings: Mapping[str, "AffineExpr | Rational"]) -> "AffineExpr":
         out = AffineExpr({}, self.const)

@@ -23,7 +23,7 @@ from typing import Iterable, Mapping
 
 from ..analysis import CoAccess
 from ..exceptions import OptimizationError
-from ..ir import Program, Statement
+from ..ir import AccessType, Program, Statement
 from ..polyhedral import (Polyhedron, Space, SymbolicForm, farkas_equals_const,
                           farkas_nonneg)
 
@@ -172,6 +172,75 @@ class ConstraintCache:
                     break
             self._store(key, result)
         return self._cache[key]
+
+    # -- incremental constraint systems ----------------------------------------
+
+    def dependence_system(self, dependences: Iterable) -> Polyhedron | None:
+        """Conjunction of weak-dependence constraints for a dependence set,
+        or ``None`` when it is rationally empty.
+
+        Built *incrementally*: the conjunction over every sorted prefix of
+        the set is memoized, so each Apriori level — and each candidate
+        within a level — extends the longest shared prefix instead of
+        rebuilding the whole system from its per-dependence pieces.
+        Intersection of canonical polyhedra is order-insensitive, so the
+        sort only affects which prefixes get shared, never the result.
+        """
+        items = sorted(dependences, key=lambda d: repr(coaccess_key(d.co)))
+        keys = tuple(coaccess_key(d.co) for d in items)
+
+        def finish():
+            poly = self._dependence_prefix(items, keys)
+            if poly is None:
+                return None
+            if poly.n_constraints > 48:
+                return poly.remove_redundancy()
+            return poly
+
+        return self.memo(("depsys", frozenset(keys)), finish)
+
+    def _dependence_prefix(self, deps: list, keys: tuple) -> Polyhedron | None:
+        def build():
+            if not deps:
+                return Polyhedron.universe(self.space)
+            prev = self._dependence_prefix(deps[:-1], keys[:-1])
+            if prev is None:
+                return None
+            nxt = prev.intersect(self.weak_dependence(deps[-1].co))
+            return None if nxt.is_rational_empty() else nxt
+
+        return self.memo(("depprefix", keys), build)
+
+    def sharing_system(self, opportunities: Iterable,
+                       last: bool) -> Polyhedron | None:
+        """Conjunction of the sharing constraints (Table 1) for a candidate
+        set at a given depth kind, or ``None`` when rationally empty.
+
+        Prefix-memoized over index order, so Apriori's lattice of candidate
+        sets shares all common-prefix work: level k+1 candidates extend the
+        systems their level-k subsets already built.  Self R->R at the last
+        depth is sign-branched by the searcher and therefore skipped here.
+        """
+        opps = tuple(sorted(opportunities, key=lambda o: o.index))
+        key = ("sharebase", tuple(o.index for o in opps), last)
+
+        def build():
+            if not opps:
+                return Polyhedron.universe(self.space)
+            prev = self.sharing_system(opps[:-1], last)
+            if prev is None:
+                return None
+            o = opps[-1]
+            if not o.is_self or not last:
+                delta = 0
+            elif o.co.src.type is AccessType.WRITE:
+                delta = 1
+            else:
+                return prev  # self R->R at the last depth: handled per sign
+            nxt = prev.intersect(self.sharing_equality(o.co, delta))
+            return None if nxt.is_rational_empty() else nxt
+
+        return self.memo(key, build)
 
     def _nonneg(self, co: CoAccess, margin: int) -> Polyhedron:
         key = ("ge", coaccess_key(co), margin)

@@ -124,7 +124,7 @@ def collect_events(program: Program, params: Mapping[str, int],
                                                  access.array.block_bytes)
                 events.append(ScheduledEvent(
                     access, tuple(point), access.block_at(point, params),
-                    base_time + (Fraction(access.micro),), nbytes))
+                    base_time + (access.micro,), nbytes))
     events.sort(key=lambda e: e.time)
     return events
 
@@ -257,22 +257,130 @@ def _elide_dead_writes(events: list[ScheduledEvent]) -> None:
 
 def _memory_requirement(events: list[ScheduledEvent],
                         held: list[tuple]) -> int:
-    """Max over scheduled times of touched-blocks + held-blocks bytes."""
+    """Max over scheduled times of touched-blocks + held-blocks bytes.
+
+    Implemented as an interval sweep: residency intervals are merged per
+    block (a block counts once no matter how many realized pairs keep it
+    resident) and activated/retired with two pointers as the sweep visits
+    instance times in schedule order.  O((E + H) log H) instead of the
+    naive O(T * H) scan, which dominated plan costing.
+    """
     # Group events by statement-instance time prefix (drop the micro digit):
     # an instance needs all its operand blocks simultaneously.
     by_instance: dict[tuple, dict[tuple, int]] = {}
     for ev in events:
         key = ev.time[:-1]
         by_instance.setdefault(key, {})[ev.block_key] = ev.bytes
+    if not by_instance:
+        return 0
+
+    # Per-block merged residency intervals over instance-time prefixes.
+    per_key: dict[tuple, tuple[int, list]] = {}
+    for (lo, hi, block_key, nbytes) in held:
+        per_key.setdefault(block_key, (nbytes, ()))
+        nb, ivs = per_key[block_key]
+        per_key[block_key] = (nb, list(ivs) + [(lo[:-1], hi[:-1])])
+    starts: list[tuple] = []   # (time, block_key): block becomes resident
+    ends: list[tuple] = []     # (time, block_key): residency expires after
+    key_bytes: dict[tuple, int] = {}
+    for block_key, (nbytes, ivs) in per_key.items():
+        key_bytes[block_key] = nbytes
+        ivs.sort()
+        merged: list[list] = []
+        for lo, hi in ivs:
+            if merged and lo <= merged[-1][1]:
+                if hi > merged[-1][1]:
+                    merged[-1][1] = hi
+            else:
+                merged.append([lo, hi])
+        for lo, hi in merged:
+            starts.append((lo, block_key))
+            ends.append((hi, block_key))
+    starts.sort(key=lambda s: s[0])
+    ends.sort(key=lambda s: s[0])
+
+    # Events arrive schedule-sorted, so instance prefixes are already in
+    # sweep order.
+    times = list(by_instance)
+    active: dict[tuple, int] = {}  # block_key -> open interval count (0/1)
+    active_total = 0
+    si = ei = 0
     peak = 0
-    for t, touched in by_instance.items():
-        total = sum(touched.values())
-        seen = set(touched)
-        for (lo, hi, block_key, nbytes) in held:
-            if block_key in seen:
-                continue
-            if lo[:-1] <= t <= hi[:-1]:
-                total += nbytes
-                seen.add(block_key)
-        peak = max(peak, total)
+    for t in times:
+        while si < len(starts) and starts[si][0] <= t:
+            k = starts[si][1]
+            n = active.get(k, 0)
+            if n == 0:
+                active_total += key_bytes[k]
+            active[k] = n + 1
+            si += 1
+        while ei < len(ends) and ends[ei][0] < t:
+            k = ends[ei][1]
+            n = active[k] - 1
+            if n == 0:
+                active_total -= key_bytes[k]
+            active[k] = n
+            ei += 1
+        touched = by_instance[t]
+        total = sum(touched.values()) + active_total
+        for k in touched:
+            if active.get(k, 0):
+                total -= key_bytes[k]  # held block the instance also touches
+        if total > peak:
+            peak = total
     return peak
+
+
+# -- static I/O lower bounds (bound-pruned search support) -------------------
+
+
+def opportunity_savings_seconds_bound(opp: SharingOpportunity,
+                                      params: Mapping[str, int],
+                                      io_model: IOModel,
+                                      block_bytes: Mapping[str, int] | None = None
+                                      ) -> float:
+    """Upper bound on the I/O seconds realizing ``opp`` can possibly save.
+
+    Each co-access pair saves at most one block transfer of the shared
+    array; whether the saved transfer is a read or a write depends on the
+    schedule, so the bound charges the slower bandwidth.  Overcounting
+    (duplicate pairs, pairs whose instances a schedule never co-locates)
+    only makes the resulting lower bound looser, never unsound.
+    """
+    tgt = opp.co.tgt
+    nbytes = (block_bytes or {}).get(tgt.array.name, tgt.array.block_bytes)
+    npairs = len(opp.co.pairs(params))
+    return npairs * nbytes / min(io_model.read_bw, io_model.write_bw)
+
+
+def elidable_write_bytes(program: Program, params: Mapping[str, int],
+                         block_bytes: Mapping[str, int] | None = None) -> int:
+    """Upper bound on write bytes dead-write elimination could ever elide:
+    every write to an intermediate array (footnote 8 only applies there)."""
+    total = 0
+    for stmt in program.statements:
+        for access in stmt.accesses:
+            if not access.is_write or access.array.kind is not ArrayKind.INTERMEDIATE:
+                continue
+            nbytes = (block_bytes or {}).get(access.array.name,
+                                             access.array.block_bytes)
+            count = sum(1 for p in stmt.instances(params)
+                        if access.guard_holds(p, params))
+            total += count * nbytes
+    return total
+
+
+def io_lower_bound(baseline_read_bytes: int, baseline_write_bytes: int,
+                   savings_seconds_bound: float, elidable_bytes: int,
+                   io_model: IOModel) -> float:
+    """Lower bound on the I/O seconds of any plan whose realized set's
+    savings bounds sum to ``savings_seconds_bound``.
+
+    Every access instance costs one block transfer unless saved by a
+    realized pair (bounded per opportunity) or elided as a dead write
+    (bounded by all intermediate writes), so no plan in the subtree can
+    beat baseline minus those maxima.
+    """
+    base = io_model.seconds(baseline_read_bytes, baseline_write_bytes)
+    lb = base - savings_seconds_bound - elidable_bytes / io_model.write_bw
+    return lb if lb > 0.0 else 0.0

@@ -121,56 +121,19 @@ class _Searcher:
         return None
 
     def _build_base(self, state: "_State", last: bool) -> Polyhedron | None:
-        deps_key = ("depsbase",
-                    frozenset(self._dep_key[id(d)] for d in state.remaining))
-
-        def build_deps():
-            acc = Polyhedron.universe(self.cache.space)
-            for dep in state.remaining:
-                acc = acc.intersect(self.cache.weak_dependence(dep.co))
-            if acc.is_rational_empty():
-                return None
-            if acc.n_constraints > 48:
-                acc = acc.remove_redundancy()
-            return acc
-
-        deps_base = self.cache.memo(deps_key, build_deps)
+        # Both systems are built incrementally by the cache: every sorted
+        # prefix is memoized, so the many overlapping candidate sets (and
+        # shrinking remaining-dependence sets) extend shared work.
+        deps_base = self.cache.dependence_system(state.remaining)
         if deps_base is None:
             return None
-        share = self._share_base(tuple(sorted(self.opportunities,
-                                              key=lambda o: o.index)), last)
+        share = self.cache.sharing_system(self.opportunities, last)
         if share is None:
             return None
         base = deps_base.intersect(share)
         if base.is_rational_empty():
             return None
         return base
-
-    def _share_base(self, opps: tuple, last: bool) -> Polyhedron | None:
-        """Conjunction of the sharing constraints for ``opps`` at this depth
-        kind, built incrementally so Apriori's lattice of candidate sets
-        shares all common-prefix work."""
-        key = ("sharebase", tuple(o.index for o in opps), last)
-
-        def build():
-            if not opps:
-                return Polyhedron.universe(self.cache.space)
-            prev = self._share_base(opps[:-1], last)
-            if prev is None:
-                return None
-            o = opps[-1]
-            if not o.is_self:
-                delta = 0
-            elif not last:
-                delta = 0
-            elif o.co.src.type is AccessType.WRITE:
-                delta = 1
-            else:
-                return prev  # self R->R at the last depth: handled per sign
-            nxt = prev.intersect(self.cache.sharing_equality(o.co, delta))
-            return None if nxt.is_rational_empty() else nxt
-
-        return self.cache.memo(key, build)
 
     def _dimensionality_and_sample(self, depth: int, poly: Polyhedron,
                                    state: "_State") -> "_State | None":
@@ -301,8 +264,7 @@ class _Searcher:
         if not todo:
             if poly.is_rational_empty():
                 return None
-            point = poly.sample_small_integer_point()
-            return point if point is not None else poly.find_integer_point()
+            return self._witness(poly)
         stmt, rest = todo[0], todo[1:]
         space = self.cache.space
         names = self.cache.cspace.loop_coeff_names(stmt)
@@ -312,9 +274,7 @@ class _Searcher:
                 row[space.index(n)] = Fraction(sign)
                 row[-1] = Fraction(-1)
                 branch = poly.add_constraints(ineqs=[row])
-                point = branch.sample_small_integer_point()
-                if point is None:
-                    point = branch.find_integer_point()
+                point = self._witness(branch)
                 if point is None:
                     continue
                 stmt_vars = self.cache.cspace.stmt_vars(stmt)
@@ -328,6 +288,20 @@ class _Searcher:
                 if result is not None:
                     return result
         return None
+
+    def _witness(self, poly: Polyhedron) -> tuple[int, ...] | None:
+        """Integer witness of ``poly`` (small grid sample, then branch and
+        bound).  Keyed by the polyhedron's structural identity in the shared
+        constraint cache: overlapping candidate sets re-derive the same
+        branch polyhedra, and integer-point search is the dominant cost.
+        The key is the raw constraint tuples, not the Polyhedron itself —
+        its ``__eq__`` is semantic (a pair of subset LPs), far costlier
+        than the lookup it would serve."""
+        def build():
+            point = poly.sample_small_integer_point()
+            return point if point is not None else poly.find_integer_point()
+        return self.cache.memo(
+            ("witness", poly.space.names, poly.eqs, poly.ineqs), build)
 
     def _rank_complete(self, state: "_State") -> bool:
         return all(state.k[s.name] == s.depth for s in self.statements)

@@ -18,7 +18,8 @@ from ..exceptions import OptimizationError
 from ..ir import Program
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
-from .apriori import AprioriStats, enumerate_feasible_sets
+from .apriori import (AprioriStats, enumerate_and_cost_pruned,
+                      enumerate_feasible_sets)
 from .constraints import ConstraintCache
 from .costing import IOModel, evaluate_plan
 from .plan import Plan
@@ -91,7 +92,8 @@ class Optimizer:
                  max_candidates: int | None = None,
                  block_bytes: Mapping[str, int] | None = None,
                  workers: int | None = None,
-                 plan_cache=None) -> OptimizationResult:
+                 plan_cache=None,
+                 prune: bool = False) -> OptimizationResult:
         """Run the pipeline.
 
         ``workers`` selects the search execution layer: ``None`` or ``1``
@@ -99,6 +101,18 @@ class Optimizer:
         and the per-plan costing out to a process pool
         (:mod:`repro.optimizer.parallel`).  Both layers return identical
         plans in identical order — parallelism changes wall time only.
+
+        ``prune`` interleaves costing with enumeration and applies static
+        I/O lower bounds (:func:`repro.optimizer.apriori
+        .enumerate_and_cost_pruned`): feasible sets that provably cannot
+        beat the incumbent are never costed, and the search stops outright
+        once the incumbent meets the global bound.  ``result.best()`` for
+        the *same* ``memory_cap_bytes`` is bit-identical to the exhaustive
+        search's, in every execution layer; the full plan list is not
+        materialized, so leave ``prune`` off when the result is queried
+        with other caps or mined for alternatives.  Pruning does not affect
+        the chosen plan, so it is deliberately not part of the plan-cache
+        fingerprint: pruned and exhaustive runs share cache entries.
 
         ``plan_cache`` (any object with the
         :class:`repro.service.PlanCache` ``load``/``store`` protocol) short-
@@ -139,11 +153,27 @@ class Optimizer:
                         analysis, params, self.io_model, workers,
                         dead_write_elimination=self.dead_write_elimination,
                         block_bytes=block_bytes) as pool:
-                    with obs_trace.span("optimize.enumerate", "optimizer"):
-                        feasible, stats = pool.enumerate_feasible_sets(
-                            max_set_size, max_candidates)
-                    with obs_trace.span("optimize.cost", "optimizer"):
-                        plans = pool.cost_plans(feasible, stats)
+                    if prune:
+                        with obs_trace.span("optimize.search", "optimizer"):
+                            plans, stats = pool.enumerate_and_cost_pruned(
+                                memory_cap_bytes, max_set_size,
+                                max_candidates)
+                    else:
+                        with obs_trace.span("optimize.enumerate", "optimizer"):
+                            feasible, stats = pool.enumerate_feasible_sets(
+                                max_set_size, max_candidates)
+                        with obs_trace.span("optimize.cost", "optimizer"):
+                            plans = pool.cost_plans(feasible, stats)
+            elif prune:
+                cache = ConstraintCache(self.program)
+                with obs_trace.span("optimize.search", "optimizer"):
+                    plans, stats = enumerate_and_cost_pruned(
+                        analysis, cache, params, self.io_model,
+                        memory_cap_bytes=memory_cap_bytes,
+                        max_set_size=max_set_size,
+                        max_candidates=max_candidates,
+                        dead_write_elimination=self.dead_write_elimination,
+                        block_bytes=block_bytes)
             else:
                 cache = ConstraintCache(self.program)
                 with obs_trace.span("optimize.enumerate", "optimizer"):
@@ -194,8 +224,9 @@ def optimize(program: Program, params: Mapping[str, int],
              dead_write_elimination: bool = True,
              block_bytes: Mapping[str, int] | None = None,
              workers: int | None = None,
-             plan_cache=None) -> OptimizationResult:
+             plan_cache=None,
+             prune: bool = False) -> OptimizationResult:
     """One-shot convenience wrapper around :class:`Optimizer`."""
     opt = Optimizer(program, io_model, dead_write_elimination)
     return opt.optimize(params, memory_cap_bytes, max_set_size, max_candidates,
-                        block_bytes, workers, plan_cache)
+                        block_bytes, workers, plan_cache, prune=prune)

@@ -45,7 +45,8 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from .apriori import AprioriStats, generate_level_candidates, grow_greedy_maximal
 from .constraints import ConstraintCache
-from .costing import IOModel, evaluate_plan
+from .costing import (IOModel, elidable_write_bytes, evaluate_plan,
+                      io_lower_bound, opportunity_savings_seconds_bound)
 from .find_schedule import find_schedule
 from .plan import Plan
 
@@ -310,7 +311,8 @@ class ParallelOptimizerPool:
                     stats.feasible += 1
             sp["feasible"] = stats.feasible
         stats.record_level(1, stats.candidates_tested, stats.feasible,
-                           time.perf_counter() - t_level)
+                           time.perf_counter() - t_level,
+                           generated=len(usable))
 
         k = 2
         while (feasible_prev and (max_set_size is None or k <= max_set_size)
@@ -322,6 +324,7 @@ class ParallelOptimizerPool:
             if room is not None and room <= 0:
                 stats.truncated = True
                 break
+            generated = len(candidates)
             candidates = take_budget(candidates)
             t_level = time.perf_counter()
             tested_before = stats.candidates_tested
@@ -341,7 +344,8 @@ class ParallelOptimizerPool:
                 sp["feasible"] = stats.feasible - feasible_before
             stats.record_level(k, stats.candidates_tested - tested_before,
                                stats.feasible - feasible_before,
-                               time.perf_counter() - t_level)
+                               time.perf_counter() - t_level,
+                               generated=generated)
             feasible_prev = feasible_now
             k += 1
         if feasible_prev and max_set_size is not None and k > max_set_size:
@@ -361,6 +365,186 @@ class ParallelOptimizerPool:
         stats.seconds = time.perf_counter() - t0
         return results, stats
 
+    # -- pruned enumeration + costing ---------------------------------------
+
+    def enumerate_and_cost_pruned(self, memory_cap_bytes: int | None = None,
+                                  max_set_size: int | None = None,
+                                  max_candidates: int | None = None,
+                                  include_greedy_maximal: bool = True
+                                  ) -> tuple[list[Plan], AprioriStats]:
+        """Parallel bound-pruned search (see
+        :func:`repro.optimizer.apriori.enumerate_and_cost_pruned`).
+
+        Levels stay the barrier: a level's candidates are legality-tested in
+        parallel, the survivors whose static lower bound could still beat
+        the incumbent are costed in parallel, and the incumbent/bound checks
+        run at the barrier.  The incumbent therefore lags the sequential
+        pruned walk by at most one level — it prunes less (``cost_skips`` /
+        ``bound_exits`` counters may differ) but never differently: the
+        returned best plan and cost are bit-identical to both the sequential
+        pruned and the exhaustive searches.
+        """
+        analysis = self.analysis
+        usable = [o for o in analysis.opportunities if o.reduced]
+        by_index = {o.index: o for o in analysis.opportunities}
+        stats = AprioriStats()
+        stats.workers = self.workers
+        stats.total_subsets = 2 ** len(usable) - 1
+        t0 = time.perf_counter()
+
+        plans: list[Plan] = []
+        best: Plan | None = None
+
+        def add_plan(idx_set: frozenset[int], schedule: Schedule,
+                     cost) -> Plan:
+            nonlocal best
+            realized = [by_index[i] for i in sorted(idx_set)]
+            plan = Plan(len(plans), schedule, realized, cost)
+            plans.append(plan)
+            obs_trace.instant("opt.plan_cost", "optimizer", plan=plan.index,
+                              read_bytes=cost.read_bytes,
+                              write_bytes=cost.write_bytes,
+                              io_seconds=cost.io_seconds,
+                              memory_bytes=cost.memory_bytes)
+            if plan.fits(memory_cap_bytes) and (
+                    best is None or cost.io_seconds < best.cost.io_seconds):
+                best = plan
+            return plan
+
+        # Plan 0 on the driver: one evaluation, and its cost carries the
+        # baseline byte volumes the bounds are computed from.
+        p0_cost = evaluate_plan(analysis.program, self.params,
+                                analysis.schedule, [], self._io_model,
+                                dead_write_elimination=self._dwe,
+                                block_bytes=self._block_bytes)
+        add_plan(frozenset(), analysis.schedule, p0_cost)
+        base_reads = p0_cost.baseline_read_bytes
+        base_writes = p0_cost.baseline_write_bytes
+        elidable = (elidable_write_bytes(analysis.program, self.params,
+                                         self._block_bytes)
+                    if self._dwe else 0)
+        savings_ub = {o.index: opportunity_savings_seconds_bound(
+            o, self.params, self._io_model, self._block_bytes)
+            for o in usable}
+        global_lb = io_lower_bound(base_reads, base_writes,
+                                   sum(savings_ub.values()), elidable,
+                                   self._io_model)
+        stats.io_lower_bound = global_lb
+
+        def candidate_lb(idx_set: frozenset[int]) -> float:
+            return io_lower_bound(base_reads, base_writes,
+                                  sum(savings_ub[i] for i in idx_set),
+                                  elidable, self._io_model)
+
+        def bound_met() -> bool:
+            return best is not None and best.cost.io_seconds <= global_lb
+
+        def budget_room() -> int | None:
+            if max_candidates is None:
+                return None
+            return max_candidates - stats.candidates_tested
+
+        def take_budget(candidates: list) -> list:
+            room = budget_room()
+            if room is None or len(candidates) <= room:
+                return candidates
+            stats.truncated = True
+            return candidates[:room]
+
+        seen_feasible: set[frozenset[int]] = {frozenset()}
+        feasible_prev: set[frozenset[int]] = set()
+        feasible_singletons: list = []
+        done = False
+
+        def run_pruned_level(k: int, candidates: list,
+                             generated: int) -> set[frozenset[int]]:
+            """Test + cost one level at the barrier; returns its feasible
+            sets.  Survivor costing is filtered by the incumbent *entering*
+            the level (the bound lags by one barrier, see docstring)."""
+            nonlocal done
+            t_level = time.perf_counter()
+            tested_before = stats.candidates_tested
+            feasible_before = stats.feasible
+            feasible_now: set[frozenset[int]] = set()
+            to_cost: list[tuple[frozenset[int], Schedule]] = []
+            with obs_trace.span("apriori.level", "optimizer", k=k,
+                                candidates=len(candidates)) as sp:
+                for cand, sched in self._run_level(candidates, stats):
+                    stats.candidates_tested += 1
+                    obs_trace.instant("opt.solve", "optimizer",
+                                      set=sorted(cand),
+                                      feasible=sched is not None)
+                    if sched is None:
+                        continue
+                    feasible_now.add(cand)
+                    seen_feasible.add(cand)
+                    stats.feasible += 1
+                    if k == 1:
+                        feasible_singletons.append(by_index[next(iter(cand))])
+                    if best is not None and (candidate_lb(cand)
+                                             >= best.cost.io_seconds):
+                        stats.cost_skips += 1
+                    else:
+                        to_cost.append((cand, sched))
+                sp["tested"] = stats.candidates_tested - tested_before
+                sp["feasible"] = stats.feasible - feasible_before
+            items = [(i, tuple(sorted(idx_set)), schedule)
+                     for i, (idx_set, schedule) in enumerate(to_cost)]
+            costs = self._cost_items(items, stats)
+            for i, (idx_set, schedule) in enumerate(to_cost):
+                add_plan(idx_set, schedule, costs[i])
+            stats.record_level(k, stats.candidates_tested - tested_before,
+                               stats.feasible - feasible_before,
+                               time.perf_counter() - t_level,
+                               generated=generated, costed=len(to_cost))
+            if bound_met():
+                stats.bound_exits += 1
+                done = True
+            return feasible_now
+
+        if bound_met():
+            # The baseline itself already meets the global bound: no sharing
+            # can pay off, so no level ever runs.
+            stats.bound_exits += 1
+            done = True
+        else:
+            level1 = take_budget([frozenset([o.index]) for o in usable])
+            feasible_prev = run_pruned_level(1, level1, len(usable))
+
+        k = 2
+        while (not done and feasible_prev
+               and (max_set_size is None or k <= max_set_size)
+               and k <= len(usable)):
+            candidates = generate_level_candidates(feasible_prev, usable, k)
+            if not candidates:
+                break
+            room = budget_room()
+            if room is not None and room <= 0:
+                stats.truncated = True
+                break
+            feasible_prev = run_pruned_level(k, take_budget(candidates),
+                                             len(candidates))
+            k += 1
+        if (not done and feasible_prev and max_set_size is not None
+                and k > max_set_size):
+            stats.truncated = stats.truncated or any(
+                len(s) == max_set_size for s in feasible_prev)
+
+        if stats.truncated and include_greedy_maximal and not done:
+            grown = grow_greedy_maximal(analysis, self.cache,
+                                        feasible_singletons, stats)
+            if grown is not None and grown[0] not in seen_feasible:
+                cost = evaluate_plan(analysis.program, self.params, grown[1],
+                                     [by_index[i] for i in sorted(grown[0])],
+                                     self._io_model,
+                                     dead_write_elimination=self._dwe,
+                                     block_bytes=self._block_bytes)
+                add_plan(grown[0], grown[1], cost)
+                stats.feasible += 1
+
+        stats.seconds = time.perf_counter() - t0
+        return plans, stats
+
     # -- costing ------------------------------------------------------------
 
     def cost_plans(self, feasible: Sequence[tuple[frozenset[int], Schedule]],
@@ -372,15 +556,7 @@ class ParallelOptimizerPool:
         """
         items = [(plan_id, tuple(sorted(idx_set)), schedule)
                  for plan_id, (idx_set, schedule) in enumerate(feasible)]
-        costs: dict[int, object] = {}
-        while not self._degraded:
-            try:
-                costs = self._cost_plans_pool(items, stats)
-                break
-            except BrokenProcessPool:
-                self._restart_or_degrade(stats or AprioriStats())
-        if self._degraded and not costs:
-            costs = self._cost_plans_seq(items, stats)
+        costs = self._cost_items(items, stats)
         by_index = {o.index: o for o in self.analysis.opportunities}
         plans: list[Plan] = []
         for plan_id, (idx_set, schedule) in enumerate(feasible):
@@ -393,6 +569,20 @@ class ParallelOptimizerPool:
                               io_seconds=cost.io_seconds,
                               memory_bytes=cost.memory_bytes)
         return plans
+
+    def _cost_items(self, items, stats) -> dict[int, object]:
+        """Cost ``(plan_id, candidate, schedule)`` triples with the usual
+        crash discipline: one pool restart, then the driver-side fallback."""
+        costs: dict[int, object] = {}
+        while not self._degraded:
+            try:
+                costs = self._cost_plans_pool(items, stats)
+                break
+            except BrokenProcessPool:
+                self._restart_or_degrade(stats or AprioriStats())
+        if self._degraded and not costs:
+            costs = self._cost_plans_seq(items, stats)
+        return costs
 
     def _cost_plans_pool(self, items, stats) -> dict[int, object]:
         futures = [self._pool.submit(_cost_plans, batch)

@@ -14,6 +14,7 @@ fraction-free-ish Gaussian elimination, O(n^3).
 from __future__ import annotations
 
 from fractions import Fraction
+from math import gcd as _math_gcd
 from typing import Iterable, Sequence
 
 Rational = int | Fraction
@@ -22,13 +23,23 @@ __all__ = [
     "Rational",
     "as_fraction",
     "normalize_integer_row",
+    "normalize_integer_row_exact",
     "row_gcd",
     "RationalMatrix",
 ]
 
+# Hash-consed small rationals: the polyhedral layer overwhelmingly handles
+# coefficients in {-1, 0, 1} plus a handful of small block counts, so one
+# shared Fraction per small integer kills most allocation in the hot paths.
+_INTERN_RANGE = 64
+_INTERN = {i: Fraction(i) for i in range(-_INTERN_RANGE, _INTERN_RANGE + 1)}
+
 
 def as_fraction(value: Rational) -> Fraction:
-    """Coerce an int or Fraction to Fraction."""
+    """Coerce an int or Fraction to Fraction (small ints are interned)."""
+    if type(value) is int:
+        interned = _INTERN.get(value)
+        return interned if interned is not None else Fraction(value)
     if isinstance(value, Fraction):
         return value
     return Fraction(value)
@@ -38,31 +49,48 @@ def row_gcd(row: Sequence[int]) -> int:
     """Greatest common divisor of the absolute values in ``row`` (0 if all zero)."""
     g = 0
     for v in row:
-        g = _gcd(g, abs(int(v)))
+        g = _math_gcd(g, int(v))
         if g == 1:
             return 1
     return g
 
 
 def _gcd(a: int, b: int) -> int:
-    while b:
-        a, b = b, a % b
-    return a
+    return _math_gcd(a, b)
 
 
-def normalize_integer_row(row: Sequence[Rational]) -> tuple[int, ...]:
-    """Scale a rational row to a primitive integer row (cleared denominators,
-    divided by the gcd).  The zero row maps to itself.
-    """
+def normalize_integer_row_exact(row: Sequence[Rational]) -> tuple[int, ...]:
+    """Reference implementation of :func:`normalize_integer_row` over
+    :class:`~fractions.Fraction` — the exact path the integer fast path is
+    differentially tested against."""
     fracs = [as_fraction(v) for v in row]
     denom = 1
     for f in fracs:
-        denom = denom * f.denominator // _gcd(denom, f.denominator)
+        denom = denom * f.denominator // _math_gcd(denom, f.denominator)
     ints = [int(f * denom) for f in fracs]
     g = row_gcd(ints)
     if g > 1:
         ints = [v // g for v in ints]
     return tuple(ints)
+
+
+def normalize_integer_row(row: Sequence[Rational]) -> tuple[int, ...]:
+    """Scale a rational row to a primitive integer row (cleared denominators,
+    divided by the gcd).  The zero row maps to itself.
+
+    Fast path: rows that are already pure ``int`` (the overwhelmingly common
+    case — every stored constraint row is one) skip Fraction arithmetic
+    entirely; anything else takes the exact rational path.
+    """
+    g = 0
+    for v in row:
+        if type(v) is not int:
+            return normalize_integer_row_exact(row)
+        if g != 1:
+            g = _math_gcd(g, v)
+    if g > 1:
+        return tuple(v // g for v in row)
+    return tuple(row)
 
 
 class RationalMatrix:

@@ -79,7 +79,7 @@ class Polyhedron:
     Instances are immutable; all operations return new polyhedra.
     """
 
-    __slots__ = ("space", "eqs", "ineqs", "_trivially_empty")
+    __slots__ = ("space", "eqs", "ineqs", "_trivially_empty", "_rat_empty")
 
     def __init__(self, space: Space,
                  eqs: Iterable[Sequence[Rational]] = (),
@@ -129,6 +129,7 @@ class Polyhedron:
         self.ineqs: tuple[tuple[int, ...], ...] = tuple(
             sorted(coeffs + (c,) for coeffs, c in tightest.items()))
         self._trivially_empty = trivially_empty
+        self._rat_empty: bool | None = None  # cached is_rational_empty()
 
     @staticmethod
     def _check_row(row: Sequence[Rational], width: int) -> tuple[int, ...]:
@@ -214,16 +215,56 @@ class Polyhedron:
 
     # -- set operations --------------------------------------------------------
 
+    @classmethod
+    def _from_canonical(cls, space: Space,
+                        eqs: tuple[tuple[int, ...], ...],
+                        ineqs: tuple[tuple[int, ...], ...],
+                        trivially_empty: bool,
+                        rat_empty: bool | None = None) -> "Polyhedron":
+        """Assemble from rows already in constructor-canonical form.
+
+        Callers must guarantee the invariants the constructor establishes:
+        primitive integer rows with a nonzero coefficient part, sign-canonical
+        equalities, gcd-tightened inequalities with a unique (tightest)
+        constant per coefficient vector, both families sorted.
+        """
+        poly = cls.__new__(cls)
+        poly.space = space
+        poly.eqs = eqs
+        poly.ineqs = ineqs
+        poly._trivially_empty = trivially_empty
+        poly._rat_empty = rat_empty
+        return poly
+
     def intersect(self, other: "Polyhedron") -> "Polyhedron":
         if self.space != other.space:
             raise SpaceMismatchError(f"{self.space} vs {other.space}")
-        return Polyhedron(self.space, self.eqs + other.eqs, self.ineqs + other.ineqs)
+        # Both operands are canonical, so their conjunction is a set union of
+        # equalities plus a tightest-constant merge of inequalities — no row
+        # needs renormalizing.  This is the optimizer's hottest polyhedron
+        # operation (every Farkas system is an intersection chain).
+        if self.eqs == other.eqs:
+            eqs = self.eqs
+        else:
+            eqs = tuple(sorted(set(self.eqs) | set(other.eqs)))
+        tightest: dict[tuple[int, ...], int] = {r[:-1]: r[-1] for r in self.ineqs}
+        for r in other.ineqs:
+            coeffs = r[:-1]
+            c = tightest.get(coeffs)
+            if c is None or r[-1] < c:
+                tightest[coeffs] = r[-1]
+        ineqs = tuple(sorted(coeffs + (c,) for coeffs, c in tightest.items()))
+        # A known-empty operand makes the intersection empty; otherwise the
+        # cached emptiness of either side says nothing about the conjunction.
+        rat_empty = True if (self._rat_empty or other._rat_empty) else None
+        return Polyhedron._from_canonical(
+            self.space, eqs, ineqs,
+            self._trivially_empty or other._trivially_empty, rat_empty)
 
     def add_constraints(self, eqs: Iterable[Sequence[Rational]] = (),
                         ineqs: Iterable[Sequence[Rational]] = ()) -> "Polyhedron":
-        return Polyhedron(self.space,
-                          list(self.eqs) + [tuple(r) for r in eqs],
-                          list(self.ineqs) + [tuple(r) for r in ineqs])
+        # Normalize only the new rows, then canonical-merge.
+        return self.intersect(Polyhedron(self.space, eqs, ineqs))
 
     def rename(self, mapping: Mapping[str, str]) -> "Polyhedron":
         new_names = [mapping.get(n, n) for n in self.space.names]
@@ -232,6 +273,7 @@ class Polyhedron:
         poly.eqs = self.eqs
         poly.ineqs = self.ineqs
         poly._trivially_empty = self._trivially_empty
+        poly._rat_empty = self._rat_empty
         return poly
 
     def align(self, space: Space) -> "Polyhedron":
@@ -264,8 +306,10 @@ class Polyhedron:
     def is_rational_empty(self) -> bool:
         if self._trivially_empty:
             return True
-        result = solve_lp(self.eqs, self.ineqs, self.space.dim)
-        return result.status is LPStatus.INFEASIBLE
+        if self._rat_empty is None:
+            result = solve_lp(self.eqs, self.ineqs, self.space.dim)
+            self._rat_empty = result.status is LPStatus.INFEASIBLE
+        return self._rat_empty
 
     def is_empty(self) -> bool:
         """Integer emptiness.

@@ -15,17 +15,60 @@ Bland's rule is used throughout, so the solver cannot cycle.  Everything is
 exact: a presolve pass substitutes away +-1-pivot equalities, and the
 tableau itself is kept in integer form (one denominator per row) so a pivot
 costs a single gcd pass per row instead of per-element Fraction overhead.
+
+Arithmetic backends
+-------------------
+
+Constraint rows arriving from :class:`~repro.polyhedral.polyhedron.Polyhedron`
+are pure-integer tuples; for those the whole pipeline (presolve, standard
+form, tableau) runs on machine integers.  Tableau rows whose magnitudes fit
+comfortably in int64 are stored as numpy arrays and updated with vectorized
+kernels; every vectorized update is preceded by an exact magnitude bound
+(``|ca|*max|a| + |cb|*max|b| < 2**63``) and rows that might overflow fall
+back to Python big-int lists, which are exact at any size.  Inputs that are
+not integral (or the ``exact`` backend selected via :func:`set_fast_path`)
+take the original Fraction-based path.  Both backends are deterministic and
+produce bit-identical results — the property suite in
+``tests/polyhedral/test_rational_kernels.py`` fuzzes one against the other,
+including forced-overflow inputs.
 """
 
 from __future__ import annotations
 
 import enum
 from fractions import Fraction
+from math import gcd as _gcd_int
 from typing import Sequence
+
+import numpy as np
 
 from .matrix import Rational, as_fraction
 
-__all__ = ["LPStatus", "LPResult", "solve_lp", "is_feasible"]
+__all__ = ["LPStatus", "LPResult", "solve_lp", "is_feasible", "set_fast_path",
+           "KERNEL_STATS"]
+
+# Vectorized-kernel policy.  `_NUMPY_ENABLED` is the test hook: disabling it
+# forces every row onto the exact Python big-int representation.
+_NUMPY_ENABLED = True
+_NP_MIN_LEN = 12          # short rows: plain lists beat ndarray overhead
+_NP_SAFE = 1 << 62        # operand magnitude bound for safe int64 products
+
+#: Observability for the arithmetic backends: how many tableau rows took the
+#: vectorized representation and how many updates fell back to exact big-int
+#: arithmetic because the int64 bound would have been violated.
+KERNEL_STATS = {"numpy_rows": 0, "overflow_fallbacks": 0}
+
+
+def set_fast_path(enabled: bool) -> bool:
+    """Enable/disable the numpy-int64 kernels (returns the previous value).
+
+    With the fast path off, every tableau row uses exact Python integers —
+    the reference backend the property tests compare against.
+    """
+    global _NUMPY_ENABLED
+    previous = _NUMPY_ENABLED
+    _NUMPY_ENABLED = bool(enabled)
+    return previous
 
 
 class LPStatus(enum.Enum):
@@ -57,6 +100,14 @@ def is_feasible(eqs: Sequence[Sequence[Rational]],
     return result.status is LPStatus.OPTIMAL
 
 
+def _all_int_rows(rows) -> bool:
+    for row in rows:
+        for v in row:
+            if type(v) is not int:
+                return False
+    return True
+
+
 def solve_lp(eqs: Sequence[Sequence[Rational]],
              ineqs: Sequence[Sequence[Rational]],
              nvars: int,
@@ -75,7 +126,118 @@ def solve_lp(eqs: Sequence[Sequence[Rational]],
     for row in list(eqs) + list(ineqs):
         if len(row) != nvars + 1:
             raise ValueError(f"constraint row width {len(row)} != nvars+1 = {nvars + 1}")
+    int_mode = (_all_int_rows(eqs) and _all_int_rows(ineqs)
+                and (objective is None or _all_int_rows([objective])))
+    if int_mode:
+        return _presolved_lp_int(eqs, ineqs, nvars, objective, maximize)
     return _presolved_lp(eqs, ineqs, nvars, objective, maximize)
+
+
+# -- integer pipeline --------------------------------------------------------
+
+
+def _presolved_lp_int(eqs, ineqs, nvars, objective, maximize) -> LPResult:
+    """Presolve + solve for pure-integer inputs: no Fraction touches the
+    constraint system until the witness point is reconstructed."""
+    reduced_eqs, reduced_ineqs, keep, elim, feasible = \
+        _presolve_int(eqs, ineqs, nvars)
+    if not feasible:
+        return LPResult(LPStatus.INFEASIBLE)
+
+    if objective is None:
+        red_obj = None
+    else:
+        obj_row = [int(v) for v in objective] + [0]
+        for var, prow in elim:
+            c = obj_row[var]
+            if c:
+                f = c * prow[var]  # prow[var] is +-1: c/p == c*p
+                obj_row = [a - f * b for a, b in zip(obj_row, prow)]
+        red_obj = [obj_row[j] for j in keep]
+
+    result = _raw_lp([_project_row(r, keep) for r in reduced_eqs],
+                     [_project_row(r, keep) for r in reduced_ineqs],
+                     len(keep), red_obj, maximize, int_mode=True)
+    if result.status is not LPStatus.OPTIMAL:
+        return result
+    return _reconstruct(result, nvars, keep, elim, objective)
+
+
+def _presolve_int(eqs, ineqs, nvars):
+    """Integer twin of :func:`_presolve`: +-1-pivot substitution is exact on
+    machine integers and needs no row rescaling (sign-safe for inequalities).
+    """
+    cur_eqs = [list(r) for r in eqs]
+    cur_ineqs = [list(r) for r in ineqs]
+    eliminated: set[int] = set()
+    elim: list[tuple[int, list[int]]] = []
+    while True:
+        pivot_row = None
+        pivot_var = None
+        for r in cur_eqs:
+            for j in range(nvars):
+                if j not in eliminated and (r[j] == 1 or r[j] == -1):
+                    pivot_row, pivot_var = r, j
+                    break
+            if pivot_row is not None:
+                break
+        if pivot_row is None:
+            break
+        pv = pivot_row[pivot_var]
+        cur_eqs = [_substitute_int(r, pivot_var, pivot_row, pv)
+                   for r in cur_eqs if r is not pivot_row]
+        cur_ineqs = [_substitute_int(r, pivot_var, pivot_row, pv)
+                     for r in cur_ineqs]
+        eliminated.add(pivot_var)
+        elim.append((pivot_var, pivot_row))
+
+    kept_eqs, kept_ineqs = [], []
+    for r in cur_eqs:
+        if any(r[:-1]):
+            kept_eqs.append(r)
+        elif r[-1] != 0:
+            return [], [], [], [], False
+    for r in cur_ineqs:
+        if any(r[:-1]):
+            kept_ineqs.append(r)
+        elif r[-1] < 0:
+            return [], [], [], [], False
+    keep = [j for j in range(nvars) if j not in eliminated]
+    return kept_eqs, kept_ineqs, keep, elim, True
+
+
+def _substitute_int(row: list[int], var: int, pivot: list[int],
+                    pv: int) -> list[int]:
+    """Eliminate ``var`` from an integer ``row`` using a +-1-pivot equality."""
+    c = row[var]
+    if not c:
+        return row
+    f = c * pv  # == c / pv since pv in {1, -1}
+    return [a - f * b for a, b in zip(row, pivot)]
+
+
+def _reconstruct(result: LPResult, nvars, keep, elim, objective) -> LPResult:
+    """Back-substitute eliminated variables into the full witness point."""
+    full = [Fraction(0)] * nvars
+    for j, v in zip(keep, result.point):
+        full[j] = v
+    for var, row in reversed(elim):
+        # row: var appears with coefficient +-1 (int path) or a +-1 Fraction
+        # (exact path); row . x + c = 0.
+        total = row[-1] + sum(c * full[k] for k, c in enumerate(row[:-1])
+                              if k != var and c)
+        pv = row[var]
+        full[var] = -total * pv if abs(pv) == 1 else -total / pv
+        if type(full[var]) is int:
+            full[var] = Fraction(full[var])
+    value = result.value
+    if objective is not None:
+        value = sum((as_fraction(o) * x for o, x in zip(objective, full)),
+                    Fraction(0))
+    return LPResult(LPStatus.OPTIMAL, value, tuple(full))
+
+
+# -- exact Fraction pipeline -------------------------------------------------
 
 
 def _presolved_lp(eqs, ineqs, nvars, objective, maximize) -> LPResult:
@@ -87,34 +249,18 @@ def _presolved_lp(eqs, ineqs, nvars, objective, maximize) -> LPResult:
         red_obj = None
     else:
         # Rewrite the objective over the kept variables by substituting the
-        # eliminated ones; track the constant offset.
+        # eliminated ones.
         obj_row = [as_fraction(v) for v in objective] + [Fraction(0)]
         for var, row in elim:
             obj_row = _substitute(obj_row, var, row)
         red_obj = [obj_row[j] for j in keep]
-        obj_const = obj_row[-1]
 
     result = _raw_lp([_project_row(r, keep) for r in reduced_eqs],
                      [_project_row(r, keep) for r in reduced_ineqs],
-                     len(keep), red_obj, maximize)
+                     len(keep), red_obj, maximize, int_mode=False)
     if result.status is not LPStatus.OPTIMAL:
         return result
-
-    # Reconstruct the full point by back-substitution.
-    full = [Fraction(0)] * nvars
-    for j, v in zip(keep, result.point):
-        full[j] = v
-    for var, row in reversed(elim):
-        # row: var appears with coefficient +-1; row . x + c = 0.
-        total = row[-1]
-        for k, c in enumerate(row[:-1]):
-            if k != var and c:
-                total += c * full[k]
-        full[var] = -total / row[var]
-    value = result.value
-    if objective is not None:
-        value = sum((as_fraction(o) * x for o, x in zip(objective, full)), Fraction(0))
-    return LPResult(LPStatus.OPTIMAL, value, tuple(full))
+    return _reconstruct(result, nvars, keep, elim, objective)
 
 
 def _substitute(row: list[Fraction], var: int, pivot: list[Fraction]) -> list[Fraction]:
@@ -170,29 +316,39 @@ def _presolve(eqs, ineqs, nvars):
     return kept_eqs, kept_ineqs, keep, elim, True
 
 
-def _project_row(row: list[Fraction], keep: list[int]) -> list[Fraction]:
+def _project_row(row, keep: list[int]):
     return [row[j] for j in keep] + [row[-1]]
 
 
-def _raw_lp(eqs: Sequence[Sequence[Rational]],
-            ineqs: Sequence[Sequence[Rational]],
-            nvars: int,
-            objective: Sequence[Rational] | None = None,
-            maximize: bool = False) -> LPResult:
-    """The unpresolved exact simplex (standard-form construction)."""
+# -- shared tableau core -----------------------------------------------------
+
+
+def _raw_lp(eqs, ineqs, nvars,
+            objective=None, maximize: bool = False,
+            int_mode: bool = False) -> LPResult:
+    """The unpresolved exact simplex (standard-form construction).
+
+    ``int_mode`` marks inputs known to be machine integers, in which case
+    the standard form is built without any Fraction.
+    """
+    zero = 0 if int_mode else Fraction(0)
 
     # Standard form: columns are u_0..u_{n-1}, v_0..v_{n-1}, slacks.
     # Each constraint a.x + c (>=|=) 0 becomes a.u - a.v - s = -c  (s >= 0, ineq)
     # or a.u - a.v = -c (eq).  We then make every RHS nonnegative.
     ncols = 2 * nvars + len(ineqs)
-    rows: list[list[Fraction]] = []
-    rhs: list[Fraction] = []
+    rows: list[list] = []
+    rhs: list = []
     for k, row in enumerate(list(eqs) + list(ineqs)):
-        coeffs = [as_fraction(v) for v in row[:nvars]]
-        const = as_fraction(row[nvars])
-        body = coeffs + [-c for c in coeffs] + [Fraction(0)] * len(ineqs)
+        if int_mode:
+            coeffs = list(row[:nvars])
+            const = row[nvars]
+        else:
+            coeffs = [as_fraction(v) for v in row[:nvars]]
+            const = as_fraction(row[nvars])
+        body = coeffs + [-c for c in coeffs] + [zero] * len(ineqs)
         if k >= len(eqs):  # inequality: subtract slack
-            body[2 * nvars + (k - len(eqs))] = Fraction(-1)
+            body[2 * nvars + (k - len(eqs))] = -1 if int_mode else Fraction(-1)
         b = -const
         if b < 0:
             body = [-v for v in body]
@@ -208,13 +364,13 @@ def _raw_lp(eqs: Sequence[Sequence[Rational]],
         point = _extract_point(tableau, basis, nvars, ncols)
         return LPResult(LPStatus.OPTIMAL, Fraction(0), point)
 
-    obj = [as_fraction(v) for v in objective]
+    obj = list(objective) if int_mode else [as_fraction(v) for v in objective]
     if len(obj) != nvars:
         raise ValueError("objective length mismatch")
     if maximize:
         obj = [-v for v in obj]
     # cost vector over u, v, slacks: c.u - c.v
-    cost = obj + [-v for v in obj] + [Fraction(0)] * (ncols - 2 * nvars)
+    cost = obj + [-v for v in obj] + [zero] * (ncols - 2 * nvars)
     if not tableau:
         # No constraints at all: feasible, and any nonzero objective is unbounded.
         if any(v != 0 for v in obj):
@@ -231,26 +387,58 @@ def _raw_lp(eqs: Sequence[Sequence[Rational]],
 # -- internals --------------------------------------------------------------
 
 
-# The tableau is kept in integer form: each row is a list of ints whose true
-# value is nums / den with den > 0 (the last entry is the RHS).  One gcd pass
-# per updated row replaces per-element Fraction normalization, which is where
-# the naive implementation spent nearly all of its time.
+# The tableau is kept in integer form: each row has integer coefficients
+# whose true value is nums / den with den > 0 (the last entry is the RHS).
+# One gcd pass per updated row replaces per-element Fraction normalization,
+# which is where the naive implementation spent nearly all of its time.
+#
+# `nums` is either a Python list of exact big ints, or (fast path) an int64
+# ndarray with a cached max-magnitude used to prove every vectorized update
+# stays below 2**63 before it runs.
 
-from math import gcd as _gcd_int
 
-
-def _to_int_row(fracs: list[Fraction]) -> tuple[list[int], int]:
+def _to_int_row(fracs: list) -> tuple[list[int], int]:
+    if _all_int_rows([fracs]):
+        return list(fracs), 1
     den = 1
     for f in fracs:
         den = den * f.denominator // _gcd_int(den, f.denominator)
     return [int(f * den) for f in fracs], den
 
 
-def _reduce_row(nums: list[int], den: int) -> tuple[list[int], int]:
+class _IRow:
+    __slots__ = ("nums", "den", "amax")
+
+    def __init__(self, nums, den: int = 1, amax: int | None = None):
+        # nums: list[int] (exact) or np.ndarray[int64] with amax = max(|v|).
+        self.nums = nums
+        self.den = den
+        self.amax = amax
+
+    def get(self, j: int) -> int:
+        v = self.nums[j]
+        return v if type(v) is int else int(v)
+
+    def value(self, j: int) -> Fraction:
+        return Fraction(self.get(j), self.den)
+
+
+def _mk_irow(nums: list[int], den: int = 1) -> _IRow:
+    """Build a row, choosing the vectorized representation when safe."""
+    nums, den = _reduce_list(nums, den)
+    if _NUMPY_ENABLED and len(nums) >= _NP_MIN_LEN:
+        amax = max(map(abs, nums), default=0)
+        if amax < _NP_SAFE:
+            KERNEL_STATS["numpy_rows"] += 1
+            return _IRow(np.array(nums, dtype=np.int64), den, amax)
+    return _IRow(nums, den)
+
+
+def _reduce_list(nums: list[int], den: int) -> tuple[list[int], int]:
     g = den
     for v in nums:
         if v:
-            g = _gcd_int(g, abs(v))
+            g = _gcd_int(g, v)
             if g == 1:
                 return nums, den
     if g > 1:
@@ -259,18 +447,51 @@ def _reduce_row(nums: list[int], den: int) -> tuple[list[int], int]:
     return nums, den
 
 
-class _IRow:
-    __slots__ = ("nums", "den")
+def _reduce_irow(row: _IRow) -> _IRow:
+    if row.amax is None:
+        nums, den = _reduce_list(row.nums, row.den)
+        return _IRow(nums, den)
+    g = _gcd_int(int(np.gcd.reduce(np.absolute(row.nums))), row.den)
+    if g > 1:
+        # Exact: every element (and den) is divisible by g, so floor
+        # division equals true division and amax scales exactly.
+        return _IRow(row.nums // g, row.den // g, row.amax // g)
+    return row
 
-    def __init__(self, nums: list[int], den: int = 1):
-        self.nums = nums
-        self.den = den
 
-    def value(self, j: int) -> Fraction:
-        return Fraction(self.nums[j], self.den)
+def _axpy(ca: int, a: _IRow, cb: int, b: _IRow, den: int) -> _IRow:
+    """New row with nums = ca*a.nums - cb*b.nums (then gcd-reduced).
+
+    Runs vectorized when both operands are int64 rows and the exact bound
+    ``|ca|*max|a| + |cb|*max|b| < 2**63`` proves the result cannot overflow;
+    otherwise computes with Python big ints (exact at any magnitude).
+    """
+    if (a.amax is not None and b.amax is not None
+            and abs(ca) * a.amax + abs(cb) * b.amax < (1 << 63)):
+        nums = ca * a.nums - cb * b.nums
+        amax = int(np.absolute(nums).max()) if nums.size else 0
+        return _reduce_irow(_IRow(nums, den, amax))
+    an = a.nums if a.amax is None else a.nums.tolist()
+    bn = b.nums if b.amax is None else b.nums.tolist()
+    if a.amax is not None or b.amax is not None:
+        KERNEL_STATS["overflow_fallbacks"] += 1
+    nums, den = _reduce_list([ca * x - cb * y for x, y in zip(an, bn)], den)
+    return _IRow(nums, den)
 
 
-def _phase_one(rows: list[list[Fraction]], rhs: list[Fraction], ncols: int):
+def _first_index(row: _IRow, ncols: int, negative: bool) -> int | None:
+    """Smallest j < ncols with nums[j] < 0 (negative) or != 0."""
+    nums = row.nums
+    if row.amax is None:
+        if negative:
+            return next((j for j in range(ncols) if nums[j] < 0), None)
+        return next((j for j in range(ncols) if nums[j] != 0), None)
+    head = nums[:ncols]
+    idx = np.flatnonzero(head < 0 if negative else head != 0)
+    return int(idx[0]) if idx.size else None
+
+
+def _phase_one(rows: list[list], rhs: list, ncols: int):
     """Find a basic feasible solution using artificial variables.
 
     Returns (tableau, basis) or (None, None) if infeasible.  The tableau is a
@@ -281,10 +502,10 @@ def _phase_one(rows: list[list[Fraction]], rhs: list[Fraction], ncols: int):
     total = ncols + m  # + artificials
     tableau: list[_IRow] = []
     for i in range(m):
-        nums, den = _to_int_row(rows[i] + [Fraction(0)] * m + [rhs[i]])
+        nums, den = _to_int_row(rows[i] + [0] * m + [rhs[i]])
         art = den  # coefficient 1 for this row's artificial, scaled by den
         nums[ncols + i] = art
-        tableau.append(_IRow(nums, den))
+        tableau.append(_mk_irow(nums, den))
     basis = [ncols + i for i in range(m)]
 
     # Phase-1 objective: minimize sum of artificials.
@@ -294,13 +515,13 @@ def _phase_one(rows: list[list[Fraction]], rhs: list[Fraction], ncols: int):
     zrow = _reduced_cost_row(tableau, basis, cost, total)
     _simplex_iterate(tableau, basis, zrow, total)
 
-    if zrow.nums[total] != 0:  # optimum of phase-1 > 0 => infeasible
+    if zrow.get(total) != 0:  # optimum of phase-1 > 0 => infeasible
         return None, None
 
     # Drive remaining artificials out of the basis (degenerate rows).
     for i in range(m):
         if basis[i] >= ncols:
-            pivot_col = next((j for j in range(ncols) if tableau[i].nums[j] != 0), None)
+            pivot_col = _first_index(tableau[i], ncols, negative=False)
             if pivot_col is None:
                 continue  # redundant row; harmless to keep
             _pivot(tableau, basis, i, pivot_col, total)
@@ -309,19 +530,23 @@ def _phase_one(rows: list[list[Fraction]], rhs: list[Fraction], ncols: int):
     stripped: list[_IRow] = []
     new_basis: list[int] = []
     for i in range(m):
-        nums = tableau[i].nums[:ncols] + [tableau[i].nums[total]]
-        if basis[i] < ncols or any(nums[:ncols]):
-            n2, d2 = _reduce_row(nums, tableau[i].den)
-            stripped.append(_IRow(n2, d2))
+        r = tableau[i]
+        if r.amax is None:
+            nums = r.nums[:ncols] + [r.nums[total]]
+            keep = basis[i] < ncols or any(nums[:ncols])
+        else:
+            nums = np.append(r.nums[:ncols], r.nums[total]).tolist()
+            keep = basis[i] < ncols or any(nums[:ncols])
+        if keep:
+            stripped.append(_mk_irow(nums, r.den))
             new_basis.append(basis[i])
     return stripped, new_basis
 
 
-def _phase_two(tableau: list[_IRow], basis: list[int],
-               cost: list[Fraction]) -> LPStatus:
+def _phase_two(tableau: list[_IRow], basis: list[int], cost: list) -> LPStatus:
     ncols = len(tableau[0].nums) - 1
     # Integerize the cost vector.
-    cnums, _cden = _to_int_row([as_fraction(c) for c in cost])
+    cnums, _cden = _to_int_row(list(cost))
     zrow = _reduced_cost_row(tableau, basis, cnums, ncols)
     return _simplex_iterate(tableau, basis, zrow, ncols)
 
@@ -329,20 +554,15 @@ def _phase_two(tableau: list[_IRow], basis: list[int],
 def _reduced_cost_row(tableau: list[_IRow], basis: list[int],
                       cost: list[int], ncols: int) -> _IRow:
     """z-row: reduced costs (cost - c_B . B^-1 A) and objective value."""
-    znums = list(cost[:ncols]) + [0]
-    zden = 1
+    zrow = _mk_irow(list(cost[:ncols]) + [0], 1)
     for i, b in enumerate(basis):
         cb = cost[b] if b < len(cost) else 0
         if cb == 0:
             continue
         row = tableau[i]
-        # z' = z - cb * row  (common denominator zden * row.den)
-        new_den = zden * row.den
-        znums = [zn * row.den - cb * rn * zden
-                 for zn, rn in zip(znums, row.nums)]
-        zden = new_den
-        znums, zden = _reduce_row(znums, zden)
-    return _IRow(znums, zden)
+        # z' = z * row.den - (cb * zden) * row  over denominator zden*row.den
+        zrow = _axpy(row.den, zrow, cb * zrow.den, row, zrow.den * row.den)
+    return zrow
 
 
 def _simplex_iterate(tableau: list[_IRow], basis: list[int], zrow: _IRow,
@@ -350,8 +570,7 @@ def _simplex_iterate(tableau: list[_IRow], basis: list[int], zrow: _IRow,
     """Run simplex (min) with Bland's rule; mutates tableau/basis/zrow."""
     m = len(tableau)
     while True:
-        znums = zrow.nums
-        enter = next((j for j in range(ncols) if znums[j] < 0), None)
+        enter = _first_index(zrow, ncols, negative=True)
         if enter is None:
             return LPStatus.OPTIMAL
         # Ratio test rhs/a, a > 0 (Bland: smallest basis index on ties).
@@ -360,9 +579,9 @@ def _simplex_iterate(tableau: list[_IRow], basis: list[int], zrow: _IRow,
         leave = None
         best_num = best_den = None  # ratio = best_num / best_den, both >= 0
         for i in range(m):
-            a = tableau[i].nums[enter]
+            a = tableau[i].get(enter)
             if a > 0:
-                num, den = tableau[i].nums[-1], a
+                num, den = tableau[i].get(-1), a
                 if leave is None:
                     better = True
                 else:
@@ -377,36 +596,36 @@ def _simplex_iterate(tableau: list[_IRow], basis: list[int], zrow: _IRow,
         _pivot(tableau, basis, leave, enter, ncols, zrow)
 
 
+def _negate_irow(row: _IRow, den: int) -> _IRow:
+    if row.amax is None:
+        return _IRow([-v for v in row.nums], den)
+    return _IRow(-row.nums, den, row.amax)
+
+
 def _pivot(tableau: list[_IRow], basis: list[int], row: int, col: int,
            ncols: int, zrow: _IRow | None = None) -> None:
     prow = tableau[row]
-    p = prow.nums[col]
+    p = prow.get(col)
     # New pivot row = old / (p / den) = nums / p  (sign-fix so den > 0).
     if p > 0:
-        new_nums, new_den = list(prow.nums), p
+        pivot_row = _reduce_irow(_IRow(prow.nums, p, prow.amax))
     else:
-        new_nums, new_den = [-v for v in prow.nums], -p
-    new_nums, new_den = _reduce_row(new_nums, new_den)
-    pivot_row = _IRow(new_nums, new_den)
+        pivot_row = _reduce_irow(_negate_irow(prow, -p))
     tableau[row] = pivot_row
 
-    prn = pivot_row.nums
     prd = pivot_row.den
     for i in range(len(tableau)):
         if i == row:
             continue
         r = tableau[i]
-        f = r.nums[col]
+        f = r.get(col)
         if f == 0:
             continue
-        nums = [a * prd - f * b for a, b in zip(r.nums, prn)]
-        nums, den = _reduce_row(nums, r.den * prd)
-        tableau[i] = _IRow(nums, den)
-    if zrow is not None and zrow.nums[col] != 0:
-        f = zrow.nums[col]
-        nums = [a * prd - f * b for a, b in zip(zrow.nums, prn)]
-        nums, den = _reduce_row(nums, zrow.den * prd)
-        zrow.nums, zrow.den = nums, den
+        tableau[i] = _axpy(prd, r, f, pivot_row, r.den * prd)
+    if zrow is not None and zrow.get(col) != 0:
+        f = zrow.get(col)
+        updated = _axpy(prd, zrow, f, pivot_row, zrow.den * prd)
+        zrow.nums, zrow.den, zrow.amax = updated.nums, updated.den, updated.amax
     basis[row] = col
 
 
@@ -417,5 +636,5 @@ def _extract_point(tableau: list[_IRow], basis: list[int], nvars: int,
         return tuple(Fraction(0) for _ in range(nvars))
     for i, b in enumerate(basis):
         if b < ncols:
-            values[b] = Fraction(tableau[i].nums[-1], tableau[i].den)
+            values[b] = Fraction(tableau[i].get(-1), tableau[i].den)
     return tuple(values[i] - values[nvars + i] for i in range(nvars))

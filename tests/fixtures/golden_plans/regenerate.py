@@ -1,0 +1,133 @@
+"""Regenerate the golden-plan regression corpus.
+
+Each case in :data:`CASES` is optimized **exhaustively** (no pruning, no
+workers) and the full result — every plan's realized labels, I/O seconds and
+memory footprint, plus the best plan and the search counters — is written to
+``<case>.json`` next to this script.  ``tests/optimizer/test_golden_plans.py``
+replays the cases (pruned and exhaustive) and compares against these files
+field-for-field, so any change to analysis, legality testing, costing or
+search ordering that shifts a plan or a cost shows up as a diff here, not as
+a silent behavior change.
+
+Regenerate (only after deliberately changing optimizer behavior, and say so
+in the commit message)::
+
+    PYTHONPATH=src:. python tests/fixtures/golden_plans/regenerate.py
+
+The diff of the JSON files is the reviewable artifact: a regeneration that
+changes ``best`` or any plan cost needs a justification; one that only adds
+cases should leave existing files untouched.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+# name -> (program factory, params, optimize() knobs).  Params are scaled
+# down from the paper's so every case optimizes in seconds; the block-count
+# geometry (what the optimizer reasons about) keeps the paper's shape.
+# ``block_bytes="paper"`` resolves to the workload's paper_block_bytes.
+CASES: dict[str, dict] = {
+    "example1": dict(
+        workload="example1",
+        params={"n1": 3, "n2": 2, "n3": 1},
+        knobs={},
+    ),
+    "add_multiply": dict(
+        workload="add_multiply",
+        params={"n1": 4, "n2": 3, "n3": 1},
+        knobs={"block_bytes": "paper"},
+    ),
+    "two_matmul_A": dict(
+        workload="two_matmul_A",
+        params={"n1": 3, "n2": 3, "n3": 3, "n4": 3},
+        knobs={"block_bytes": "paper", "max_set_size": 3},
+    ),
+    "two_matmul_B": dict(
+        workload="two_matmul_B",
+        params={"n1": 4, "n2": 2, "n3": 3, "n4": 2},
+        knobs={"block_bytes": "paper", "max_set_size": 3},
+    ),
+    "linreg": dict(
+        workload="linreg",
+        params={"n": 4},
+        knobs={"block_bytes": "paper", "max_set_size": 2,
+               "max_candidates": 60},
+    ),
+}
+
+
+def build_case(name: str):
+    """Resolve a case to ``(program, params, knobs)`` with concrete knobs."""
+    case = CASES[name]
+    workload = case["workload"]
+    if workload == "example1":
+        from tests.fixtures import example1_program
+        program = example1_program()
+        block_bytes = None
+    else:
+        from repro.workloads import (add_multiply_config, linreg_config,
+                                     two_matmul_config)
+        cfg = {
+            "add_multiply": lambda: add_multiply_config(),
+            "two_matmul_A": lambda: two_matmul_config("A"),
+            "two_matmul_B": lambda: two_matmul_config("B"),
+            "linreg": lambda: linreg_config(),
+        }[workload]()
+        program = cfg.program
+        block_bytes = cfg.paper_block_bytes
+    knobs = dict(case["knobs"])
+    if knobs.get("block_bytes") == "paper":
+        knobs["block_bytes"] = block_bytes
+    return program, dict(case["params"]), knobs
+
+
+def plan_record(plan) -> dict:
+    return {
+        "labels": sorted(plan.realized_labels),
+        "io_seconds": plan.cost.io_seconds,
+        "read_bytes": plan.cost.read_bytes,
+        "write_bytes": plan.cost.write_bytes,
+        "memory_bytes": plan.cost.memory_bytes,
+    }
+
+
+def regenerate(name: str) -> dict:
+    from repro import optimize
+
+    program, params, knobs = build_case(name)
+    result = optimize(program, params, **knobs)
+    best = result.best()
+    record = {
+        "case": name,
+        "workload": CASES[name]["workload"],
+        "params": params,
+        "knobs": {k: v for k, v in CASES[name]["knobs"].items()},
+        "stats": {
+            "candidates_tested": result.stats.candidates_tested,
+            "feasible": result.stats.feasible,
+        },
+        "n_plans": len(result.plans),
+        "best": plan_record(best),
+        "plans": [plan_record(p) for p in result.plans],
+    }
+    return record
+
+
+def main(argv: list[str]) -> int:
+    names = argv or sorted(CASES)
+    for name in names:
+        record = regenerate(name)
+        path = HERE / f"{name}.json"
+        path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+        print(f"{name}: {record['n_plans']} plans, "
+              f"best io={record['best']['io_seconds']} -> {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,114 @@
+"""Differential testing of the search execution layers.
+
+Random static-control programs (the same generator the analysis fuzzers
+use) are optimized three ways — exhaustive sequential, bound-pruned
+sequential, and bound-pruned over a 2-worker process pool — and the chosen
+plan and its cost must agree bit-for-bit.  A second property checks the
+pruning's soundness directly: the static I/O lower bound recorded for a
+candidate set never exceeds the true cost of any plan realizing it, and the
+global bound never exceeds the true optimum.
+"""
+
+import pytest
+
+from repro import optimize
+from repro.optimizer.costing import (elidable_write_bytes, io_lower_bound,
+                                     opportunity_savings_seconds_bound)
+from repro.workloads.generator import random_program
+
+PARAMS = {"n": 3}
+SEEDS = list(range(10))
+# A couple of seeds produce single-statement-family programs with no
+# feasible sharing at all; they still must agree (on the original plan).
+
+
+def best_fingerprint(result):
+    b = result.best()
+    return (sorted(b.realized_labels), b.cost.io_seconds, b.cost.read_bytes,
+            b.cost.write_bytes, b.cost.memory_bytes)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pruned_equals_exhaustive(seed):
+    program = random_program(seed, n_statements=3)
+    exhaustive = optimize(program, PARAMS)
+    pruned = optimize(program, PARAMS, prune=True)
+
+    assert best_fingerprint(pruned) == best_fingerprint(exhaustive)
+    # Pruning skips costing only — the feasibility lattice is identical.
+    assert pruned.stats.feasible == exhaustive.stats.feasible
+    assert pruned.stats.candidates_tested <= exhaustive.stats.candidates_tested
+    # Every pruned plan is an exhaustive plan with an identical cost.
+    exhaustive_keys = {
+        (tuple(sorted(p.realized_labels)), p.cost.io_seconds,
+         p.cost.memory_bytes) for p in exhaustive.plans}
+    for p in pruned.plans:
+        key = (tuple(sorted(p.realized_labels)), p.cost.io_seconds,
+               p.cost.memory_bytes)
+        assert key in exhaustive_keys
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_parallel_pruned_equals_exhaustive(seed):
+    program = random_program(seed, n_statements=3)
+    exhaustive = optimize(program, PARAMS)
+    parallel = optimize(program, PARAMS, prune=True, workers=2)
+
+    assert best_fingerprint(parallel) == best_fingerprint(exhaustive)
+    assert parallel.stats.feasible == exhaustive.stats.feasible
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_lower_bounds_never_exceed_true_costs(seed):
+    """Soundness of the pruning bounds, checked against ground truth.
+
+    For every plan the exhaustive search costed, the static lower bound of
+    its realized set must not exceed its true I/O time — in particular the
+    recorded global bound (all usable opportunities) never exceeds the true
+    optimum, so a bound-triggered early exit can never hide a better plan.
+    """
+    program = random_program(seed, n_statements=3)
+    result = optimize(program, PARAMS)
+    p0 = result.original_plan
+    base_reads = p0.cost.baseline_read_bytes
+    base_writes = p0.cost.baseline_write_bytes
+    model = result.io_model
+    savings_ub = {
+        o.index: opportunity_savings_seconds_bound(o, PARAMS, model)
+        for o in result.analysis.opportunities if o.reduced}
+    elidable = elidable_write_bytes(program, PARAMS)
+
+    for plan in result.plans:
+        lb = io_lower_bound(
+            base_reads, base_writes,
+            sum(savings_ub[o.index] for o in plan.realized),
+            elidable, model)
+        assert plan.cost.io_seconds >= lb - 1e-9, (
+            f"seed {seed}: plan {plan.index} costs {plan.cost.io_seconds} "
+            f"below its static lower bound {lb}")
+
+    global_lb = io_lower_bound(base_reads, base_writes,
+                               sum(savings_ub.values()), elidable, model)
+    assert result.best().cost.io_seconds >= global_lb - 1e-9
+
+    # The pruned run records exactly this global bound in its stats.
+    pruned = optimize(program, PARAMS, prune=True)
+    assert pruned.stats.io_lower_bound == pytest.approx(global_lb)
+
+
+def test_pruned_respects_memory_cap():
+    """The incumbent is the best *fitting* plan: with a cap, pruned and
+    exhaustive still choose the same plan for that cap."""
+    program = random_program(9, n_statements=3)
+    exhaustive = optimize(program, PARAMS)
+    # A cap between min and max memory forces the incumbent logic to skip
+    # over cheaper-but-too-big plans.
+    sizes = sorted({p.cost.memory_bytes for p in exhaustive.plans})
+    if len(sizes) < 2:
+        pytest.skip("program has a single memory footprint")
+    cap = sizes[len(sizes) // 2]
+    pruned = optimize(program, PARAMS, prune=True, memory_cap_bytes=cap)
+    assert (pruned.best(cap).realized_labels ==
+            exhaustive.best(cap).realized_labels)
+    assert (pruned.best(cap).cost.io_seconds ==
+            exhaustive.best(cap).cost.io_seconds)

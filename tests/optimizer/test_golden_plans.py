@@ -1,0 +1,96 @@
+"""Golden-plan regression corpus (tests/fixtures/golden_plans/).
+
+Each JSON fixture pins an exhaustive optimization of one workload at small
+parameter sizes: every plan's realized labels and costs, the best plan, and
+the search counters.  The tests replay the same cases and compare
+field-for-field, so *any* behavior change in analysis, legality testing,
+costing or search order — intended or not — fails here first.
+
+To regenerate after a deliberate change::
+
+    PYTHONPATH=src:. python tests/fixtures/golden_plans/regenerate.py
+
+and justify the fixture diff in the commit message.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro import optimize
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "golden_plans"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_regenerate", GOLDEN_DIR / "regenerate.py")
+_regen = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_regen)
+
+# Heavier cases ride the nightly lane; the fast trio keeps every push
+# covered by at least one workload per program family.
+CASE_PARAMS = [
+    pytest.param("example1"),
+    pytest.param("add_multiply"),
+    pytest.param("two_matmul_B"),
+    pytest.param("two_matmul_A", marks=pytest.mark.slow),
+    pytest.param("linreg", marks=pytest.mark.slow),
+]
+
+
+def load_golden(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+
+
+def plan_key(record: dict) -> tuple:
+    return (tuple(record["labels"]), record["io_seconds"],
+            record["read_bytes"], record["write_bytes"],
+            record["memory_bytes"])
+
+
+def live_key(plan) -> tuple:
+    return plan_key(_regen.plan_record(plan))
+
+
+@pytest.mark.parametrize("name", CASE_PARAMS)
+def test_pruned_search_matches_golden(name):
+    """The default regression check: a bound-pruned replay must choose the
+    golden best plan bit-for-bit, and every plan it does cost must appear in
+    the golden (exhaustive) plan list with identical cost."""
+    golden = load_golden(name)
+    program, params, knobs = _regen.build_case(name)
+    result = optimize(program, params, prune=True, **knobs)
+
+    assert live_key(result.best()) == plan_key(golden["best"])
+    golden_plans = {plan_key(p) for p in golden["plans"]}
+    for plan in result.plans:
+        assert live_key(plan) in golden_plans, (
+            f"{name}: pruned search produced a plan the exhaustive golden "
+            f"run never saw: {plan.summary()}")
+    # Pruning skips costing, never legality: identical lattice coverage.
+    assert result.stats.feasible == golden["stats"]["feasible"]
+    assert result.stats.candidates_tested <= golden["stats"]["candidates_tested"]
+
+
+@pytest.mark.parametrize("name", [p for p in CASE_PARAMS
+                                  if p.values[0] in ("example1", "add_multiply")])
+def test_exhaustive_search_matches_golden(name):
+    """Full-list lock on the fast cases: the exhaustive plan list must match
+    the fixture plan-for-plan, in order."""
+    golden = load_golden(name)
+    program, params, knobs = _regen.build_case(name)
+    result = optimize(program, params, **knobs)
+
+    assert len(result.plans) == golden["n_plans"]
+    for plan, expected in zip(result.plans, golden["plans"]):
+        assert live_key(plan) == plan_key(expected)
+    assert live_key(result.best()) == plan_key(golden["best"])
+    assert result.stats.candidates_tested == golden["stats"]["candidates_tested"]
+    assert result.stats.feasible == golden["stats"]["feasible"]
+
+
+def test_corpus_is_complete():
+    """Every registered case has a fixture and vice versa."""
+    on_disk = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk == set(_regen.CASES)

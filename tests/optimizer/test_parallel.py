@@ -103,8 +103,10 @@ class TestConstraintCacheMerge:
             ours, theirs = merged._cache[key], seq._cache[key]
             if theirs is None:
                 assert ours is None
-            else:
+            elif hasattr(theirs, "eqs"):  # polyhedron entry
                 assert ours.eqs == theirs.eqs and ours.ineqs == theirs.ineqs
+            else:  # witness-point entry (tuple of ints)
+                assert ours == theirs
 
     def test_merge_does_not_overwrite(self, prog, analysis):
         usable = [o for o in analysis.opportunities if o.reduced]
@@ -131,8 +133,10 @@ class TestConstraintCacheMerge:
             got = fresh.memo(key, lambda: pytest.fail("memo miss after merge"))
             if value is None:
                 assert got is None
-            else:
+            elif hasattr(value, "eqs"):  # polyhedron entry
                 assert got.eqs == value.eqs and got.ineqs == value.ineqs
+            else:  # witness-point entry (tuple of ints)
+                assert got == value
 
     def test_delta_journal(self, prog, analysis):
         usable = [o for o in analysis.opportunities if o.reduced]

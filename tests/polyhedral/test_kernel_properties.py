@@ -1,0 +1,151 @@
+"""Property-based differential tests for the rational fast-path kernels.
+
+The simplex tableau has two arithmetic backends: vectorized numpy int64 rows
+(with an exact overflow guard) and pure Python big-int rows.  The former is
+a pure optimization — these tests generate random LPs and normalization
+inputs and require the two backends to agree bit-for-bit, including on
+inputs crafted to trip the int64 overflow guard mid-pivot.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedral import simplex
+from repro.polyhedral.matrix import (normalize_integer_row,
+                                     normalize_integer_row_exact)
+from repro.polyhedral.simplex import KERNEL_STATS, LPStatus, set_fast_path, solve_lp
+
+
+@pytest.fixture
+def fast_path_restored():
+    previous = set_fast_path(True)
+    yield
+    set_fast_path(previous)
+
+
+def solve_both_ways(eqs, ineqs, nvars, objective, maximize=False):
+    set_fast_path(True)
+    fast = solve_lp(eqs, ineqs, nvars, objective, maximize=maximize)
+    set_fast_path(False)
+    slow = solve_lp(eqs, ineqs, nvars, objective, maximize=maximize)
+    set_fast_path(True)
+    return fast, slow
+
+
+def assert_identical(fast, slow):
+    assert fast.status is slow.status
+    assert fast.value == slow.value
+    assert fast.point == slow.point
+
+
+coeff = st.integers(min_value=-9, max_value=9)
+
+
+@st.composite
+def random_lp(draw):
+    nvars = draw(st.integers(min_value=1, max_value=4))
+    row = st.lists(coeff, min_size=nvars + 1, max_size=nvars + 1)
+    eqs = draw(st.lists(row, min_size=0, max_size=2))
+    ineqs = draw(st.lists(row, min_size=0, max_size=4))
+    objective = draw(st.one_of(
+        st.none(), st.lists(coeff, min_size=nvars, max_size=nvars)))
+    maximize = draw(st.booleans())
+    return eqs, ineqs, nvars, objective, maximize
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_lp())
+def test_fast_and_exact_backends_agree(lp):
+    eqs, ineqs, nvars, objective, maximize = lp
+    fast, slow = solve_both_ways(eqs, ineqs, nvars, objective, maximize)
+    assert_identical(fast, slow)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_lp())
+def test_fractional_inputs_agree(lp):
+    """Rows with non-integer entries take the Fraction standard-form path;
+    both backends must still agree."""
+    eqs, ineqs, nvars, objective, maximize = lp
+    third = Fraction(1, 3)
+    eqs = [[v * third for v in r] for r in eqs]
+    ineqs = [[v + third for v in r] for r in ineqs]
+    fast, slow = solve_both_ways(eqs, ineqs, nvars, objective, maximize)
+    assert_identical(fast, slow)
+
+
+rational = st.fractions(
+    min_value=Fraction(-50), max_value=Fraction(50), max_denominator=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.one_of(st.integers(min_value=-10 ** 12, max_value=10 ** 12),
+                          rational),
+                min_size=1, max_size=8))
+def test_normalize_integer_row_matches_exact(row):
+    assert normalize_integer_row(row) == normalize_integer_row_exact(row)
+
+
+def test_normalize_pure_int_rows_skip_fraction_path():
+    assert normalize_integer_row([4, -6, 8]) == (2, -3, 4)
+    assert normalize_integer_row([0, 0]) == (0, 0)
+    assert normalize_integer_row((3,)) == (1,)
+    # Mixed input routes through the exact path with the same result.
+    assert normalize_integer_row([Fraction(4), -6]) == (2, -3)
+
+
+def make_wide_lp(magnitude, nvars=8, seed=7):
+    """A bounded maximization LP wide enough for numpy rows (>= 12 tableau
+    columns) with coefficients of the requested magnitude: every variable
+    gets an upper bound, plus dense rows that keep the origin feasible."""
+    rng = random.Random(seed)
+    ineqs = []
+    for i in range(nvars):
+        row = [0] * (nvars + 1)
+        row[i] = -1
+        row[-1] = rng.randrange(1, magnitude + 1)  # x_i <= bound
+        ineqs.append(row)
+    for _ in range(4):
+        row = [rng.randrange(-magnitude, magnitude) for _ in range(nvars)]
+        row.append(abs(rng.randrange(magnitude)) + magnitude)
+        ineqs.append(row)
+    objective = [rng.randrange(1, magnitude) for _ in range(nvars)]
+    return [], ineqs, nvars, objective
+
+
+def test_fast_path_engages_on_wide_problems(fast_path_restored):
+    eqs, ineqs, nvars, objective = make_wide_lp(9)
+    before = KERNEL_STATS["numpy_rows"]
+    set_fast_path(True)
+    result = solve_lp(eqs, ineqs, nvars, objective, maximize=True)
+    assert result.status is LPStatus.OPTIMAL
+    assert KERNEL_STATS["numpy_rows"] > before
+
+
+def test_overflow_falls_back_to_exact_arithmetic(fast_path_restored):
+    """Coefficients near the int64 guard force mid-pivot products past
+    2**63: the kernel must detect it, fall back to big-int rows, and still
+    produce the exact backend's answer."""
+    eqs, ineqs, nvars, objective = make_wide_lp(1 << 40)
+    before = KERNEL_STATS["overflow_fallbacks"]
+    fast, slow = solve_both_ways(eqs, ineqs, nvars, objective, maximize=True)
+    assert KERNEL_STATS["overflow_fallbacks"] > before, (
+        "expected at least one int64-overflow fallback on 2**40-magnitude "
+        "coefficients")
+    assert_identical(fast, slow)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_overflow_boundary_magnitudes_agree(seed):
+    """Randomized magnitudes straddling the guard: results must never
+    depend on which side of the overflow bound the arithmetic landed."""
+    rng = random.Random(seed)
+    magnitude = 1 << rng.randrange(30, 50)
+    eqs, ineqs, nvars, objective = make_wide_lp(magnitude, seed=seed)
+    fast, slow = solve_both_ways(eqs, ineqs, nvars, objective, maximize=True)
+    assert_identical(fast, slow)
