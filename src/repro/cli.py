@@ -93,6 +93,10 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--tolerance", type=float, default=0.0,
                       help="relative byte tolerance for --validate-cost "
                            "(default 0 = byte-exact)")
+    demo.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
+                      help="overlap I/O with compute: stage up to DEPTH "
+                           "upcoming READ blocks on background reader "
+                           "threads (0 = serial)")
 
     serve = sub.add_parser("serve")
     serve.add_argument("jobs", help="JSONL job file: one job object per line "
@@ -119,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the metrics registry (Prometheus text "
                             "exposition) to FILE after the batch")
+    serve.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
+                       help="default per-job prefetch depth; each job's "
+                            "staging budget (DEPTH x its largest block) is "
+                            "charged to admission control")
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -212,7 +220,8 @@ def _demo(args) -> int:
         validate = args.tolerance if args.validate_cost and args.tolerance \
             else args.validate_cost
         kwargs = dict(faults=args.faults, checkpoint=bool(args.workdir),
-                      resume=args.resume, validate=validate)
+                      resume=args.resume, validate=validate,
+                      prefetch_depth=args.prefetch)
         if args.workdir:
             report, outputs = run_program(program, params, best, args.workdir,
                                           inputs, **kwargs)
@@ -237,6 +246,12 @@ def _demo(args) -> int:
     if report.resumed_from:
         print(f"resumed from instance {report.resumed_from}: "
               f"{report.instances} instances re-executed")
+    if report.prefetch is not None:
+        pf = report.prefetch
+        print(f"prefetch (depth {args.prefetch}): {pf.staged_blocks} blocks "
+              f"staged ({pf.batched_runs} batched runs), "
+              f"{pf.taken_by_main} read inline, "
+              f"compute waited {pf.wait_seconds:.3f}s")
 
     if args.trace:
         chrome_path = args.trace + ".chrome.json"
@@ -304,7 +319,8 @@ def _serve(args) -> int:
         with ArrayService(workdir, memory_cap_bytes=args.memory_cap,
                           workers=args.service_workers,
                           plan_cache=args.plan_cache,
-                          admission_timeout=args.admission_timeout) as svc:
+                          admission_timeout=args.admission_timeout,
+                          prefetch_depth=args.prefetch) as svc:
             futures = []
             for spec, lineno in jobs:
                 builder = builders.get(spec["program"])

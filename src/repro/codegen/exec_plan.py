@@ -27,7 +27,7 @@ from ..optimizer.costing import PlanTrace, ScheduledEvent, trace_plan
 from ..optimizer.plan import Plan
 
 __all__ = ["IOAction", "PlannedAccess", "PlannedInstance", "ExecutablePlan",
-           "build_executable_plan"]
+           "PrefetchItem", "build_executable_plan"]
 
 
 class IOAction(enum.Enum):
@@ -77,6 +77,40 @@ class PlannedInstance:
         return f"PlannedInstance({self.stmt.name}@{self.point})"
 
 
+class PrefetchItem:
+    """One future disk READ in plan order, as seen by the prefetch pipeline.
+
+    ``seq`` is the item's position in the plan's READ sequence (dense,
+    0-based), ``instance`` the index of the owning :class:`PlannedInstance`,
+    and ``linear`` the block's column-major linear index within its array's
+    block grid — consecutive ``linear`` values on the same array form a
+    contiguous on-disk run eligible for a batched read.  ``barrier`` is the
+    instance index of the last *disk* WRITE of this block that precedes the
+    read in plan order (``-1`` if none): the pipeline must not read the
+    block from disk before that instance has completed, or it would stage
+    stale bytes.
+    """
+
+    __slots__ = ("seq", "instance", "access", "barrier", "linear")
+
+    def __init__(self, seq: int, instance: int, access: PlannedAccess,
+                 barrier: int, linear: int):
+        self.seq = seq
+        self.instance = instance
+        self.access = access
+        self.barrier = barrier
+        self.linear = linear
+
+    @property
+    def block_key(self) -> tuple:
+        return self.access.block_key
+
+    def __repr__(self) -> str:
+        return (f"PrefetchItem(#{self.seq} inst={self.instance} "
+                f"{self.access.access.array.name}{self.access.block} "
+                f"lin={self.linear} barrier={self.barrier})")
+
+
 class ExecutablePlan:
     """The fully ordered, I/O-annotated plan the engine executes."""
 
@@ -90,6 +124,46 @@ class ExecutablePlan:
         self.schedule = schedule
         self.instances = instances
         self.trace = trace
+
+    def read_sequence(self, start: int = 0) -> list[PrefetchItem]:
+        """The future disk-READ sequence from instance ``start`` onward.
+
+        Walks every instance (including those before ``start``, which are
+        needed to pick up write barriers) and emits one :class:`PrefetchItem`
+        per ``READ`` access of instances ``>= start``, in plan order.  Only
+        actual disk WRITEs raise a block's barrier — ``WRITE_SKIP`` keeps
+        the block memory-resident, so a later READ of it never happens for
+        that version and any recorded barrier is conservative but harmless.
+        """
+        grids: dict[str, tuple[int, ...]] = {
+            name: arr.num_blocks(self.params)
+            for name, arr in self.program.arrays.items()
+        }
+
+        def _linear(coords: tuple[int, ...], grid: tuple[int, ...]) -> int:
+            # Column-major, matching BlockLayout.linearize: the *first*
+            # coordinate varies fastest on disk.
+            idx = 0
+            for c, g in zip(reversed(coords), reversed(grid)):
+                idx = idx * g + c
+            return idx
+
+        items: list[PrefetchItem] = []
+        last_write: dict[tuple, int] = {}
+        seq = 0
+        for index, inst in enumerate(self.instances):
+            if index >= start:
+                for pa in inst.reads:
+                    if pa.action is IOAction.READ:
+                        name = pa.access.array.name
+                        items.append(PrefetchItem(
+                            seq, index, pa,
+                            last_write.get(pa.block_key, -1),
+                            _linear(pa.block, grids[name])))
+                        seq += 1
+            if inst.write is not None and inst.write.action is IOAction.WRITE:
+                last_write[inst.write.block_key] = index
+        return items
 
     def io_summary(self) -> dict[str, int]:
         counts = {a.value: 0 for a in IOAction}

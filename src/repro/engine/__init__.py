@@ -9,6 +9,8 @@ Public surface:
 * :class:`ExecutionReport` — measured I/O, simulated seconds, CPU time;
 * :class:`ExecutionJournal` / :func:`plan_fingerprint` — the instance-level
   checkpoint log behind ``resume=True``;
+* :class:`PrefetchPipeline` / :class:`PrefetchStats` — the plan-driven
+  I/O–compute overlap behind ``prefetch_depth=N``;
 * :func:`reference_outputs` — dense in-memory oracle for verification;
 * ``KERNELS`` / :func:`register_kernel` — the block-kernel registry.
 """
@@ -16,6 +18,7 @@ Public surface:
 from .executor import ExecutionReport, execute_plan, run_program
 from .journal import ExecutionJournal, plan_fingerprint
 from .kernels import KERNELS, register_kernel, run_kernel
+from .prefetch import PrefetchPipeline, PrefetchStats
 from .reference import reference_outputs
 
 __all__ = [
@@ -24,6 +27,8 @@ __all__ = [
     "ExecutionReport",
     "ExecutionJournal",
     "plan_fingerprint",
+    "PrefetchPipeline",
+    "PrefetchStats",
     "reference_outputs",
     "KERNELS",
     "register_kernel",

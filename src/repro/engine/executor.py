@@ -43,9 +43,10 @@ from ..obs.validate import RESUME_STMT, CostValidation, validate_cost
 from ..optimizer.costing import IOModel
 from ..optimizer.plan import Plan
 from ..storage import (BufferPool, DAFMatrix, FaultInjector, IOStats, LABTree,
-                       RetryPolicy, SimulatedDisk)
+                       LockedPool, RetryPolicy, SimulatedDisk)
 from .journal import ExecutionJournal, plan_fingerprint
 from .kernels import run_kernel
+from .prefetch import PrefetchPipeline, PrefetchStats
 
 __all__ = ["ExecutionReport", "execute_plan", "run_program"]
 
@@ -57,7 +58,7 @@ class ExecutionReport:
 
     __slots__ = ("io", "simulated_io_seconds", "cpu_seconds", "wall_seconds",
                  "peak_memory_bytes", "pool_hits", "pool_misses", "instances",
-                 "resumed_from", "validation")
+                 "resumed_from", "validation", "prefetch")
 
     def __init__(self, io: IOStats, simulated_io_seconds: float,
                  cpu_seconds: float, wall_seconds: float,
@@ -76,6 +77,8 @@ class ExecutionReport:
         self.resumed_from = resumed_from
         # Filled by run_program(..., validate=...): the cost-model audit.
         self.validation: CostValidation | None = None
+        # Filled by execute_plan(..., prefetch_depth=N): pipeline counters.
+        self.prefetch: "PrefetchStats | None" = None
 
     @property
     def simulated_total_seconds(self) -> float:
@@ -164,7 +167,10 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                  plan_exact: bool = True,
                  journal: ExecutionJournal | None = None,
                  resume: bool = False,
-                 pool: BufferPool | None = None) -> ExecutionReport:
+                 pool: BufferPool | None = None,
+                 prefetch_depth: int = 0,
+                 prefetch_budget_bytes: int | None = None,
+                 prefetch_workers: int = 1) -> ExecutionReport:
     """Run an executable plan against open stores on ``disk``.
 
     ``pool`` injects an externally owned buffer pool (``memory_cap_bytes``
@@ -173,6 +179,14 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     shared :class:`~repro.storage.SharedBufferPool`: blocks another query
     loaded are hits here, and the pool-level statistics in the returned
     report then aggregate over every query sharing the pool.
+
+    ``prefetch_depth`` > 0 overlaps I/O with compute: background reader
+    threads stage up to that many upcoming READ blocks into the pool
+    (see :class:`~repro.engine.prefetch.PrefetchPipeline`), bounded by
+    ``prefetch_budget_bytes`` of staged-but-unconsumed data.  I/O
+    attribution stays byte-exact: every disk read is traced against the
+    statement×array of the access that consumes it, whether it was staged
+    ahead or read inline.
     """
     if pool is None:
         pool = BufferPool(memory_cap_bytes)
@@ -192,9 +206,11 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
         if tracer is None:
             return fn()
         field = "read_bytes" if op == "read" else "write_bytes"
-        before = getattr(io_stats, field)
+        # Per-*thread* counters: prefetch reader threads bump the shared
+        # totals concurrently, so a global before/after delta would tear.
+        before = io_stats.thread_value(field)
         out = fn()
-        delta = getattr(io_stats, field) - before
+        delta = io_stats.thread_value(field) - before
         if delta:
             tracer.instant("exec.io", "engine", stmt=stmt_name,
                            array=array_name, op=op, bytes=delta)
@@ -226,120 +242,158 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     if journal is not None:
         journal.start(resume=start_index > 0)
 
+    # Plan-driven prefetch: readers walk the future READ sequence ahead of
+    # the compute loop.  They need a thread-safe pool surface; a plain
+    # private BufferPool gets the LockedPool adapter (same pool object
+    # underneath, so stats and cap behave identically).
+    pipeline = None
+    if prefetch_depth:
+        items = plan.read_sequence(start_index)
+        if items:
+            if not getattr(pool, "thread_safe", False):
+                pool = LockedPool(pool)
+            pipeline = PrefetchPipeline(
+                items, stores, pool, depth=prefetch_depth,
+                budget_bytes=prefetch_budget_bytes,
+                workers=prefetch_workers, io_stats=io_stats, tracer=tracer,
+                completed=start_index - 1)
+
     try:
         for index in range(start_index, len(plan.instances)):
             inst = plan.instances[index]
             if tracer is not None:
                 tracer.begin("exec.instance", "engine", index=index,
                              stmt=inst.stmt.name, point=list(inst.point))
-            read_blocks: list[np.ndarray] = []
-            touched: list[tuple] = []
-            instance_pins: list[tuple] = []
-            mem_add: list[tuple] = []
-            mem_del: list[tuple] = []
-            for pa in inst.reads:
-                store = stores[pa.access.array.name]
-                key = pa.block_key
-                if pa.action is IOAction.REUSE:
-                    if plan_exact:
-                        if not pool.contains(key):
-                            raise ExecutionError(
-                                f"plan bug: REUSE of non-resident block {key} at "
-                                f"{inst.stmt.name}@{inst.point}")
-                        blk = pool.fetch(key, loader=_no_loader(key), pin=1)
-                    elif key in memory_only:
-                        # The newest version never reached disk (WRITE_SKIP):
-                        # a re-read would resurrect stale data, so eviction
-                        # here is unrecoverable data loss.
-                        if not pool.contains(key):
-                            raise ExecutionError(
-                                f"REUSE of evicted block {key} at "
-                                f"{inst.stmt.name}@{inst.point}: its newest "
-                                f"version was never written to disk "
-                                f"(WRITE_SKIP), so the data is lost")
-                        blk = pool.fetch(key, loader=_no_loader(key), pin=1)
+            # The span must close even when a kernel or storage error aborts
+            # the instance mid-body: a dangling begin corrupts the nesting
+            # of every later span in the Chrome export.
+            try:
+                read_blocks: list[np.ndarray] = []
+                touched: list[tuple] = []
+                instance_pins: list[tuple] = []
+                mem_add: list[tuple] = []
+                mem_del: list[tuple] = []
+                for pa in inst.reads:
+                    store = stores[pa.access.array.name]
+                    key = pa.block_key
+                    if pa.action is IOAction.REUSE:
+                        if plan_exact:
+                            if not pool.contains(key):
+                                raise ExecutionError(
+                                    f"plan bug: REUSE of non-resident block {key} at "
+                                    f"{inst.stmt.name}@{inst.point}")
+                            blk = pool.fetch(key, loader=_no_loader(key), pin=1)
+                        elif key in memory_only:
+                            # The newest version never reached disk (WRITE_SKIP):
+                            # a re-read would resurrect stale data, so eviction
+                            # here is unrecoverable data loss.
+                            if not pool.contains(key):
+                                raise ExecutionError(
+                                    f"REUSE of evicted block {key} at "
+                                    f"{inst.stmt.name}@{inst.point}: its newest "
+                                    f"version was never written to disk "
+                                    f"(WRITE_SKIP), so the data is lost")
+                            blk = pool.fetch(key, loader=_no_loader(key), pin=1)
+                        else:
+                            # Opportunistic LRU may legally evict a plan-retained
+                            # block under a tight cap — and a *shared* pool may
+                            # evict it between any residency check and the fetch —
+                            # so fetch with a counted re-read fallback: a resident
+                            # block is simply a hit and the loader never runs.
+                            blk = traced_io(
+                                lambda: pool.fetch(key, loader=lambda s=store,
+                                                   b=pa.block: s.read_block(b),
+                                                   pin=1),
+                                "read", inst.stmt.name, pa.access.array.name)
                     else:
-                        # Opportunistic LRU may legally evict a plan-retained
-                        # block under a tight cap — and a *shared* pool may
-                        # evict it between any residency check and the fetch —
-                        # so fetch with a counted re-read fallback: a resident
-                        # block is simply a hit and the loader never runs.
-                        blk = traced_io(
-                            lambda: pool.fetch(key, loader=lambda s=store,
-                                               b=pa.block: s.read_block(b),
-                                               pin=1),
-                            "read", inst.stmt.name, pa.access.array.name)
-                elif plan_exact:
-                    # READ is charged disk I/O even if incidentally resident:
-                    # the engine replays exactly what the optimizer costed.
-                    data = traced_io(
-                        lambda s=store, b=pa.block: s.read_block(b),
-                        "read", inst.stmt.name, pa.access.array.name)
-                    blk = pool.put(key, data, pin=1)
-                else:
-                    # Opportunistic (LRU) mode: resident blocks are buffer hits.
-                    blk = traced_io(
-                        lambda: pool.fetch(key, loader=lambda s=store,
-                                           b=pa.block: s.read_block(b),
-                                           pin=1),
-                        "read", inst.stmt.name, pa.access.array.name)
-                read_blocks.append(blk.data)
-                touched.append(key)
-                # Operands stay resident until the kernel has consumed them;
-                # the pin rode along atomically with the fetch/put above.
-                instance_pins.append(key)
-                for _ in range(pa.unpin_before):
-                    pool.unpin(key)
-                for _ in range(pa.pin_after):
-                    pool.pin(key)
+                        # READ action: ask the pipeline first — a staged
+                        # block arrives pinned, its disk I/O already traced
+                        # against this very access by the reader thread.
+                        blk = (pipeline.consume(key)
+                               if pipeline is not None else None)
+                        if blk is None and plan_exact:
+                            # READ is charged disk I/O even if incidentally
+                            # resident: the engine replays exactly what the
+                            # optimizer costed.
+                            data = traced_io(
+                                lambda s=store, b=pa.block: s.read_block(b),
+                                "read", inst.stmt.name, pa.access.array.name)
+                            blk = pool.put(key, data, pin=1)
+                        elif blk is None:
+                            # Opportunistic (LRU) mode: resident blocks are
+                            # buffer hits.
+                            blk = traced_io(
+                                lambda: pool.fetch(key, loader=lambda s=store,
+                                                   b=pa.block: s.read_block(b),
+                                                   pin=1),
+                                "read", inst.stmt.name, pa.access.array.name)
+                    read_blocks.append(blk.data)
+                    touched.append(key)
+                    # Operands stay resident until the kernel has consumed them;
+                    # the pin rode along atomically with the fetch/put above.
+                    instance_pins.append(key)
+                    for _ in range(pa.unpin_before):
+                        pool.unpin(key)
+                    for _ in range(pa.pin_after):
+                        pool.pin(key)
 
-            if inst.write is not None:
-                pa = inst.write
-                store = stores[pa.access.array.name]
-                key = pa.block_key
-                out_shape = pa.access.array.block_shape
-                t0 = time.perf_counter()
-                result = run_kernel(inst.stmt.kernel, read_blocks, out_shape,
-                                    inst.stmt.kernel_args)
-                cpu += time.perf_counter() - t0
-                for _ in range(pa.unpin_before):
-                    pool.unpin(key)
-                # Retention pins apply atomically with the install: a shared
-                # pool must not see the result unpinned in between.
-                pool.put(key, result, pin=pa.pin_after)
-                touched.append(key)
-                if pa.action is IOAction.WRITE:
-                    traced_io(
-                        lambda s=store, b=pa.block, r=result: s.write_block(b, r),
-                        "write", inst.stmt.name, pa.access.array.name)
-                    if key in memory_only:
-                        memory_only.discard(key)
-                        mem_del.append(key)
-                else:
-                    if key not in memory_only:
-                        memory_only.add(key)
-                        mem_add.append(key)
+                if inst.write is not None:
+                    pa = inst.write
+                    store = stores[pa.access.array.name]
+                    key = pa.block_key
+                    out_shape = pa.access.array.block_shape
+                    t0 = time.perf_counter()
+                    result = run_kernel(inst.stmt.kernel, read_blocks, out_shape,
+                                        inst.stmt.kernel_args)
+                    cpu += time.perf_counter() - t0
+                    for _ in range(pa.unpin_before):
+                        pool.unpin(key)
+                    # Retention pins apply atomically with the install: a shared
+                    # pool must not see the result unpinned in between.
+                    pool.put(key, result, pin=pa.pin_after)
+                    touched.append(key)
+                    if pa.action is IOAction.WRITE:
+                        traced_io(
+                            lambda s=store, b=pa.block, r=result: s.write_block(b, r),
+                            "write", inst.stmt.name, pa.access.array.name)
+                        if key in memory_only:
+                            memory_only.discard(key)
+                            mem_del.append(key)
+                    else:
+                        if key not in memory_only:
+                            memory_only.add(key)
+                            mem_add.append(key)
 
-            for key in instance_pins:
-                pool.unpin(key)
-            if plan_exact:
-                for key in touched:
-                    pool.release_if_unpinned(key)
-            if journal is not None:
-                journal.append(index, mem_add, mem_del)
-            if tracer is not None:
-                tracer.end()
+                for key in instance_pins:
+                    pool.unpin(key)
+                if plan_exact:
+                    for key in touched:
+                        pool.release_if_unpinned(key)
+                if journal is not None:
+                    journal.append(index, mem_add, mem_del)
+                if pipeline is not None:
+                    # This instance's WRITE (if any) is durably on disk:
+                    # readers blocked on it as a barrier may now proceed.
+                    pipeline.progress(index)
+            finally:
+                if tracer is not None:
+                    tracer.end()
     finally:
+        if pipeline is not None:
+            pipeline.close()
         if journal is not None:
             journal.close()
 
     wall = time.perf_counter() - t_wall
     stats = disk.stats.since(start_stats)
-    return ExecutionReport(stats, disk.io_model.seconds(stats.read_bytes,
-                                                        stats.write_bytes),
-                           cpu, wall, pool.peak_bytes, pool.hits, pool.misses,
-                           len(plan.instances) - start_index,
-                           resumed_from=start_index)
+    report = ExecutionReport(stats, disk.io_model.seconds(stats.read_bytes,
+                                                          stats.write_bytes),
+                             cpu, wall, pool.peak_bytes, pool.hits,
+                             pool.misses, len(plan.instances) - start_index,
+                             resumed_from=start_index)
+    if pipeline is not None:
+        report.prefetch = pipeline.stats
+    return report
 
 
 def _no_loader(key):
@@ -360,7 +414,10 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                 checkpoint: bool = False,
                 resume: bool = False,
                 tracer: "obs_trace.Tracer | None" = None,
-                validate: "bool | float" = False
+                validate: "bool | float" = False,
+                prefetch_depth: int = 0,
+                prefetch_budget_bytes: int | None = None,
+                io_pace: float = 0.0
                 ) -> tuple[ExecutionReport, dict[str, np.ndarray]]:
     """Create storage, load inputs, execute, read back outputs.
 
@@ -393,6 +450,17 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
       already on disk), and execution restarts from the last consistent
       instance.  Falls back to a fresh checkpointed run when no journal
       exists yet.
+
+    I/O–compute overlap:
+
+    * ``prefetch_depth`` — stage up to this many upcoming READ blocks on
+      background reader threads (0 = serial, the default);
+    * ``prefetch_budget_bytes`` — cap on staged-but-unconsumed bytes;
+      defaults to the memory cap minus the plan's predicted peak residency
+      (unbounded when no cap is set);
+    * ``io_pace`` — scale real sleeps onto counted I/O (``pace`` of the
+      :class:`SimulatedDisk`): 1.0 makes wall clock reflect the modeled
+      disk, which is how the overlap benchmark measures hidden I/O time.
     """
     factory = {"daf": DAFMatrix, "labtree": LABTree}.get(store_format)
     if factory is None:
@@ -421,8 +489,16 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
         else nullcontext()
     events_start = len(eff_tracer.events) if eff_tracer is not None else 0
 
+    # Default prefetch budget: whatever headroom the memory cap leaves above
+    # the plan's predicted peak residency.  Staged bytes then never push a
+    # plan-exact run over the cap; an explicit budget overrides.
+    if prefetch_depth and prefetch_budget_bytes is None \
+            and memory_cap_bytes is not None:
+        prefetch_budget_bytes = max(0, memory_cap_bytes
+                                    - plan.cost.memory_bytes)
+
     model = io_model or IOModel()
-    with scope, SimulatedDisk(workdir, model,
+    with scope, SimulatedDisk(workdir, model, pace=io_pace,
                               fault_injector=injector, retry=retry,
                               atomic_writes=atomic_writes) as disk:
         stores: dict[str, object] = {}
@@ -453,7 +529,9 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                                 plan_exact=plan_exact, resume=resuming):
                 report = execute_plan(exec_plan, stores, disk,
                                       memory_cap_bytes, plan_exact,
-                                      journal=journal, resume=resuming)
+                                      journal=journal, resume=resuming,
+                                      prefetch_depth=prefetch_depth,
+                                      prefetch_budget_bytes=prefetch_budget_bytes)
 
             outputs = {name: stores[name].read_matrix(count=False)
                        for name, arr in program.arrays.items()

@@ -130,6 +130,10 @@ class JobPoolView:
     disk read for it.  ``peak_bytes`` is the shared pool's aggregate peak.
     """
 
+    # The shared pool underneath serializes everything, so the engine's
+    # prefetch pipeline can use a view directly (no LockedPool wrapper).
+    thread_safe = True
+
     __slots__ = ("pool", "names", "owner", "hits", "misses")
 
     def __init__(self, pool: SharedBufferPool, names: Mapping[str, str],
@@ -162,9 +166,20 @@ class JobPoolView:
             self.hits += 1
         return blk
 
-    def put(self, key: tuple, data, dirty: bool = False, pin: int = 0):
+    def put(self, key: tuple, data, dirty: bool = False, pin: int = 0,
+            force: bool = False):
         return self.pool.put(self._k(key), data, dirty, pin=pin,
-                             owner=self.owner)
+                             owner=self.owner, force=force)
+
+    def stage(self, key: tuple, data):
+        return self.pool.stage(self._k(key), data, owner=self.owner)
+
+    def consume_staged(self, key: tuple, pin: int = 1):
+        return self.pool.consume_staged(self._k(key), pin=pin,
+                                        owner=self.owner)
+
+    def discard_staged(self, key: tuple) -> bool:
+        return self.pool.discard_staged(self._k(key), owner=self.owner)
 
     def pin(self, key: tuple) -> None:
         self.pool.pin(self._k(key), owner=self.owner)
@@ -194,30 +209,46 @@ class _CountingStore:
 
     The shared disk's counters aggregate every concurrent job; this proxy
     counts the *logical* block I/O this job issued (fault-retry and
-    checksum-healing re-reads stay global-only).  Touched by exactly one
-    worker thread, so plain ints suffice.
+    checksum-healing re-reads stay global-only).  The job's prefetch
+    reader threads and its compute thread both count here, hence the lock.
     """
 
     __slots__ = ("store", "read_bytes", "write_bytes", "read_ops",
-                 "write_ops")
+                 "write_ops", "_lock")
 
     def __init__(self, store):
         self.store = store
         self.read_bytes = self.write_bytes = 0
         self.read_ops = self.write_ops = 0
+        self._lock = threading.Lock()
+
+    @property
+    def layout(self):
+        return self.store.layout
 
     def read_block(self, coords, count: bool = True):
         block = self.store.read_block(coords, count=count)
         if count:
-            self.read_bytes += self.store.layout.block_bytes
-            self.read_ops += 1
+            with self._lock:
+                self.read_bytes += self.store.layout.block_bytes
+                self.read_ops += 1
         return block
+
+    def read_block_run(self, start_coords, nblocks: int, count: bool = True):
+        blocks, extra = self.store.read_block_run(start_coords, nblocks,
+                                                  count=count)
+        if count:
+            with self._lock:
+                self.read_bytes += nblocks * self.store.layout.block_bytes
+                self.read_ops += nblocks
+        return blocks, extra
 
     def write_block(self, coords, block, count: bool = True) -> None:
         self.store.write_block(coords, block, count=count)
         if count:
-            self.write_bytes += self.store.layout.block_bytes
-            self.write_ops += 1
+            with self._lock:
+                self.write_bytes += self.store.layout.block_bytes
+                self.write_ops += 1
 
 
 class _Job:
@@ -225,7 +256,7 @@ class _Job:
 
     __slots__ = ("key", "program", "params", "inputs", "memory_cap_bytes",
                  "plan", "plan_exact", "checkpoint", "resume",
-                 "admission_timeout", "workers")
+                 "admission_timeout", "workers", "prefetch_depth")
 
     def __init__(self, **kw):
         for f in self.__slots__:
@@ -285,11 +316,14 @@ class ArrayService:
                  retry: RetryPolicy | None = None,
                  atomic_writes: bool | None = None,
                  max_set_size: int | None = None,
-                 max_candidates: int | None = None):
+                 max_candidates: int | None = None,
+                 prefetch_depth: int = 0):
         if memory_cap_bytes <= 0:
             raise ServiceError("memory_cap_bytes must be positive")
         if workers < 1:
             raise ServiceError("workers must be >= 1")
+        if prefetch_depth < 0:
+            raise ServiceError("prefetch_depth must be >= 0")
         self.workdir = Path(workdir)
         self.memory_cap_bytes = int(memory_cap_bytes)
         self.io_model = io_model or IOModel()
@@ -312,6 +346,7 @@ class ArrayService:
         self.admission_timeout = admission_timeout
         self.max_set_size = max_set_size
         self.max_candidates = max_candidates
+        self.prefetch_depth = int(prefetch_depth)
         self.stats = ServiceStats()
 
         self._executor = ThreadPoolExecutor(workers,
@@ -360,7 +395,8 @@ class ArrayService:
                checkpoint: bool = False,
                resume: bool = False,
                admission_timeout: "float | None" = _UNSET,
-               workers: int | None = None) -> "Future[JobResult]":
+               workers: int | None = None,
+               prefetch_depth: int | None = None) -> "Future[JobResult]":
         """Queue one job; returns a future resolving to a :class:`JobResult`.
 
         ``memory_cap_bytes`` caps *plan selection* for this job (default:
@@ -369,6 +405,10 @@ class ArrayService:
         planning entirely.  ``name`` must be unique among in-flight jobs
         and is required stable for ``checkpoint``/``resume`` pairs.
         ``workers`` parallelizes this job's Apriori search (process pool).
+        ``prefetch_depth`` overrides the service default; a job's staging
+        budget (``depth`` × its largest block) is charged to admission on
+        top of the plan's memory high-water mark, so staged bytes never
+        eat into what other jobs were promised.
         """
         with self._lock:
             if self._closed:
@@ -388,10 +428,13 @@ class ArrayService:
         self.stats.jobs_submitted += 1
         timeout = self.admission_timeout if admission_timeout is _UNSET \
             else admission_timeout
+        depth = self.prefetch_depth if prefetch_depth is None \
+            else int(prefetch_depth)
         job = _Job(key=name, program=program, params=dict(params),
                    inputs=dict(inputs), memory_cap_bytes=memory_cap_bytes,
                    plan=plan, plan_exact=plan_exact, checkpoint=checkpoint,
-                   resume=resume, admission_timeout=timeout, workers=workers)
+                   resume=resume, admission_timeout=timeout, workers=workers,
+                   prefetch_depth=depth)
         try:
             return self._executor.submit(self._run_job, job)
         except BaseException as err:
@@ -552,7 +595,14 @@ class ArrayService:
     def _execute_admitted(self, job: _Job, sp) -> JobResult:
         with obs_trace.span("service.plan", "service", job=job.key):
             plan, cache_hit, opt_seconds = self._plan_job(job)
-        need = plan.cost.memory_bytes
+        # The prefetch staging budget is real memory the job will occupy in
+        # the shared pool, so admission charges for it alongside the plan's
+        # high-water mark — staged blocks never eat other jobs' promises.
+        prefetch_budget = 0
+        if job.prefetch_depth:
+            prefetch_budget = job.prefetch_depth * max(
+                arr.block_bytes for arr in job.program.arrays.values())
+        need = plan.cost.memory_bytes + prefetch_budget
         sp["plan"] = plan.index
         sp["cache_hit"] = cache_hit
         sp["need_bytes"] = need
@@ -582,7 +632,10 @@ class ArrayService:
                 report = execute_plan(exec_plan, counted, self.disk,
                                       plan_exact=job.plan_exact,
                                       journal=journal, resume=resuming,
-                                      pool=view)
+                                      pool=view,
+                                      prefetch_depth=job.prefetch_depth,
+                                      prefetch_budget_bytes=prefetch_budget
+                                      if job.prefetch_depth else None)
             outputs = {n: stores[n].read_matrix(count=False)
                        for n, arr in job.program.arrays.items()
                        if arr.kind is ArrayKind.OUTPUT}

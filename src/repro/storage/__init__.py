@@ -17,7 +17,7 @@ Public surface:
 """
 
 from .blocks import BlockChecksums, BlockLayout, block_checksum
-from .buffer import BufferedBlock, BufferPool, SharedBufferPool
+from .buffer import BufferedBlock, BufferPool, LockedPool, SharedBufferPool
 from .daf import DAFMatrix
 from .disk import DiskFile, IOStats, SimulatedDisk
 from .faults import FaultInjector, FaultPolicy, InjectedFault, RetryPolicy
@@ -28,6 +28,7 @@ __all__ = [
     "BlockLayout",
     "BufferPool",
     "BufferedBlock",
+    "LockedPool",
     "SharedBufferPool",
     "DAFMatrix",
     "FaultInjector",

@@ -25,13 +25,13 @@ from ..exceptions import BufferPoolError
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 
-__all__ = ["BufferPool", "SharedBufferPool", "BufferedBlock"]
+__all__ = ["BufferPool", "SharedBufferPool", "LockedPool", "BufferedBlock"]
 
 
 class BufferedBlock:
-    """A resident block: payload + pin count + dirty flag."""
+    """A resident block: payload + pin count + dirty flag + stage marks."""
 
-    __slots__ = ("key", "data", "pins", "dirty", "nbytes")
+    __slots__ = ("key", "data", "pins", "dirty", "nbytes", "staged")
 
     def __init__(self, key: tuple, data: np.ndarray):
         self.key = key
@@ -39,6 +39,9 @@ class BufferedBlock:
         self.pins = 0
         self.dirty = False
         self.nbytes = int(data.nbytes)
+        # Outstanding prefetch stage marks: each carries one of the pins
+        # until consume_staged/discard_staged surrenders it.
+        self.staged = 0
 
     def __repr__(self) -> str:
         return f"BufferedBlock({self.key}, pins={self.pins}, dirty={self.dirty})"
@@ -55,6 +58,11 @@ class BufferPool:
 
     _COUNTERS = ("hits", "misses", "evictions")
     _GAUGES = ("used_bytes", "peak_bytes")
+
+    #: Whether every transition is safe to drive from multiple threads.
+    #: The engine checks this before prefetching into an injected pool and
+    #: wraps unsafe pools in :class:`LockedPool`.
+    thread_safe = False
 
     def __init__(self, cap_bytes: int | None = None):
         if cap_bytes is not None and cap_bytes <= 0:
@@ -100,23 +108,40 @@ class BufferPool:
             self._blocks.move_to_end(key)
             blk.pins += pin
             return blk
+        data = loader()
+        # The miss is counted only once the loader has succeeded, matching
+        # SharedBufferPool: a loader that raises completed no load, and
+        # counting it would skew the hit ratio of retried fetches.
         self.misses += 1
         if tracer is not None:
             tracer.instant("pool.miss", "pool", key=str(key))
-        data = loader()
         blk = self._admit(key, data)
         blk.pins += pin
         return blk
 
     def put(self, key: tuple, data: np.ndarray, dirty: bool = False,
-            pin: int = 0) -> BufferedBlock:
-        """Install (or replace) a block produced in memory."""
-        old = self._blocks.pop(key, None)
+            pin: int = 0, force: bool = False) -> BufferedBlock:
+        """Install (or replace) a block produced in memory.
+
+        Replacing a resident *dirty* block with clean data silently drops
+        bytes that never reached disk — the same loss ``_make_room`` and
+        :meth:`release` refuse loudly — so it raises unless the caller
+        passes ``force=True`` (or installs dirty data itself, which keeps
+        the block dirty).  Pins and stage marks survive replacement.
+        """
+        old = self._blocks.get(key)
         if old is not None:
+            if old.dirty and not dirty and not force:
+                raise BufferPoolError(
+                    f"replacing dirty block {key} with clean data would "
+                    f"discard unwritten bytes (write it back first, or pass "
+                    f"force=True to drop it)")
+            del self._blocks[key]
             self.used_bytes -= old.nbytes
         blk = self._admit(key, data)
         if old is not None:
             blk.pins = old.pins
+            blk.staged = old.staged
         blk.dirty = dirty
         blk.pins += pin
         return blk
@@ -220,6 +245,57 @@ class BufferPool:
         if blk is not None:
             blk.dirty = False
 
+    # -- prefetch staging -----------------------------------------------------
+
+    def stage(self, key: tuple, data: np.ndarray) -> BufferedBlock:
+        """Install a prefetched block, pinned-on-stage.
+
+        The stage pin guarantees neither LRU pressure nor an eviction sweep
+        can drop the block between staging and consumption;
+        :meth:`consume_staged` hands that pin to the consumer atomically.
+        Stage marks accumulate: a block the plan reads twice inside the
+        lookahead window carries two marks and two pins.
+        """
+        blk = self.put(key, data, pin=1)
+        blk.staged += 1
+        tracer = obs_trace.CURRENT
+        if tracer is not None:
+            tracer.instant("pool.stage", "pool", key=str(key),
+                           bytes=blk.nbytes, staged=blk.staged)
+        return blk
+
+    def consume_staged(self, key: tuple, pin: int = 1) -> BufferedBlock:
+        """Convert one stage mark into ``pin`` consumer pins, atomically.
+
+        The net pin change is ``pin - 1`` (the stage pin is surrendered in
+        the same transition), so the block is never observable unpinned in
+        between.  Raises :class:`BufferPoolError` when ``key`` carries no
+        stage mark — consuming a block nobody staged is an engine bug.
+        """
+        blk = self._blocks.get(key)
+        if blk is None or blk.staged <= 0:
+            raise BufferPoolError(f"consume of non-staged block {key}")
+        blk.staged -= 1
+        blk.pins += pin - 1
+        self._blocks.move_to_end(key)
+        return blk
+
+    def discard_staged(self, key: tuple) -> bool:
+        """Drop one stage mark and its pin (pipeline-teardown path).
+
+        Staged data came straight from disk, so dropping it loses nothing;
+        the block is released once no pins remain.  Returns ``True`` iff a
+        mark was dropped.
+        """
+        blk = self._blocks.get(key)
+        if blk is None or blk.staged <= 0:
+            return False
+        blk.staged -= 1
+        blk.pins -= 1
+        if blk.pins <= 0:
+            self.release(key)
+        return True
+
     # -- introspection --------------------------------------------------------------
 
     def resident_keys(self) -> list[tuple]:
@@ -274,6 +350,8 @@ class SharedBufferPool(BufferPool):
       crashed query still held without touching other queries' pins.
     """
 
+    thread_safe = True
+
     def __init__(self, cap_bytes: int | None = None):
         super().__init__(cap_bytes)
         self._cond = threading.Condition(threading.RLock())
@@ -325,14 +403,64 @@ class SharedBufferPool(BufferPool):
             return blk
 
     def put(self, key: tuple, data: np.ndarray, dirty: bool = False,
-            pin: int = 0, owner: Hashable | None = None) -> BufferedBlock:
+            pin: int = 0, owner: Hashable | None = None,
+            force: bool = False) -> BufferedBlock:
         with self._cond:
-            blk = super().put(key, data, dirty)
+            blk = super().put(key, data, dirty, force=force)
             self._pin_locked(key, blk, pin, owner)
             self._cond.notify_all()
             return blk
 
+    # -- prefetch staging -----------------------------------------------------
+
+    def stage(self, key: tuple, data: np.ndarray,
+              owner: Hashable | None = None) -> BufferedBlock:
+        with self._cond:
+            blk = self.put(key, data, pin=1, owner=owner)
+            blk.staged += 1
+            tracer = obs_trace.CURRENT
+            if tracer is not None:
+                tracer.instant("pool.stage", "pool", key=str(key),
+                               bytes=blk.nbytes, staged=blk.staged)
+            return blk
+
+    def consume_staged(self, key: tuple, pin: int = 1,
+                       owner: Hashable | None = None) -> BufferedBlock:
+        with self._cond:
+            blk = self._blocks.get(key)
+            if blk is None or blk.staged <= 0:
+                raise BufferPoolError(f"consume of non-staged block {key}")
+            blk.staged -= 1
+            self._drop_pin_locked(key, blk, owner)
+            self._pin_locked(key, blk, pin, owner)
+            self._blocks.move_to_end(key)
+            self._cond.notify_all()
+            return blk
+
+    def discard_staged(self, key: tuple,
+                       owner: Hashable | None = None) -> bool:
+        with self._cond:
+            blk = self._blocks.get(key)
+            if blk is None or blk.staged <= 0:
+                return False
+            blk.staged -= 1
+            self._drop_pin_locked(key, blk, owner)
+            if blk.pins <= 0:
+                super().release(key)
+            self._cond.notify_all()
+            return True
+
     # -- pinning -----------------------------------------------------------------
+
+    def _drop_pin_locked(self, key: tuple, blk: BufferedBlock,
+                         owner: Hashable | None) -> None:
+        blk.pins -= 1
+        if owner is not None:
+            held = self._owner_pins.get(owner)
+            if held and key in held:
+                held[key] -= 1
+                if held[key] <= 0:
+                    del held[key]
 
     def _pin_locked(self, key: tuple, blk: BufferedBlock, n: int,
                     owner: Hashable | None) -> None:
@@ -433,3 +561,101 @@ class SharedBufferPool(BufferPool):
     def __len__(self) -> int:
         with self._cond:
             return len(self._blocks)
+
+
+class LockedPool:
+    """Serializing adapter giving a single-threaded pool a thread-safe surface.
+
+    The prefetch pipeline's reader threads mutate the pool concurrently
+    with the engine's compute thread.  Pools that advertise
+    ``thread_safe = True`` (:class:`SharedBufferPool`, the service's
+    ``JobPoolView``) are used directly; a plain private :class:`BufferPool`
+    is wrapped in this adapter, which funnels every transition through one
+    lock.  ``fetch`` runs its loader under the lock — acceptable in the
+    engine, where prefetch makes loader-bearing fetches the rare fallback.
+    """
+
+    thread_safe = True
+
+    __slots__ = ("pool", "_lock")
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._lock = threading.Lock()
+
+    def contains(self, key: tuple) -> bool:
+        with self._lock:
+            return self.pool.contains(key)
+
+    def fetch(self, key: tuple, loader: Callable[[], np.ndarray],
+              pin: int = 0) -> BufferedBlock:
+        with self._lock:
+            return self.pool.fetch(key, loader, pin=pin)
+
+    def put(self, key: tuple, data: np.ndarray, dirty: bool = False,
+            pin: int = 0, force: bool = False) -> BufferedBlock:
+        with self._lock:
+            return self.pool.put(key, data, dirty, pin=pin, force=force)
+
+    def stage(self, key: tuple, data: np.ndarray) -> BufferedBlock:
+        with self._lock:
+            return self.pool.stage(key, data)
+
+    def consume_staged(self, key: tuple, pin: int = 1) -> BufferedBlock:
+        with self._lock:
+            return self.pool.consume_staged(key, pin=pin)
+
+    def discard_staged(self, key: tuple) -> bool:
+        with self._lock:
+            return self.pool.discard_staged(key)
+
+    def pin(self, key: tuple) -> None:
+        with self._lock:
+            self.pool.pin(key)
+
+    def unpin(self, key: tuple) -> None:
+        with self._lock:
+            self.pool.unpin(key)
+
+    def release(self, key: tuple, force: bool = False) -> None:
+        with self._lock:
+            self.pool.release(key, force)
+
+    def release_if_unpinned(self, key: tuple, force: bool = False) -> bool:
+        with self._lock:
+            return self.pool.release_if_unpinned(key, force)
+
+    def pin_count(self, key: tuple) -> int:
+        with self._lock:
+            return self.pool.pin_count(key)
+
+    def mark_clean(self, key: tuple) -> None:
+        with self._lock:
+            self.pool.mark_clean(key)
+
+    def resident_keys(self) -> list[tuple]:
+        with self._lock:
+            return self.pool.resident_keys()
+
+    def pinned_bytes(self) -> int:
+        with self._lock:
+            return self.pool.pinned_bytes()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.pool)
+
+    def __repr__(self) -> str:
+        return f"LockedPool({self.pool!r})"
+
+
+def _delegate_stat(field: str) -> property:
+    def fget(self):
+        return getattr(self.pool, field)
+
+    return property(fget)
+
+
+for _f in ("cap_bytes",) + BufferPool._COUNTERS + BufferPool._GAUGES:
+    setattr(LockedPool, _f, _delegate_stat(_f))
+del _f

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from pathlib import Path
 
 from ..exceptions import StorageError, TransientIOError
@@ -55,12 +56,13 @@ class IOStats:
     _FIELDS = ("read_bytes", "write_bytes", "read_ops", "write_ops",
                "retries", "checksum_failures")
 
-    __slots__ = tuple("_" + f for f in _FIELDS) + ("_lock",)
+    __slots__ = tuple("_" + f for f in _FIELDS) + ("_lock", "_local")
 
     def __init__(self):
         for f in self._FIELDS:
             setattr(self, "_" + f, obs_metrics.Counter("repro_io_" + f))
         self._lock = threading.Lock()
+        self._local = threading.local()
 
     def add(self, **deltas: int) -> None:
         """Atomically accumulate counter deltas (``add(read_bytes=n, ...)``).
@@ -74,6 +76,20 @@ class IOStats:
             for f, n in deltas.items():
                 counter = getattr(self, "_" + f)
                 counter.value += n
+        mine = self._local.__dict__
+        for f, n in deltas.items():
+            mine[f] = mine.get(f, 0) + n
+
+    def thread_value(self, field: str) -> int:
+        """Cumulative amount *this thread* has added to ``field``.
+
+        Per-access attribution (the engine's ``exec.io`` deltas) measures a
+        counter before and after one call; against the shared totals that
+        measurement tears as soon as prefetch readers or concurrent
+        executors count in between.  Per-thread views make the delta exact
+        regardless of what other threads do.
+        """
+        return self._local.__dict__.get(field, 0)
 
     def bind(self, registry: "obs_metrics.MetricsRegistry", **labels) -> None:
         """Register this holder's counters as labeled registry series."""
@@ -83,8 +99,9 @@ class IOStats:
             registry.register(counter)
 
     def reset(self) -> None:
-        for f in self._FIELDS:
-            getattr(self, "_" + f).value = 0
+        with self._lock:
+            for f in self._FIELDS:
+                getattr(self, "_" + f).value = 0
 
     def snapshot(self) -> "IOStats":
         s = IOStats()
@@ -96,13 +113,16 @@ class IOStats:
         return s
 
     def since(self, other: "IOStats") -> "IOStats":
+        """Delta relative to an earlier snapshot, as a fresh ``IOStats``.
+
+        Reads through :meth:`snapshot` so the six fields come from one
+        consistent point in time — unlocked field-by-field reads tear
+        per-job deltas when concurrent executors are still counting.
+        """
+        now = self.snapshot()
         s = IOStats()
-        s.read_bytes = self.read_bytes - other.read_bytes
-        s.write_bytes = self.write_bytes - other.write_bytes
-        s.read_ops = self.read_ops - other.read_ops
-        s.write_ops = self.write_ops - other.write_ops
-        s.retries = self.retries - other.retries
-        s.checksum_failures = self.checksum_failures - other.checksum_failures
+        for f in self._FIELDS:
+            setattr(s, f, getattr(now, f) - getattr(other, f))
         return s
 
     def __repr__(self) -> str:
@@ -136,7 +156,13 @@ class SimulatedDisk:
     def __init__(self, root: str | os.PathLike, io_model: IOModel | None = None,
                  fault_injector: FaultInjector | None = None,
                  retry: RetryPolicy | None = None,
-                 atomic_writes: bool = False, fsync: bool = False):
+                 atomic_writes: bool = False, fsync: bool = False,
+                 pace: float = 0.0):
+        # ``pace``: opt-in wall-clock pacing — sleep this fraction of the
+        # modeled seconds after every successful counted op.  The default 0
+        # keeps timing modeled-but-never-waited-for; the prefetch overlap
+        # benchmark sets pace=1.0 so I/O-compute overlap shows up in wall
+        # time the way it would against the paper's physical disk.
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.io_model = io_model or IOModel()
@@ -158,6 +184,7 @@ class SimulatedDisk:
         self.retry = retry or RetryPolicy()
         self.atomic_writes = atomic_writes
         self.fsync = fsync
+        self.pace = float(pace)
         self._files: dict[str, DiskFile] = {}
         self._open_lock = threading.Lock()
         self._closed = False
@@ -178,6 +205,14 @@ class SimulatedDisk:
     def simulated_seconds(self, stats: IOStats | None = None) -> float:
         s = stats or self.stats
         return self.io_model.seconds(s.read_bytes, s.write_bytes)
+
+    def pace_sleep(self, read_bytes: int = 0, write_bytes: int = 0) -> None:
+        """Sleep the paced fraction of the modeled transfer time (no-op at
+        the default ``pace=0``).  Called outside any file lock so paced
+        transfers on different threads genuinely overlap."""
+        if self.pace:
+            time.sleep(self.io_model.seconds(read_bytes, write_bytes)
+                       * self.pace)
 
     # -- crash recovery ------------------------------------------------------
 
@@ -301,6 +336,7 @@ class DiskFile:
                     tracer.instant("disk.read", "storage",
                                    file=self.path.name, offset=offset,
                                    bytes=size)
+                self.disk.pace_sleep(read_bytes=size)
             return data
 
     def write_at(self, offset: int, data: bytes, count: bool = True,
@@ -324,6 +360,7 @@ class DiskFile:
             if tracer is not None:
                 tracer.instant("disk.write", "storage", file=self.path.name,
                                offset=offset, bytes=len(data))
+            self.disk.pace_sleep(write_bytes=len(data))
 
     def _stage_undo(self, offset: int, size: int) -> Path | None:
         """Publish the pre-write image of ``[offset, offset+size)``.

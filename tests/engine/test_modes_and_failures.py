@@ -240,3 +240,46 @@ class TestFailureInjection:
         with pytest.raises(BufferPoolError):
             run_program(prog, P, result.best(), tmp_path, inputs,
                         memory_cap_bytes=0)
+
+
+class TestTraceNesting:
+    def test_spans_well_nested_after_mid_instance_failure(self, prog, result,
+                                                          inputs, tmp_path):
+        """A kernel blowing up mid-instance must not leak its open
+        ``exec.instance`` span: every begin is matched by an end on its
+        thread, so the Chrome export stays well-formed (regression for the
+        unclosed-span bug)."""
+        import repro.engine.executor as executor
+        from repro.obs import trace as obs_trace
+
+        real = executor.run_kernel
+        calls = {"n": 0}
+
+        def flaky(name, reads, out_shape, args):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise ExecutionError("injected kernel failure (boom)")
+            return real(name, reads, out_shape, args)
+
+        tracer = obs_trace.Tracer()
+        with pytest.MonkeyPatch.context() as mp:
+            mp.setattr(executor, "run_kernel", flaky)
+            with pytest.raises(ExecutionError, match="boom"):
+                run_program(prog, P, result.best(), tmp_path, inputs,
+                            tracer=tracer)
+
+        stacks = {}
+        for ev in tracer.events:
+            if ev.ph == "B":
+                stacks.setdefault(ev.tid, []).append(ev.name)
+            elif ev.ph == "E":
+                assert stacks.get(ev.tid), \
+                    f"end without begin on tid {ev.tid}"
+                stacks[ev.tid].pop()
+        leaked = {tid: s for tid, s in stacks.items() if s}
+        assert not leaked, f"unclosed spans: {leaked}"
+        # The instance that failed was begun — and therefore ended.
+        assert any(ev.name == "exec.instance" and ev.ph == "B"
+                   for ev in tracer.events)
+        # And the export is valid JSON with balanced phases.
+        obs_trace.chrome_trace(tracer.events)

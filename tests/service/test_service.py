@@ -298,3 +298,45 @@ class TestFaultToleranceComposition:
         assert again.report.resumed_from > 0
         assert again.report.instances < first.report.instances
         assert np.array_equal(first.outputs["E"], again.outputs["E"])
+
+
+class TestPrefetch:
+    def test_prefetched_job_correct_and_staged(self, prog, best_plan,
+                                               tmp_path):
+        inputs = _inputs(prog, 5)
+        expected = reference_outputs(prog, P, inputs)
+        with ArrayService(tmp_path, memory_cap_bytes=2 * CAP) as svc:
+            r = svc.run(prog, P, inputs, plan=best_plan, prefetch_depth=2)
+        for name in r.outputs:
+            assert np.allclose(r.outputs[name], expected[name])
+        assert r.report.prefetch is not None
+        assert r.report.prefetch.failed == 0
+        assert (r.report.prefetch.staged_blocks
+                + r.report.prefetch.taken_by_main) > 0
+
+    def test_service_default_depth_applies_to_all_jobs(self, prog, best_plan,
+                                                       tmp_path):
+        inputs = _inputs(prog, 5)
+        with ArrayService(tmp_path, memory_cap_bytes=2 * CAP,
+                          prefetch_depth=2) as svc:
+            r = svc.run(prog, P, inputs, plan=best_plan)
+        assert r.report.prefetch is not None
+
+    def test_prefetch_budget_charged_to_admission(self, prog, best_plan,
+                                                  tmp_path):
+        """The staging budget is real memory: a job that fits serially but
+        not with its prefetch carve-out must be rejected, not admitted past
+        the cap."""
+        mem = best_plan.cost.memory_bytes
+        bb = max(arr.block_bytes for arr in prog.arrays.values())
+        cap = mem + bb  # room for the plan, not for a 2-deep carve-out
+        inputs = _inputs(prog, 5)
+        with ArrayService(tmp_path, memory_cap_bytes=cap) as svc:
+            r = svc.run(prog, P, inputs, plan=best_plan)  # serial: fits
+            assert r.report.prefetch is None
+            with pytest.raises(AdmissionRejected):
+                svc.run(prog, P, inputs, plan=best_plan, prefetch_depth=2)
+
+    def test_negative_depth_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ArrayService(tmp_path, memory_cap_bytes=CAP, prefetch_depth=-1)

@@ -178,3 +178,109 @@ class TestReleaseIfUnpinned:
         assert pool.pin_count(("A", (0, 0))) == 2
         pool.unpin(("A", (0, 0)))
         assert pool.pin_count(("A", (0, 0))) == 1
+
+
+class TestMissAccounting:
+    def test_miss_counted_only_after_loader_succeeds(self):
+        """A loader that raises completed no load: counting it as a miss
+        would skew the hit ratio of retried fetches (and disagree with
+        SharedBufferPool, which already counted this way)."""
+        pool = BufferPool()
+
+        def boom():
+            raise RuntimeError("load failed")
+
+        with pytest.raises(RuntimeError, match="load failed"):
+            pool.fetch(("A", 0), boom)
+        assert pool.misses == 0
+        assert pool.hits == 0
+        # The retry is the one real miss.
+        pool.fetch(("A", 0), loader(1.0))
+        assert pool.misses == 1
+        pool.fetch(("A", 0), loader(2.0))
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+
+class TestDirtyReplacementGuard:
+    def test_clean_over_dirty_raises(self):
+        pool = BufferPool()
+        pool.put(("A", 0), blk(1.0), dirty=True)
+        with pytest.raises(BufferPoolError, match="dirty"):
+            pool.put(("A", 0), blk(2.0))
+        # The dirty original is still resident and untouched.
+        assert pool.fetch(("A", 0), loader(9.0)).data[0] == 1.0
+
+    def test_force_drops_dirty_bytes_deliberately(self):
+        pool = BufferPool()
+        pool.put(("A", 0), blk(1.0), dirty=True)
+        b = pool.put(("A", 0), blk(2.0), force=True)
+        assert not b.dirty
+        pool.release(("A", 0))  # clean now, so release is legal
+
+    def test_dirty_over_dirty_is_fine(self):
+        pool = BufferPool()
+        pool.put(("A", 0), blk(1.0), dirty=True)
+        b = pool.put(("A", 0), blk(2.0), dirty=True)
+        assert b.dirty and b.data[0] == 2.0
+
+    def test_pins_survive_replacement(self):
+        pool = BufferPool()
+        pool.put(("A", 0), blk(1.0), pin=2)
+        b = pool.put(("A", 0), blk(2.0))
+        assert pool.pin_count(("A", 0)) == 2
+        assert b.data[0] == 2.0
+
+
+class TestStaging:
+    def test_stage_pins_and_consume_hands_over(self):
+        pool = BufferPool()
+        pool.stage(("A", 0), blk(5.0))
+        assert pool.pin_count(("A", 0)) == 1
+        b = pool.consume_staged(("A", 0), pin=1)
+        # Net pins unchanged: the stage pin became the consumer's pin.
+        assert pool.pin_count(("A", 0)) == 1
+        assert b.data[0] == 5.0
+        with pytest.raises(BufferPoolError, match="non-staged"):
+            pool.consume_staged(("A", 0))
+
+    def test_double_stage_accumulates_marks(self):
+        pool = BufferPool()
+        pool.stage(("A", 0), blk(5.0))
+        pool.stage(("A", 0), blk(5.0))
+        assert pool.pin_count(("A", 0)) == 2
+        pool.consume_staged(("A", 0))
+        pool.consume_staged(("A", 0))
+        assert pool.pin_count(("A", 0)) == 2
+        with pytest.raises(BufferPoolError):
+            pool.consume_staged(("A", 0))
+
+    def test_staged_block_immune_to_lru_pressure(self):
+        nbytes = blk().nbytes
+        pool = BufferPool(cap_bytes=3 * nbytes)
+        pool.stage(("S", 0), blk(1.0))
+        pool.put(("B", 0), blk(2.0))
+        pool.put(("C", 0), blk(3.0))
+        pool.put(("D", 0), blk(4.0))  # evicts B (LRU) — never the staged S
+        assert pool.contains(("S", 0))
+        assert not pool.contains(("B", 0))
+
+    def test_discard_releases_when_last_pin(self):
+        pool = BufferPool()
+        pool.stage(("A", 0), blk(1.0))
+        assert pool.discard_staged(("A", 0)) is True
+        assert not pool.contains(("A", 0))
+        assert pool.discard_staged(("A", 0)) is False
+
+    def test_discard_keeps_block_with_other_pins(self):
+        pool = BufferPool()
+        pool.stage(("A", 0), blk(1.0))
+        pool.pin(("A", 0))
+        assert pool.discard_staged(("A", 0)) is True
+        assert pool.contains(("A", 0))
+        assert pool.pin_count(("A", 0)) == 1
+
+    def test_consume_missing_block_raises(self):
+        pool = BufferPool()
+        with pytest.raises(BufferPoolError, match="non-staged"):
+            pool.consume_staged(("A", 0))

@@ -237,3 +237,61 @@ class TestStress:
         pool.fetch(("k", (1,)), lambda: _data(1), pin=1)
         with pytest.raises(BufferPoolError):
             pool.fetch(("k", (2,)), lambda: _data(2), pin=1)
+
+
+class TestStagingWithOwners:
+    def test_stage_consume_moves_pin_to_owner(self):
+        pool = SharedBufferPool()
+        pool.stage(("A", 0), _data(1), owner="job1")
+        assert pool.owner_pin_count("job1") == 1
+        blk = pool.consume_staged(("A", 0), pin=1, owner="job1")
+        assert blk.data[0] == 1.0
+        assert pool.owner_pin_count("job1") == 1
+        assert pool.pin_count(("A", 0)) == 1
+        pool.unpin(("A", 0), owner="job1")
+        assert pool.owner_pin_count("job1") == 0
+
+    def test_release_owner_sweeps_consumed_staged_pins(self):
+        """A crashed job's consumed-staged pins are owner pins like any
+        other: release_owner reclaims them without touching other jobs."""
+        pool = SharedBufferPool()
+        pool.stage(("A", 0), _data(1), owner="dead")
+        pool.consume_staged(("A", 0), owner="dead")
+        pool.pin(("A", 0), owner="alive")
+        assert pool.release_owner("dead") == 1
+        assert pool.pin_count(("A", 0)) == 1
+        assert pool.owner_pin_count("alive") == 1
+
+    def test_discard_staged_drops_owner_pin(self):
+        pool = SharedBufferPool()
+        pool.stage(("A", 0), _data(1), owner="job1")
+        assert pool.discard_staged(("A", 0), owner="job1") is True
+        assert pool.owner_pin_count("job1") == 0
+        assert not pool.contains(("A", 0))
+
+    def test_concurrent_stage_consume_balances(self):
+        """8 jobs stage/consume/unpin disjoint keys concurrently; all pin
+        books balance and nothing leaks."""
+        pool = SharedBufferPool()
+        errors = []
+
+        def job(i):
+            try:
+                owner = f"job{i}"
+                for k in range(50):
+                    key = ("A", i, k)
+                    pool.stage(key, _data(i), owner=owner)
+                    pool.consume_staged(key, owner=owner)
+                    pool.unpin(key, owner=owner)
+            except BaseException as err:
+                errors.append(err)
+
+        threads = [threading.Thread(target=job, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i in range(8):
+            assert pool.owner_pin_count(f"job{i}") == 0
+        assert pool.pinned_bytes() == 0

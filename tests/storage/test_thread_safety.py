@@ -170,3 +170,81 @@ class TestDiskConcurrent:
         assert disk.stats.write_ops == total
         assert disk.stats.retries > 0
         disk.close()
+
+
+class TestSinceResetThreadValue:
+    """since()/reset() take the counter lock; thread_value() attributes
+    per-thread — regression tests for the torn-delta bugs."""
+
+    def test_since_is_consistent_under_writers(self):
+        stats = IOStats()
+        stats.add(read_bytes=3, read_ops=1)
+        base = stats.snapshot()
+        stop = threading.Event()
+
+        def writer(_):
+            while not stop.is_set():
+                stats.add(read_bytes=3, read_ops=1)
+
+        deltas = []
+
+        def reader(_):
+            for _ in range(200):
+                deltas.append(stats.since(base))
+
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            _spawn(reader, n=2)
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+        for d in deltas:
+            assert d.read_bytes == 3 * d.read_ops
+
+    def test_reset_under_writers_never_tears(self):
+        """reset() zeroes all fields in one critical section: adds are
+        all-or-nothing against it, so the bytes==3*ops pair invariant
+        survives any interleaving of resets and adds."""
+        stats = IOStats()
+        stop = threading.Event()
+
+        def writer(_):
+            while not stop.is_set():
+                stats.add(read_bytes=3, read_ops=1)
+
+        writers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(100):
+                stats.reset()
+                s = stats.snapshot()
+                assert s.read_bytes == 3 * s.read_ops
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+        s = stats.snapshot()
+        assert s.read_bytes == 3 * s.read_ops
+
+    def test_thread_value_attributes_per_thread(self):
+        stats = IOStats()
+        seen = {}
+        lock = threading.Lock()
+
+        def hammer(i):
+            for _ in range(ITERS):
+                stats.add(read_bytes=i + 1, read_ops=1)
+            with lock:
+                seen[i] = stats.thread_value("read_bytes")
+
+        _spawn(hammer)
+        for i in range(THREADS):
+            assert seen[i] == (i + 1) * ITERS
+        assert stats.read_bytes == sum((i + 1) * ITERS
+                                       for i in range(THREADS))
