@@ -1,0 +1,68 @@
+"""Chaos sweep benchmark: seeded failure storms against a live service.
+
+Runs :func:`repro.service.chaos.run_chaos` across a seed list (default
+``0..2``; the nightly sweep sets ``REPRO_CHAOS_SEEDS="0 1 ... 14"``) and
+reports per-seed outcome tallies, wall time, and every invariant
+violation.  Exit status is non-zero if any seed violates an invariant, so
+CI can gate on it directly.
+
+Artifacts:
+
+* ``BENCH_chaos.json`` — one record per seed (tallies, violations,
+  seconds);
+* ``chaos_worst_seed.jsonl`` — the full replayable event trace of the
+  *worst* seed (most violations, slowest as tie-break), the artifact the
+  nightly uploads so a red sweep ships its own repro.
+"""
+
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from conftest import banner, save_artifact
+from repro.service.chaos import run_chaos
+
+SEEDS = [int(s) for s in os.environ.get("REPRO_CHAOS_SEEDS", "0 1 2").split()]
+JOBS = int(os.environ.get("REPRO_CHAOS_JOBS", "18"))
+
+
+def main() -> int:
+    banner(f"chaos sweep: {len(SEEDS)} seeds x {JOBS} jobs")
+    records = []
+    worst = None  # (violations, seconds, seed, trace text)
+    for seed in SEEDS:
+        with tempfile.TemporaryDirectory() as td:
+            rep = run_chaos(Path(td), seed, jobs=JOBS)
+            trace = Path(rep.trace_path).read_text(encoding="utf-8")
+        rec = rep.to_dict()
+        records.append(rec)
+        verdict = "ok" if rep.ok else f"{len(rep.violations)} VIOLATIONS"
+        print(f"seed {seed:3d}: {verdict:>14s}  "
+              f"completed={rep.completed:2d} cancelled={rep.cancelled:2d} "
+              f"deadline={rep.deadline_exceeded:2d} failed={rep.failed:2d} "
+              f"retried={rep.retried} shed={rep.shed} "
+              f"({rep.seconds:.2f}s)")
+        for v in rep.violations:
+            print(f"          !! {v}")
+        key = (len(rep.violations), rep.seconds)
+        if worst is None or key > worst[0]:
+            worst = (key, seed, trace)
+
+    save_artifact("BENCH_chaos.json", json.dumps(records, indent=2))
+    (_, worst_seed, worst_trace) = worst
+    save_artifact("chaos_worst_seed.jsonl", worst_trace)
+    print(f"[worst seed: {worst_seed}]")
+
+    bad = [r for r in records if r["violations"]]
+    if bad:
+        print(f"\nFAIL: {len(bad)}/{len(records)} seeds violated "
+              f"resilience invariants")
+        return 1
+    print(f"\nall {len(records)} seeds clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

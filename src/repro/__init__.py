@@ -44,7 +44,8 @@ from .ir import Program, ProgramBuilder, Schedule
 from .ops import (Pipeline, add_multiply_program, linreg_program,
                   two_matmul_program)
 from .optimizer import IOModel, OptimizationResult, Plan, optimize
-from .service import ArrayService, JobResult, PlanCache
+from .service import (ArrayService, DegradePolicy, JobHandle, JobResult,
+                      JobRetryPolicy, PlanCache)
 from .workloads import (add_multiply_config, generate_inputs, linreg_config,
                         two_matmul_config)
 
@@ -65,7 +66,10 @@ __all__ = [
     "OptimizationResult",
     "IOModel",
     "ArrayService",
+    "JobHandle",
     "JobResult",
+    "JobRetryPolicy",
+    "DegradePolicy",
     "PlanCache",
     "ReproError",
     "add_multiply_program",

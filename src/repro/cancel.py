@@ -1,0 +1,136 @@
+"""Cooperative cancellation and deadlines.
+
+A :class:`CancelToken` travels with one unit of work (a service job, a
+``run_program`` call) and is *polled* at well-defined checkpoints — the
+executor's instance loop, the prefetch readers' claim loop, admission
+waits, retry backoffs.  Nothing is killed preemptively: the holder of the
+token raises a typed :class:`~repro.exceptions.JobCancelled` /
+:class:`~repro.exceptions.DeadlineExceeded` at its next checkpoint, after
+which the normal ``finally`` unwinding releases pins, staged blocks and
+admission budget exactly as any other failure would.
+
+Two wake mechanisms compose:
+
+* ``token.event`` is a :class:`threading.Event` set by :meth:`cancel` —
+  anything sleeping (retry backoff, inter-attempt backoff) waits on it
+  instead of ``time.sleep`` and wakes immediately;
+* :meth:`subscribe` registers callbacks run on cancellation — condition
+  variables (admission queue, prefetch pipeline) get a ``notify_all`` so
+  waiters re-check their predicates promptly.
+
+Deadlines are *passive*: no timer thread fires.  Checkpoints call
+:meth:`check`, and anything that blocks bounds its wait with
+:meth:`remaining` so it wakes exactly when the deadline passes.
+
+The thread-local *interrupt* channel lets deep storage code —
+:meth:`RetryPolicy.sleep <repro.storage.faults.RetryPolicy.sleep>` inside
+``DiskFile`` retry loops — observe cancellation without threading a token
+through every signature: the executor (and each prefetch reader thread)
+installs the current token's event for the duration of the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from .exceptions import DeadlineExceeded, JobCancelled
+
+__all__ = ["CancelToken", "current_interrupt", "interrupt_scope"]
+
+
+class CancelToken:
+    """One unit of work's cancellation flag plus optional deadline.
+
+    ``deadline`` is absolute :func:`time.monotonic` seconds (or ``None``).
+    Thread-safe; tokens are single-use and never reset.
+    """
+
+    __slots__ = ("event", "deadline", "reason", "_subs", "_lock")
+
+    def __init__(self, deadline: float | None = None):
+        self.event = threading.Event()
+        self.deadline = deadline
+        self.reason: str | None = None
+        self._subs: list = []
+        self._lock = threading.Lock()
+
+    @property
+    def cancelled(self) -> bool:
+        return self.event.is_set()
+
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Set the flag; returns False if it was already set.
+
+        Subscribers run on the calling thread, outside the token's lock.
+        """
+        with self._lock:
+            if self.event.is_set():
+                return False
+            self.reason = reason
+            self.event.set()
+            subs = list(self._subs)
+        for cb in subs:
+            cb()
+        return True
+
+    def subscribe(self, cb) -> None:
+        """Run ``cb()`` when (or immediately if) the token is cancelled."""
+        with self._lock:
+            fired = self.event.is_set()
+            if not fired:
+                self._subs.append(cb)
+        if fired:
+            cb()
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (may be <= 0), or None if unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+    def check(self) -> None:
+        """The checkpoint: raise if cancelled or past the deadline."""
+        if self.event.is_set():
+            raise JobCancelled(self.reason or "cancelled")
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline exceeded by {-self.remaining():.3f}s")
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self.reason!r}" if self.cancelled else "live"
+        dl = "" if self.deadline is None else \
+            f", deadline in {self.remaining():.3f}s"
+        return f"CancelToken({state}{dl})"
+
+
+_local = threading.local()
+
+
+def current_interrupt() -> "threading.Event | None":
+    """The interrupt event installed on this thread, if any."""
+    return getattr(_local, "event", None)
+
+
+def set_interrupt(event: "threading.Event | None") -> None:
+    """Install ``event`` as this thread's interrupt (None clears).
+
+    For threads whose whole lifetime serves one token (prefetch readers);
+    longer-lived threads should use :func:`interrupt_scope`.
+    """
+    _local.event = event
+
+
+@contextmanager
+def interrupt_scope(event: "threading.Event | None"):
+    """Install ``event`` as this thread's interrupt for the scope's duration."""
+    prev = current_interrupt()
+    _local.event = event
+    try:
+        yield
+    finally:
+        _local.event = prev

@@ -127,6 +127,22 @@ def main(argv: list[str] | None = None) -> int:
                        help="default per-job prefetch depth; each job's "
                             "staging budget (DEPTH x its largest block) is "
                             "charged to admission control")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job deadline; a job past it is "
+                            "cooperatively cancelled and fails with "
+                            "DeadlineExceeded (jobs may override with "
+                            "\"timeout\")")
+    serve.add_argument("--job-retries", type=int, default=None, metavar="N",
+                       help="retry transiently-failed jobs up to N attempts, "
+                            "resuming from the checkpoint journal so only "
+                            "unfinished instances re-execute")
+    serve.add_argument("--degrade", action="store_true",
+                       help="enable overload-aware degradation: shed new "
+                            "jobs past the backlog watermark, throttle "
+                            "prefetch under memory pressure, skip cold "
+                            "plan searches when the queue is deep, and "
+                            "trip per-store circuit breakers")
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -299,7 +315,7 @@ def _serve(args) -> int:
 
     from . import obs
     from .engine import reference_outputs
-    from .exceptions import ServiceError
+    from .exceptions import JobCancelled, ReproError, ServiceError
     from .ir import ArrayKind
     from .ops import add_multiply_program, linreg_program, two_matmul_program
     from .service import ArrayService
@@ -320,7 +336,10 @@ def _serve(args) -> int:
                           workers=args.service_workers,
                           plan_cache=args.plan_cache,
                           admission_timeout=args.admission_timeout,
-                          prefetch_depth=args.prefetch) as svc:
+                          prefetch_depth=args.prefetch,
+                          job_timeout=args.deadline,
+                          job_retry=args.job_retries,
+                          degrade=bool(args.degrade)) as svc:
             futures = []
             for spec, lineno in jobs:
                 builder = builders.get(spec["program"])
@@ -334,20 +353,36 @@ def _serve(args) -> int:
                 inputs = {n: rng.standard_normal(a.shape_elems(params))
                           for n, a in sorted(program.arrays.items())
                           if a.kind is ArrayKind.INPUT}
+                extra = {}
+                if "timeout" in spec:
+                    extra["timeout"] = float(spec["timeout"])
+                if "retries" in spec:
+                    extra["retry"] = int(spec["retries"])
                 fut = svc.submit(
                     program, params, inputs,
                     name=spec.get("name"),
                     memory_cap_bytes=spec.get("memory_cap"),
                     plan_exact=bool(spec.get("plan_exact", False)),
                     checkpoint=bool(spec.get("checkpoint", False)),
-                    resume=bool(spec.get("resume", False)))
+                    resume=bool(spec.get("resume", False)),
+                    **extra)
                 futures.append((fut, program, params, inputs, lineno))
             for fut, program, params, inputs, lineno in futures:
                 try:
                     r = fut.result()
+                except JobCancelled as err:
+                    failures += 1
+                    print(f"job @{lineno}: CANCELLED "
+                          f"({type(err).__name__}: {err})")
+                    continue
                 except ServiceError as err:
                     failures += 1
                     print(f"job @{lineno}: REJECTED "
+                          f"({type(err).__name__}: {err})")
+                    continue
+                except ReproError as err:
+                    failures += 1
+                    print(f"job @{lineno}: FAILED "
                           f"({type(err).__name__}: {err})")
                     continue
                 line = (f"job {r.job}: plan #{r.plan.index} "
@@ -369,6 +404,17 @@ def _serve(args) -> int:
             print(f"\n{s.jobs_completed}/{s.jobs_submitted} jobs completed, "
                   f"{s.jobs_rejected} rejected, {s.jobs_failed} failed; "
                   f"disk totals: {svc.disk.stats!r}")
+            resilience = (s.jobs_cancelled + s.jobs_deadline_exceeded
+                          + s.jobs_shed + s.retries_attempted
+                          + s.degraded_plans + s.breaker_trips)
+            if resilience:
+                print(f"resilience: {s.jobs_cancelled} cancelled, "
+                      f"{s.jobs_deadline_exceeded} past deadline, "
+                      f"{s.jobs_shed} shed, "
+                      f"{s.retries_attempted} retries "
+                      f"({s.retries_exhausted} exhausted), "
+                      f"{s.degraded_plans} degraded plans, "
+                      f"{s.breaker_trips} breaker trips")
             if svc.plan_cache is not None:
                 pc = svc.plan_cache
                 print(f"plan cache: {pc.hits} hits, {pc.misses} misses, "

@@ -35,6 +35,7 @@ from typing import Mapping
 
 import numpy as np
 
+from ..cancel import CancelToken, current_interrupt, set_interrupt
 from ..codegen.exec_plan import ExecutablePlan, IOAction, build_executable_plan
 from ..exceptions import ExecutionError, StorageError
 from ..ir import ArrayKind, Program
@@ -170,7 +171,8 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                  pool: BufferPool | None = None,
                  prefetch_depth: int = 0,
                  prefetch_budget_bytes: int | None = None,
-                 prefetch_workers: int = 1) -> ExecutionReport:
+                 prefetch_workers: int = 1,
+                 cancel: "CancelToken | None" = None) -> ExecutionReport:
     """Run an executable plan against open stores on ``disk``.
 
     ``pool`` injects an externally owned buffer pool (``memory_cap_bytes``
@@ -187,6 +189,14 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
     attribution stays byte-exact: every disk read is traced against the
     statement×array of the access that consumes it, whether it was staged
     ahead or read inline.
+
+    ``cancel`` attaches a :class:`~repro.cancel.CancelToken`: the loop
+    checks it at every instance boundary (raising the token's typed
+    :class:`~repro.exceptions.JobCancelled` /
+    :class:`~repro.exceptions.DeadlineExceeded`), prefetch readers stop
+    claiming, and retry backoffs are cut short — after which the normal
+    ``finally`` teardown discards staged blocks and closes the journal,
+    leaving a checkpointed run resumable.
     """
     if pool is None:
         pool = BufferPool(memory_cap_bytes)
@@ -256,10 +266,17 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                 items, stores, pool, depth=prefetch_depth,
                 budget_bytes=prefetch_budget_bytes,
                 workers=prefetch_workers, io_stats=io_stats, tracer=tracer,
-                completed=start_index - 1)
+                completed=start_index - 1, cancel=cancel)
 
+    # Deep storage retry loops poll the thread-local interrupt: a cancelled
+    # job's backoff sleeps return immediately instead of running out.
+    prev_interrupt = current_interrupt()
+    if cancel is not None:
+        set_interrupt(cancel.event)
     try:
         for index in range(start_index, len(plan.instances)):
+            if cancel is not None:
+                cancel.check()
             inst = plan.instances[index]
             if tracer is not None:
                 tracer.begin("exec.instance", "engine", index=index,
@@ -379,6 +396,8 @@ def execute_plan(plan: ExecutablePlan, stores: Mapping[str, object],
                 if tracer is not None:
                     tracer.end()
     finally:
+        if cancel is not None:
+            set_interrupt(prev_interrupt)
         if pipeline is not None:
             pipeline.close()
         if journal is not None:

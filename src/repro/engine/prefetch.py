@@ -35,6 +35,7 @@ import threading
 import time
 from typing import Mapping, Sequence
 
+from ..cancel import CancelToken, set_interrupt
 from ..codegen.exec_plan import PrefetchItem
 from ..exceptions import ExecutionError
 
@@ -90,7 +91,8 @@ class PrefetchPipeline:
                  stores: Mapping[str, object], pool, *,
                  depth: int, budget_bytes: int | None = None,
                  workers: int = 1, io_stats=None, tracer=None,
-                 completed: int = -1):
+                 completed: int = -1,
+                 cancel: "CancelToken | None" = None):
         if depth < 1:
             raise ExecutionError(f"prefetch depth must be >= 1, got {depth}")
         if not getattr(pool, "thread_safe", False):
@@ -104,6 +106,7 @@ class PrefetchPipeline:
         self._budget = budget_bytes
         self._io_stats = io_stats
         self._tracer = tracer
+        self._cancel = cancel
         self.stats = PrefetchStats()
 
         n = len(self._items)
@@ -122,6 +125,14 @@ class PrefetchPipeline:
             for i in range(max(1, workers))]
         for t in self._threads:
             t.start()
+        if cancel is not None:
+            # Wake readers parked on the condition so they observe the
+            # cancellation promptly instead of sleeping until close().
+            cancel.subscribe(self._wake_all)
+
+    def _wake_all(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
 
     # -- geometry helpers ---------------------------------------------------
 
@@ -191,11 +202,20 @@ class PrefetchPipeline:
         return None
 
     def _reader_loop(self) -> None:
+        # Retry backoffs inside this thread's disk reads observe the job's
+        # cancellation; the thread dies with the pipeline, so no restore.
+        if self._cancel is not None:
+            set_interrupt(self._cancel.event)
         while True:
             with self._cond:
                 run = None
                 while run is None:
                     if self._closing or self._scan >= len(self._items):
+                        return
+                    if self._cancel is not None and self._cancel.cancelled:
+                        # Cancellation checkpoint: claim nothing further.
+                        # Already-claimed runs finish staging; close()
+                        # discards whatever was never consumed.
                         return
                     run = self._claim_locked()
                     if run is None:

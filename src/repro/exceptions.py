@@ -57,6 +57,12 @@ class BufferPoolError(StorageError):
     """Buffer manager failure (cap exceeded, unpin without pin, ...)."""
 
 
+class CircuitOpen(StorageError):
+    """A store's circuit breaker is open: recent persistent failures mean
+    further I/O against it would only burn retry budget, so calls fail
+    fast until the cooldown elapses and a probe succeeds."""
+
+
 class ExecutionError(ReproError):
     """Plan execution failure (kernel error, verification mismatch, ...)."""
 
@@ -79,3 +85,23 @@ class AdmissionRejected(ServiceError):
 
 class AdmissionTimeout(ServiceError):
     """The job waited longer than its admission timeout for memory budget."""
+
+
+class JobCancelled(ServiceError):
+    """The job was cooperatively cancelled before it could complete.
+
+    Raised from the job's future after :meth:`JobHandle.cancel` (or a
+    service shutdown with ``cancel_running=True``) is observed at the next
+    cancellation checkpoint — never the stdlib ``CancelledError``, so every
+    service failure stays a typed :class:`ReproError`.
+    """
+
+
+class DeadlineExceeded(JobCancelled):
+    """The job's deadline (``submit(timeout=/deadline=)``) passed before it
+    finished; treated as a cancellation observed at the next checkpoint."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service is shedding load: new submissions are rejected until the
+    backlog drains below the degradation policy's high-water mark."""

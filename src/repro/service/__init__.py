@@ -3,22 +3,40 @@
 Public surface:
 
 * :class:`ArrayService` — submit jobs (program + params + inputs), get
-  futures of :class:`JobResult`; one shared buffer pool, plan caching,
-  admission control;
+  :class:`JobHandle` futures of :class:`JobResult`; one shared buffer
+  pool, plan caching, admission control, deadlines and cancellation;
+* :class:`JobRetryPolicy` / :func:`classify_error` — automatic
+  retry-with-resume for transiently-failed jobs;
+* :class:`DegradePolicy` / :class:`HealthController` /
+  :class:`CircuitBreaker` — overload-aware graceful degradation;
+* :func:`run_chaos` / :class:`ChaosReport` — the seeded chaos harness
+  auditing the service's resilience invariants;
 * :class:`PlanCache` / :func:`optimization_fingerprint` — the persistent
   plan cache also usable standalone via ``optimize(plan_cache=...)``;
 * :class:`ServiceStats`, :class:`JobPoolView` — accounting and the per-job
   shared-pool facade, exposed for tests and instrumentation.
 """
 
+from .chaos import ChaosReport, run_chaos
 from .plan_cache import PlanCache, optimization_fingerprint
-from .service import ArrayService, JobPoolView, JobResult, ServiceStats
+from .resilience import (CircuitBreaker, DegradePolicy, HealthController,
+                         JobRetryPolicy, classify_error)
+from .service import (ArrayService, JobHandle, JobPoolView, JobResult,
+                      ServiceStats)
 
 __all__ = [
     "ArrayService",
+    "JobHandle",
     "JobResult",
     "JobPoolView",
     "ServiceStats",
+    "JobRetryPolicy",
+    "classify_error",
+    "DegradePolicy",
+    "HealthController",
+    "CircuitBreaker",
+    "ChaosReport",
+    "run_chaos",
     "PlanCache",
     "optimization_fingerprint",
 ]

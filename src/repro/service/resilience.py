@@ -1,0 +1,353 @@
+"""Job- and service-level resilience policies for :class:`ArrayService`.
+
+PR 3 made the *block* layer durable (checksums, bounded retry, atomic
+writes, checkpoint journals); this module lifts that machinery to where
+users feel it:
+
+* :class:`JobRetryPolicy` — automatic retry-with-resume for failed jobs.
+  :func:`classify_error` splits failures into *transient* storage trouble
+  (checksum exhaustion, retry-budget exhaustion, torn writes — worth
+  another attempt through the checkpoint journal) and *permanent* errors
+  (planner/kernel/plan bugs, open circuit breakers — retrying cannot
+  help);
+* :class:`CircuitBreaker` — per-store failure isolation: after
+  ``threshold`` *consecutive* persistent failures the breaker opens and
+  every access fails fast with :class:`~repro.exceptions.CircuitOpen`
+  until a cooldown elapses and a half-open probe succeeds, so a dying
+  "disk" costs one typed error instead of a full retry budget per access;
+* :class:`DegradePolicy` / :class:`HealthController` — the overload
+  ladder.  The controller samples admission-queue depth, in-flight
+  backlog, memory pressure and the shared disk's fault rate, and the
+  service degrades in order of increasing violence: serve plans from the
+  cache only (skip cold Apriori searches), throttle prefetch depth toward
+  zero, and finally shed *new* submissions with
+  :class:`~repro.exceptions.ServiceOverloaded` — running jobs are never
+  cancelled by the controller (reject-new before cancel-running).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from ..exceptions import (CircuitOpen, CorruptBlockError, ExecutionError,
+                          OptimizationError, ProgramError, ScheduleError,
+                          ServiceError, StorageError, TransientIOError)
+
+__all__ = ["JobRetryPolicy", "classify_error", "CircuitBreaker",
+           "DegradePolicy", "HealthController"]
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+
+
+def classify_error(err: BaseException) -> str:
+    """``"transient"`` (worth a retry-with-resume) or ``"permanent"``.
+
+    Transient: persistent checksum failures (:class:`CorruptBlockError` —
+    random corruption usually re-reads clean on the next attempt),
+    exhausted retry budgets and torn writes (a plain :class:`StorageError`
+    whose cause chain carries a :class:`TransientIOError`).  Permanent:
+    planner / program / kernel errors, service errors, and
+    :class:`CircuitOpen` — the breaker exists precisely to *stop* retries
+    against a store that keeps failing.
+    """
+    if isinstance(err, CircuitOpen):
+        return PERMANENT
+    if isinstance(err, (CorruptBlockError, TransientIOError)):
+        return TRANSIENT
+    if isinstance(err, (OptimizationError, ProgramError, ScheduleError,
+                        ExecutionError, ServiceError)):
+        return PERMANENT
+    if isinstance(err, StorageError):
+        # Retry exhaustion and torn-write aborts surface as StorageError
+        # raised ``from TransientIOError``; walk the cause chain.
+        cause = err.__cause__
+        while cause is not None:
+            if isinstance(cause, TransientIOError):
+                return TRANSIENT
+            cause = cause.__cause__
+        return PERMANENT
+    return PERMANENT
+
+
+class JobRetryPolicy:
+    """Automatic retry of failed jobs through the checkpoint journal.
+
+    ``max_attempts`` counts the first execution: 3 means one run plus up
+    to two retries.  ``classify`` maps the failure to ``"transient"`` /
+    ``"permanent"``; only transient failures are retried.  Attaching a
+    policy forces ``checkpoint=True`` on the job, so every retry resumes
+    from the journal and re-executes only unfinished instances.
+    """
+
+    __slots__ = ("max_attempts", "backoff_base", "backoff_cap", "classify")
+
+    def __init__(self, max_attempts: int = 3, backoff_base: float = 0.01,
+                 backoff_cap: float = 0.25, classify=classify_error):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.classify = classify
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the retry following failed attempt ``attempt``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+    def __repr__(self) -> str:
+        return (f"JobRetryPolicy(max_attempts={self.max_attempts}, "
+                f"base={self.backoff_base}, cap={self.backoff_cap})")
+
+
+class CircuitBreaker:
+    """Per-store consecutive-failure trip switch.
+
+    States: *closed* (normal), *open* (every :meth:`allow` raises
+    :class:`CircuitOpen` until ``cooldown`` elapses), *half-open* (one
+    probe call passes; its outcome closes or re-opens the breaker).
+    Only *persistent* failures count — the disk's retry policy has already
+    absorbed what it could by the time an error reaches the breaker.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+    def __init__(self, name: str, threshold: int = 3, cooldown: float = 1.0,
+                 clock=time.monotonic, on_trip=None, on_fastfail=None):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.name = name
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._on_trip = on_trip
+        self._on_fastfail = on_fastfail
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0          # consecutive, reset on success
+        self._opened_at = 0.0
+        self._probing = False       # half-open: one probe in flight
+        self.trips = 0
+        self.fastfails = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> None:
+        """Gate one store access; raises :class:`CircuitOpen` when open."""
+        fastfail = False
+        with self._lock:
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.cooldown:
+                    self._state = self.HALF_OPEN
+                    self._probing = True
+                else:
+                    fastfail = True
+            elif self._state == self.HALF_OPEN:
+                if self._probing:
+                    fastfail = True     # one probe at a time
+                else:
+                    self._probing = True
+            if fastfail:
+                self.fastfails += 1
+        if fastfail:
+            if self._on_fastfail is not None:
+                self._on_fastfail()
+            raise CircuitOpen(
+                f"circuit breaker for store {self.name!r} is "
+                f"{self._state}: {self._failures} consecutive persistent "
+                f"failures (threshold {self.threshold})")
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        tripped = False
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._state == self.HALF_OPEN or \
+                    self._failures >= self.threshold:
+                if self._state != self.OPEN:
+                    tripped = True
+                    self.trips += 1
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+        if tripped and self._on_trip is not None:
+            self._on_trip()
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, {self._state}, "
+                f"failures={self._failures}/{self.threshold}, "
+                f"trips={self.trips})")
+
+
+class DegradePolicy:
+    """Thresholds for the overload ladder (see :class:`HealthController`).
+
+    * ``planner_queue_depth`` — admission queue depth (or in-flight backlog
+      beyond the worker count) at which planning goes plan-cache-only;
+    * ``memory_pressure`` — admitted/cap fraction above which prefetch
+      depth is throttled toward 0 (linearly; 0 at the watermark);
+    * ``fault_rate`` / ``fault_window`` — absorbed faults per second
+      (sliding window) above which the service reports *degraded* health;
+    * ``shed_backlog`` — in-flight jobs (submitted, unfinished) at which
+      new submissions are shed with ``ServiceOverloaded``;
+    * ``breaker_threshold`` / ``breaker_cooldown`` — per-store circuit
+      breaker parameters.
+    """
+
+    __slots__ = ("planner_queue_depth", "memory_pressure", "fault_rate",
+                 "fault_window", "shed_backlog", "breaker_threshold",
+                 "breaker_cooldown")
+
+    def __init__(self, planner_queue_depth: int = 4,
+                 memory_pressure: float = 0.85,
+                 fault_rate: float = 50.0,
+                 fault_window: float = 5.0,
+                 shed_backlog: int | None = 64,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown: float = 1.0):
+        self.planner_queue_depth = planner_queue_depth
+        self.memory_pressure = memory_pressure
+        self.fault_rate = fault_rate
+        self.fault_window = fault_window
+        self.shed_backlog = shed_backlog
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+
+    def __repr__(self) -> str:
+        return (f"DegradePolicy(planner_q={self.planner_queue_depth}, "
+                f"mem={self.memory_pressure}, shed={self.shed_backlog}, "
+                f"breaker={self.breaker_threshold}x)")
+
+
+class HealthController:
+    """Samples service vitals and answers the degradation questions.
+
+    With ``policy=None`` every question answers "healthy" and no breakers
+    exist — the controller is always present so call sites stay branch-free.
+    """
+
+    LEVELS = ("ok", "degraded", "overloaded")
+
+    def __init__(self, service, policy: DegradePolicy | None):
+        self.service = service
+        self.policy = policy
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        # (timestamp, cumulative fault count) samples for the rate window.
+        self._fault_samples: deque = deque()
+
+    # -- signals ------------------------------------------------------------
+
+    def memory_pressure(self) -> float:
+        return self.service.admitted_bytes() / self.service.memory_cap_bytes
+
+    def backlog(self) -> int:
+        """Jobs submitted but unfinished (planning, queued, or running)."""
+        with self.service._lock:
+            return self.service._pending
+
+    def fault_rate(self) -> float:
+        """Absorbed faults (retries + checksum failures) per second over
+        the policy's sliding window."""
+        stats = self.service.disk.stats
+        total = stats.retries + stats.checksum_failures
+        now = time.monotonic()
+        window = self.policy.fault_window if self.policy else 5.0
+        with self._lock:
+            self._fault_samples.append((now, total))
+            while self._fault_samples and \
+                    self._fault_samples[0][0] < now - window:
+                self._fault_samples.popleft()
+            t0, f0 = self._fault_samples[0]
+            span = now - t0
+            if span <= 0:
+                return 0.0
+            return (total - f0) / span
+
+    # -- decisions ----------------------------------------------------------
+
+    def should_shed(self) -> bool:
+        """Reject-new before cancel-running: shed incoming submissions once
+        the in-flight backlog passes the high-water mark."""
+        p = self.policy
+        if p is None or p.shed_backlog is None:
+            return False
+        return self.backlog() >= p.shed_backlog
+
+    def plan_cache_only(self) -> bool:
+        """Skip cold Apriori searches while the queue is deep."""
+        p = self.policy
+        if p is None:
+            return False
+        workers = self.service._executor._max_workers
+        pressure = max(self.service.queue_depth(),
+                       self.backlog() - workers)
+        return pressure >= p.planner_queue_depth
+
+    def effective_prefetch_depth(self, requested: int) -> int:
+        """Throttle prefetch toward 0 as memory pressure approaches the
+        watermark (staging is pure optimization — the first thing to go)."""
+        p = self.policy
+        if p is None or not requested:
+            return requested
+        pressure = self.memory_pressure()
+        if pressure >= p.memory_pressure:
+            return 0
+        return int(requested * (p.memory_pressure - pressure)
+                   / p.memory_pressure)
+
+    def breaker_for(self, store_name: str) -> CircuitBreaker | None:
+        if self.policy is None:
+            return None
+        with self._lock:
+            br = self._breakers.get(store_name)
+            if br is None:
+                stats = self.service.stats
+
+                def trip():
+                    stats.breaker_trips += 1
+
+                def fastfail():
+                    stats.breaker_fastfails += 1
+
+                br = CircuitBreaker(store_name,
+                                    threshold=self.policy.breaker_threshold,
+                                    cooldown=self.policy.breaker_cooldown,
+                                    on_trip=trip, on_fastfail=fastfail)
+                self._breakers[store_name] = br
+            return br
+
+    def level(self) -> str:
+        if self.should_shed():
+            return "overloaded"
+        p = self.policy
+        if p is not None and (
+                self.plan_cache_only()
+                or self.memory_pressure() >= p.memory_pressure
+                or self.fault_rate() >= p.fault_rate):
+            return "degraded"
+        return "ok"
+
+    def snapshot(self) -> dict:
+        open_breakers = [n for n, b in list(self._breakers.items())
+                         if b.state != CircuitBreaker.CLOSED]
+        return {
+            "level": self.level(),
+            "queue_depth": self.service.queue_depth(),
+            "backlog": self.backlog(),
+            "memory_pressure": round(self.memory_pressure(), 4),
+            "fault_rate": round(self.fault_rate(), 3),
+            "open_breakers": open_breakers,
+        }

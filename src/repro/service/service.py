@@ -36,6 +36,19 @@ Fault tolerance composes: the shared disk can carry a fault injector and
 atomic-write protection, and each job may checkpoint to its own journal
 (``<workdir>/jobs/<job>/execution.journal``) and later be resubmitted with
 ``resume=True`` under the *same job name*.
+
+Resilience (see :mod:`repro.service.resilience` and docs/service.md):
+
+* ``submit(timeout=/deadline=)`` attaches a deadline; the returned
+  :class:`JobHandle` supports cooperative :meth:`JobHandle.cancel` — both
+  surface as typed :class:`~repro.exceptions.DeadlineExceeded` /
+  :class:`~repro.exceptions.JobCancelled` at the job's next checkpoint
+  (admission wait, instance boundary, prefetch claim, retry backoff);
+* ``submit(retry=...)`` retries transient storage failures through the
+  checkpoint journal, re-executing only unfinished instances;
+* ``ArrayService(degrade=...)`` arms the overload ladder: plan-cache-only
+  planning, prefetch throttling, load shedding, per-store circuit
+  breakers.
 """
 
 from __future__ import annotations
@@ -50,12 +63,14 @@ from typing import Hashable, Mapping
 
 import numpy as np
 
+from ..cancel import CancelToken
 from ..codegen.exec_plan import build_executable_plan
 from ..engine.executor import ExecutionReport, execute_plan
 from ..engine.journal import ExecutionJournal, plan_fingerprint
 from ..exceptions import (AdmissionRejected, AdmissionTimeout,
-                          OptimizationError, ServiceClosed, ServiceError,
-                          ServiceQueueFull)
+                          DeadlineExceeded, JobCancelled, OptimizationError,
+                          ServiceClosed, ServiceError, ServiceOverloaded,
+                          ServiceQueueFull, StorageError)
 from ..ir import ArrayKind, Program
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
@@ -64,8 +79,11 @@ from ..optimizer.plan import Plan
 from ..storage import (DAFMatrix, FaultInjector, IOStats, RetryPolicy,
                        SharedBufferPool, SimulatedDisk)
 from .plan_cache import PlanCache
+from .resilience import (TRANSIENT, CircuitBreaker, DegradePolicy,
+                         HealthController, JobRetryPolicy)
 
-__all__ = ["ArrayService", "JobResult", "ServiceStats", "JobPoolView"]
+__all__ = ["ArrayService", "JobHandle", "JobResult", "ServiceStats",
+           "JobPoolView"]
 
 _UNSET = object()
 
@@ -74,7 +92,10 @@ class ServiceStats:
     """Service-level accounting, thin views over metrics instruments."""
 
     _COUNTERS = ("jobs_submitted", "jobs_completed", "jobs_failed",
-                 "jobs_rejected", "pins_reclaimed")
+                 "jobs_rejected", "jobs_cancelled", "jobs_deadline_exceeded",
+                 "jobs_shed", "retries_attempted", "retries_exhausted",
+                 "degraded_plans", "prefetch_throttled", "breaker_trips",
+                 "breaker_fastfails", "pins_reclaimed")
     _GAUGES = ("queue_depth", "admitted_bytes", "active_jobs")
 
     __slots__ = tuple("_" + f for f in _COUNTERS + _GAUGES)
@@ -213,11 +234,15 @@ class _CountingStore:
     reader threads and its compute thread both count here, hence the lock.
     """
 
-    __slots__ = ("store", "read_bytes", "write_bytes", "read_ops",
+    __slots__ = ("store", "breaker", "read_bytes", "write_bytes", "read_ops",
                  "write_ops", "_lock")
 
-    def __init__(self, store):
+    def __init__(self, store, breaker: "CircuitBreaker | None" = None):
         self.store = store
+        # Degradation-mode circuit breaker: N consecutive persistent
+        # failures on this store trip it open, and every later access
+        # fails fast with CircuitOpen instead of burning retry budget.
+        self.breaker = breaker
         self.read_bytes = self.write_bytes = 0
         self.read_ops = self.write_ops = 0
         self._lock = threading.Lock()
@@ -226,8 +251,23 @@ class _CountingStore:
     def layout(self):
         return self.store.layout
 
+    def _guarded(self, fn):
+        if self.breaker is None:
+            return fn()
+        self.breaker.allow()
+        try:
+            out = fn()
+        except StorageError:
+            # Only persistent storage failures reach here — the disk's
+            # retry policy has already absorbed what it could.
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return out
+
     def read_block(self, coords, count: bool = True):
-        block = self.store.read_block(coords, count=count)
+        block = self._guarded(
+            lambda: self.store.read_block(coords, count=count))
         if count:
             with self._lock:
                 self.read_bytes += self.store.layout.block_bytes
@@ -235,8 +275,9 @@ class _CountingStore:
         return block
 
     def read_block_run(self, start_coords, nblocks: int, count: bool = True):
-        blocks, extra = self.store.read_block_run(start_coords, nblocks,
-                                                  count=count)
+        blocks, extra = self._guarded(
+            lambda: self.store.read_block_run(start_coords, nblocks,
+                                              count=count))
         if count:
             with self._lock:
                 self.read_bytes += nblocks * self.store.layout.block_bytes
@@ -244,7 +285,8 @@ class _CountingStore:
         return blocks, extra
 
     def write_block(self, coords, block, count: bool = True) -> None:
-        self.store.write_block(coords, block, count=count)
+        self._guarded(
+            lambda: self.store.write_block(coords, block, count=count))
         if count:
             with self._lock:
                 self.write_bytes += self.store.layout.block_bytes
@@ -256,7 +298,8 @@ class _Job:
 
     __slots__ = ("key", "program", "params", "inputs", "memory_cap_bytes",
                  "plan", "plan_exact", "checkpoint", "resume",
-                 "admission_timeout", "workers", "prefetch_depth")
+                 "admission_timeout", "workers", "prefetch_depth",
+                 "token", "retry")
 
     def __init__(self, **kw):
         for f in self.__slots__:
@@ -267,11 +310,11 @@ class JobResult:
     """What a completed job hands back through its future."""
 
     __slots__ = ("job", "outputs", "report", "plan", "cache_hit",
-                 "optimize_seconds", "admission_wait_seconds")
+                 "optimize_seconds", "admission_wait_seconds", "attempts")
 
     def __init__(self, job: str, outputs: dict, report: ExecutionReport,
                  plan: Plan, cache_hit: bool, optimize_seconds: float,
-                 admission_wait_seconds: float):
+                 admission_wait_seconds: float, attempts: int = 1):
         self.job = job
         self.outputs = outputs
         self.report = report
@@ -279,12 +322,39 @@ class JobResult:
         self.cache_hit = cache_hit
         self.optimize_seconds = optimize_seconds
         self.admission_wait_seconds = admission_wait_seconds
+        # Execution attempts this result took (1 = no retries needed).
+        self.attempts = attempts
 
     def __repr__(self) -> str:
         return (f"JobResult({self.job}, plan #{self.plan.index}, "
                 f"cache_hit={self.cache_hit}, "
                 f"read={self.report.io.read_bytes}B, "
+                f"attempts={self.attempts}, "
                 f"waited {self.admission_wait_seconds:.3f}s)")
+
+
+class JobHandle(Future):
+    """The future :meth:`ArrayService.submit` returns, plus cancellation.
+
+    :meth:`cancel` is *cooperative*: it flags the job's
+    :class:`~repro.cancel.CancelToken` and returns — the job observes the
+    flag at its next checkpoint and the future then resolves with a typed
+    :class:`~repro.exceptions.JobCancelled`.  The stdlib CANCELLED state
+    is never used, so ``result()`` always yields either a
+    :class:`JobResult` or a :class:`~repro.exceptions.ReproError` —
+    chaos-harness invariant: every failure is typed.
+    """
+
+    def __init__(self, token: CancelToken):
+        super().__init__()
+        self.token = token
+
+    def cancel(self, reason: str = "cancelled by caller") -> bool:
+        """Request cooperative cancellation; False if already finished."""
+        if self.done():
+            return False
+        self.token.cancel(reason)
+        return True
 
 
 class _Ticket:
@@ -317,7 +387,10 @@ class ArrayService:
                  atomic_writes: bool | None = None,
                  max_set_size: int | None = None,
                  max_candidates: int | None = None,
-                 prefetch_depth: int = 0):
+                 prefetch_depth: int = 0,
+                 degrade: "DegradePolicy | bool | None" = None,
+                 job_timeout: float | None = None,
+                 job_retry: "JobRetryPolicy | int | None" = None):
         if memory_cap_bytes <= 0:
             raise ServiceError("memory_cap_bytes must be positive")
         if workers < 1:
@@ -347,6 +420,10 @@ class ArrayService:
         self.max_set_size = max_set_size
         self.max_candidates = max_candidates
         self.prefetch_depth = int(prefetch_depth)
+        self.job_timeout = job_timeout
+        if isinstance(job_retry, int):
+            job_retry = JobRetryPolicy(max_attempts=job_retry)
+        self.job_retry = job_retry
         self.stats = ServiceStats()
 
         self._executor = ThreadPoolExecutor(workers,
@@ -358,8 +435,12 @@ class ArrayService:
         self._lock = threading.Lock()  # job naming + dataset catalog
         self._job_seq = 0
         self._active: set[str] = set()
+        self._tokens: dict[str, CancelToken] = {}
         self._datasets: dict[str, DAFMatrix] = {}
         self._closed = False
+        if degrade is True:
+            degrade = DegradePolicy()
+        self.health = HealthController(self, degrade or None)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -369,20 +450,36 @@ class ArrayService:
     def __exit__(self, *exc) -> None:
         self.shutdown()
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, cancel_running: bool = False) -> None:
         """Stop accepting jobs; optionally wait for in-flight ones.
 
-        Jobs parked in the admission queue are woken and fail with
-        :class:`~repro.exceptions.ServiceClosed` — shutdown never hangs on
-        a queue that can no longer drain.
+        Jobs parked in the admission queue are woken *immediately* and
+        fail with :class:`~repro.exceptions.ServiceClosed` — shutdown
+        never hangs on a queue that can no longer drain, and a waiter
+        never sleeps out its ``admission_timeout`` first.
+
+        ``cancel_running=True`` additionally cancels every in-flight job's
+        token: running jobs fail with
+        :class:`~repro.exceptions.JobCancelled` at their next checkpoint
+        (and any retry backoff sleeps are cut short), so shutdown bounds
+        on the current instance, not the full remaining plan.
         """
         with self._adm:
             self._closed = True
             self._adm.notify_all()
+        if cancel_running:
+            with self._lock:
+                tokens = list(self._tokens.values())
+            for token in tokens:
+                token.cancel("service shutting down")
         self._executor.shutdown(wait=wait)
         for store in self._datasets.values():
             store.close()
         self.disk.close()
+
+    def close(self, cancel_running: bool = False) -> None:
+        """Synonym for ``shutdown(wait=True)``."""
+        self.shutdown(wait=True, cancel_running=cancel_running)
 
     # -- submission ---------------------------------------------------------
 
@@ -396,8 +493,13 @@ class ArrayService:
                resume: bool = False,
                admission_timeout: "float | None" = _UNSET,
                workers: int | None = None,
-               prefetch_depth: int | None = None) -> "Future[JobResult]":
-        """Queue one job; returns a future resolving to a :class:`JobResult`.
+               prefetch_depth: int | None = None,
+               timeout: "float | None" = _UNSET,
+               deadline: float | None = None,
+               retry: "JobRetryPolicy | int | None" = _UNSET
+               ) -> "JobHandle":
+        """Queue one job; returns a :class:`JobHandle` (a Future of
+        :class:`JobResult`).
 
         ``memory_cap_bytes`` caps *plan selection* for this job (default:
         the service's global cap); admission always checks the chosen
@@ -409,7 +511,42 @@ class ArrayService:
         budget (``depth`` × its largest block) is charged to admission on
         top of the plan's memory high-water mark, so staged bytes never
         eat into what other jobs were promised.
+
+        Resilience knobs:
+
+        * ``timeout`` — whole-job deadline, seconds from now (planning +
+          admission wait + every execution attempt); ``deadline`` is the
+          absolute :func:`time.monotonic` equivalent (the earlier of the
+          two wins).  Expiry surfaces as
+          :class:`~repro.exceptions.DeadlineExceeded` from the future.
+        * ``retry`` — a :class:`~repro.service.JobRetryPolicy` (or an int,
+          shorthand for ``JobRetryPolicy(max_attempts=N)``): transient
+          storage failures re-execute through the checkpoint journal,
+          resuming from the last consistent instance.  Attaching a policy
+          forces ``checkpoint=True``.
+
+        Both default to the service-level ``job_timeout`` / ``job_retry``;
+        pass ``None`` explicitly to opt a job out.
         """
+        # Overload shedding happens before any state is reserved — and
+        # before self._lock, because the health controller reads _pending
+        # under that same lock.
+        if self.health.should_shed():
+            self.stats.jobs_shed += 1
+            raise ServiceOverloaded(
+                f"service is shedding load: {self.health.backlog()} jobs "
+                f"in flight (policy sheds at "
+                f"{self.health.policy.shed_backlog})")
+        if retry is _UNSET:
+            retry = self.job_retry
+        elif isinstance(retry, int):
+            retry = JobRetryPolicy(max_attempts=retry)
+        if timeout is _UNSET:
+            timeout = self.job_timeout
+        dl = deadline
+        if timeout is not None:
+            t = time.monotonic() + timeout
+            dl = t if dl is None else min(dl, t)
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service is shut down")
@@ -425,25 +562,44 @@ class ArrayService:
                 raise ServiceError(f"job name {name!r} already in flight")
             self._active.add(name)
             self._pending += 1
+            token = CancelToken(deadline=dl)
+            self._tokens[name] = token
         self.stats.jobs_submitted += 1
-        timeout = self.admission_timeout if admission_timeout is _UNSET \
+        adm_timeout = self.admission_timeout if admission_timeout is _UNSET \
             else admission_timeout
         depth = self.prefetch_depth if prefetch_depth is None \
             else int(prefetch_depth)
         job = _Job(key=name, program=program, params=dict(params),
                    inputs=dict(inputs), memory_cap_bytes=memory_cap_bytes,
-                   plan=plan, plan_exact=plan_exact, checkpoint=checkpoint,
-                   resume=resume, admission_timeout=timeout, workers=workers,
-                   prefetch_depth=depth)
+                   plan=plan, plan_exact=plan_exact,
+                   # A retry policy needs the journal from attempt one:
+                   # that is what makes a retry a *resume*.
+                   checkpoint=checkpoint or retry is not None,
+                   resume=resume, admission_timeout=adm_timeout,
+                   workers=workers, prefetch_depth=depth,
+                   token=token, retry=retry)
+        handle = JobHandle(token)
         try:
-            return self._executor.submit(self._run_job, job)
+            self._executor.submit(self._drive, job, handle)
         except BaseException as err:
             with self._lock:
                 self._active.discard(name)
                 self._pending -= 1
+                self._tokens.pop(name, None)
             if isinstance(err, RuntimeError):  # pool already shut down
                 raise ServiceClosed("service is shut down") from err
             raise
+        return handle
+
+    def _drive(self, job: _Job, handle: JobHandle) -> None:
+        """Worker-thread entry: run the job, complete its handle."""
+        handle.set_running_or_notify_cancel()
+        try:
+            result = self._run_job(job)
+        except BaseException as err:
+            handle.set_exception(err)
+        else:
+            handle.set_result(result)
 
     def run(self, program: Program, params: Mapping[str, int],
             inputs: Mapping[str, np.ndarray], **kw) -> JobResult:
@@ -452,8 +608,20 @@ class ArrayService:
 
     # -- admission control --------------------------------------------------
 
-    def _admit(self, need: int, timeout: float | None) -> None:
-        """Block until ``need`` bytes of the global budget are ours (FIFO)."""
+    def _wake_admission(self) -> None:
+        with self._adm:
+            self._adm.notify_all()
+
+    def _admit(self, need: int, timeout: float | None,
+               cancel: "CancelToken | None" = None) -> None:
+        """Block until ``need`` bytes of the global budget are ours (FIFO).
+
+        A waiter wakes promptly on service close and on cancellation of
+        its token — never sleeping out its full ``timeout`` first — and a
+        waiter that leaves (timeout, cancel, deadline) removes its ticket
+        and notifies, so the budget it was next in line for is re-offered
+        to the new queue head immediately.
+        """
         if need > self.memory_cap_bytes:
             raise AdmissionRejected(
                 f"plan needs {need} bytes of buffer memory; the service "
@@ -461,6 +629,8 @@ class ArrayService:
                 f"be admitted")
         ticket = _Ticket(need)
         deadline = time.monotonic() + timeout if timeout is not None else None
+        if cancel is not None:
+            cancel.subscribe(self._wake_admission)
         with self._adm:
             self._adm_queue.append(ticket)
             self.stats.queue_depth = len(self._adm_queue)
@@ -469,6 +639,8 @@ class ArrayService:
                     if self._closed:
                         raise ServiceClosed(
                             "service shut down while awaiting admission")
+                    if cancel is not None:
+                        cancel.check()
                     if self._adm_queue[0] is ticket and \
                             self._admitted + need <= self.memory_cap_bytes:
                         self._adm_queue.popleft()
@@ -486,6 +658,13 @@ class ArrayService:
                                 f"no {need} bytes of budget freed within "
                                 f"{timeout:.3f}s (admitted: "
                                 f"{self._admitted}/{self.memory_cap_bytes})")
+                    if cancel is not None:
+                        # Bound the wait by the job deadline too, so expiry
+                        # is noticed the moment it happens.
+                        rem = cancel.remaining()
+                        if rem is not None:
+                            remaining = rem if remaining is None \
+                                else min(remaining, rem)
                     self._adm.wait(remaining)
             except BaseException:
                 self._adm_queue.remove(ticket)
@@ -560,6 +739,8 @@ class ArrayService:
         cap = job.memory_cap_bytes if job.memory_cap_bytes is not None \
             else self.memory_cap_bytes
         opt = Optimizer(job.program, self.io_model)
+        if self.health.plan_cache_only():
+            return self._plan_degraded(job, opt, cap)
         result = opt.optimize(job.params, memory_cap_bytes=cap,
                               max_set_size=self.max_set_size,
                               max_candidates=self.max_candidates,
@@ -572,13 +753,80 @@ class ArrayService:
                 f"no plan for {job.program.name} fits {cap} bytes") from err
         return plan, result.cache_hit, result.seconds
 
+    def _plan_degraded(self, job: _Job, opt: Optimizer, cap: int
+                       ) -> tuple[Plan, bool, float]:
+        """Plan-cache-only planning under queue pressure.
+
+        A cache hit serves the previously-won plan as usual; a miss must
+        NOT start a cold Apriori search while jobs are stacking up —
+        ``max_set_size=0`` costs only the original (share-nothing) plan,
+        which is cheap and always legal.  The degraded plan is not stored
+        to the cache: the next uncontended submission of this template
+        should still pay for (and cache) the real search.
+        """
+        t0 = time.monotonic()
+        self.stats.degraded_plans += 1
+        if self.plan_cache is not None:
+            cached = self.plan_cache.load(
+                job.program, job.params, cap, self.io_model,
+                max_set_size=self.max_set_size,
+                max_candidates=self.max_candidates,
+                dead_write_elimination=opt.dead_write_elimination,
+                block_bytes=None)
+            if cached is not None and cached.fits(cap):
+                obs_trace.instant("service.degraded_plan", "service",
+                                  job=job.key, source="cache")
+                return cached, True, time.monotonic() - t0
+        obs_trace.instant("service.degraded_plan", "service",
+                          job=job.key, source="original")
+        result = opt.optimize(job.params, memory_cap_bytes=cap,
+                              max_set_size=0)
+        try:
+            plan = result.best(cap)
+        except OptimizationError as err:
+            raise AdmissionRejected(
+                f"no plan for {job.program.name} fits {cap} bytes") from err
+        return plan, False, time.monotonic() - t0
+
     def _run_job(self, job: _Job) -> JobResult:
         try:
-            with obs_trace.span("service.job", "service", job=job.key,
-                                program=job.program.name) as sp:
-                result = self._execute_admitted(job, sp)
-            self.stats.jobs_completed += 1
-            return result
+            attempt = 1
+            while True:
+                try:
+                    job.token.check()
+                    with obs_trace.span("service.job", "service", job=job.key,
+                                        program=job.program.name,
+                                        attempt=attempt) as sp:
+                        result = self._execute_admitted(job, sp)
+                    result.attempts = attempt
+                    self.stats.jobs_completed += 1
+                    return result
+                except BaseException as err:
+                    if not self._should_retry(job, attempt, err):
+                        raise
+                    self.stats.retries_attempted += 1
+                    obs_trace.instant("service.retry", "service", job=job.key,
+                                      attempt=attempt,
+                                      error=type(err).__name__)
+                    self._retry_backoff(job, attempt)
+                    # The failed attempt may have died mid-write: roll this
+                    # job's stale undo records back before stores reopen.
+                    # Scoped to the job's private files — concurrent jobs
+                    # have genuinely in-flight undos of their own.
+                    if self.disk.atomic_writes:
+                        prefix = f"{job.key}__"
+                        self.disk.recover(
+                            match=lambda n: n.startswith(prefix))
+                    # Re-enter through the journal: only unfinished
+                    # instances re-execute.
+                    job.resume = True
+                    attempt += 1
+        except JobCancelled as err:
+            if isinstance(err, DeadlineExceeded):
+                self.stats.jobs_deadline_exceeded += 1
+            else:
+                self.stats.jobs_cancelled += 1
+            raise
         except (AdmissionRejected, AdmissionTimeout):
             self.stats.jobs_rejected += 1
             raise
@@ -591,16 +839,56 @@ class ArrayService:
             with self._lock:
                 self._active.discard(job.key)
                 self._pending -= 1
+                self._tokens.pop(job.key, None)
+
+    def _should_retry(self, job: _Job, attempt: int,
+                      err: BaseException) -> bool:
+        if job.retry is None or isinstance(err, ServiceError):
+            # ServiceError covers cancellation, deadlines, admission
+            # failures and shutdown — none of which retrying can fix.
+            return False
+        if job.retry.classify(err) != TRANSIENT:
+            return False
+        if attempt >= job.retry.max_attempts:
+            self.stats.retries_exhausted += 1
+            return False
+        return True
+
+    def _retry_backoff(self, job: _Job, attempt: int) -> None:
+        """Inter-attempt backoff, interruptible by cancel and close."""
+        delay = job.retry.delay(attempt)
+        rem = job.token.remaining()
+        if rem is not None:
+            delay = min(delay, max(0.0, rem))
+        if delay > 0:
+            job.token.event.wait(delay)
+        job.token.check()
+        with self._adm:
+            if self._closed:
+                raise ServiceClosed("service shut down during retry backoff")
 
     def _execute_admitted(self, job: _Job, sp) -> JobResult:
         with obs_trace.span("service.plan", "service", job=job.key):
             plan, cache_hit, opt_seconds = self._plan_job(job)
+        # Pin the plan on the job so a retry replays the *same* plan: the
+        # checkpoint journal is keyed by plan fingerprint, and resume only
+        # works if attempt N+1 fingerprints identically to attempt N.
+        job.plan = plan
+        # Under memory pressure the health controller scales prefetch
+        # read-ahead toward zero so staged blocks stop competing with
+        # computation for the shared budget.
+        depth = self.health.effective_prefetch_depth(job.prefetch_depth)
+        if depth != job.prefetch_depth:
+            self.stats.prefetch_throttled += 1
+            obs_trace.instant("service.prefetch_throttled", "service",
+                              job=job.key, requested=job.prefetch_depth,
+                              effective=depth)
         # The prefetch staging budget is real memory the job will occupy in
         # the shared pool, so admission charges for it alongside the plan's
         # high-water mark — staged blocks never eat other jobs' promises.
         prefetch_budget = 0
-        if job.prefetch_depth:
-            prefetch_budget = job.prefetch_depth * max(
+        if depth:
+            prefetch_budget = depth * max(
                 arr.block_bytes for arr in job.program.arrays.values())
         need = plan.cost.memory_bytes + prefetch_budget
         sp["plan"] = plan.index
@@ -610,7 +898,7 @@ class ArrayService:
         t0 = time.monotonic()
         with obs_trace.span("service.admission", "service", job=job.key,
                             need_bytes=need):
-            self._admit(need, job.admission_timeout)
+            self._admit(need, job.admission_timeout, cancel=job.token)
         wait = time.monotonic() - t0
         self.stats.active_jobs += 1
         private_prefix = f"{job.key}__"
@@ -625,7 +913,8 @@ class ArrayService:
                 journal = ExecutionJournal(jpath, plan_fingerprint(exec_plan))
                 resuming = job.resume and jpath.exists()
             stores, names = self._setup_stores(job, resuming)
-            counted = {n: _CountingStore(s) for n, s in stores.items()}
+            counted = {n: _CountingStore(s, breaker=self.health.breaker_for(
+                           names[n])) for n, s in stores.items()}
             view = JobPoolView(self.pool, names, owner=job.key)
 
             with obs_trace.span("service.execute", "service", job=job.key):
@@ -633,9 +922,10 @@ class ArrayService:
                                       plan_exact=job.plan_exact,
                                       journal=journal, resume=resuming,
                                       pool=view,
-                                      prefetch_depth=job.prefetch_depth,
+                                      prefetch_depth=depth,
                                       prefetch_budget_bytes=prefetch_budget
-                                      if job.prefetch_depth else None)
+                                      if depth else None,
+                                      cancel=job.token)
             outputs = {n: stores[n].read_matrix(count=False)
                        for n, arr in job.program.arrays.items()
                        if arr.kind is ArrayKind.OUTPUT}

@@ -304,6 +304,15 @@ class BufferPool:
     def pinned_bytes(self) -> int:
         return sum(b.nbytes for b in self._blocks.values() if b.pins > 0)
 
+    def total_pins(self) -> int:
+        """Sum of all pin counts — 0 on a quiesced pool (leak check)."""
+        return sum(b.pins for b in self._blocks.values())
+
+    def staged_marks(self) -> int:
+        """Resident blocks still carrying a stage mark — 0 once every
+        pipeline has consumed or discarded its staging (leak check)."""
+        return sum(1 for b in self._blocks.values() if b.staged)
+
     def __len__(self) -> int:
         return len(self._blocks)
 
@@ -558,6 +567,14 @@ class SharedBufferPool(BufferPool):
         with self._cond:
             return super().pinned_bytes()
 
+    def total_pins(self) -> int:
+        with self._cond:
+            return super().total_pins()
+
+    def staged_marks(self) -> int:
+        with self._cond:
+            return super().staged_marks()
+
     def __len__(self) -> int:
         with self._cond:
             return len(self._blocks)
@@ -640,6 +657,14 @@ class LockedPool:
     def pinned_bytes(self) -> int:
         with self._lock:
             return self.pool.pinned_bytes()
+
+    def total_pins(self) -> int:
+        with self._lock:
+            return self.pool.total_pins()
+
+    def staged_marks(self) -> int:
+        with self._lock:
+            return self.pool.staged_marks()
 
     def __len__(self) -> int:
         with self._lock:

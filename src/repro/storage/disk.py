@@ -220,19 +220,27 @@ class SimulatedDisk:
         """Undo records left behind by writes that died mid-flight."""
         return sorted(self.root.glob(f".*{_UNDO_SUFFIX}"))
 
-    def recover(self) -> int:
+    def recover(self, match=None) -> int:
         """Roll back every interrupted write to its pre-write image.
 
         Call before opening stores (e.g. at the start of a resumed run):
         each surviving undo record restores the bytes the torn write
         clobbered, and stale staging temps are removed.  Returns the number
         of regions restored.
+
+        ``match`` (a predicate on the target file name) scopes recovery to
+        one job's files — a live multi-query service retrying a failed job
+        must roll back *that job's* stale undos without touching undo
+        records of writes other jobs have genuinely in flight.
         """
         for tmp in self.root.glob(f".*{_UNDO_SUFFIX}.tmp"):
-            tmp.unlink()
+            if match is None or match(_parse_undo_name(tmp.name[:-4])[0]):
+                tmp.unlink()
         restored = 0
         for undo in self.pending_undos():
             target, offset = _parse_undo_name(undo.name)
+            if match is not None and not match(target):
+                continue
             path = self.root / target
             if path.exists():
                 data = undo.read_bytes()

@@ -28,6 +28,7 @@ import time
 from fnmatch import fnmatch
 from typing import Iterable, Sequence
 
+from ..cancel import current_interrupt
 from ..obs import trace as obs_trace
 
 __all__ = ["FaultPolicy", "FaultInjector", "InjectedFault", "RetryPolicy"]
@@ -58,10 +59,25 @@ class RetryPolicy:
             return 0.0
         return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
 
-    def sleep(self, attempt: int) -> None:
+    def sleep(self, attempt: int, interrupt=None) -> None:
+        """Back off before retry ``attempt`` — interruptibly.
+
+        ``interrupt`` is a :class:`threading.Event`; when set (job
+        cancellation, service shutdown) the backoff returns immediately so
+        the bounded retry loop drains fast and the caller reaches its next
+        cancellation checkpoint without stalling.  Defaults to the
+        thread-local interrupt installed by the executor / prefetch
+        readers (:func:`repro.cancel.interrupt_scope`), so the deep
+        ``DiskFile`` retry loops need no signature change.
+        """
         d = self.delay(attempt)
-        if d > 0:
+        if d <= 0:
+            return
+        ev = interrupt if interrupt is not None else current_interrupt()
+        if ev is None:
             time.sleep(d)
+        else:
+            ev.wait(d)
 
     def __repr__(self) -> str:
         return (f"RetryPolicy(max_retries={self.max_retries}, "

@@ -340,3 +340,71 @@ class TestPrefetch:
     def test_negative_depth_rejected(self, tmp_path):
         with pytest.raises(ServiceError):
             ArrayService(tmp_path, memory_cap_bytes=CAP, prefetch_depth=-1)
+
+
+class TestAdmissionResilience:
+    def test_close_wakes_long_timeout_waiter_immediately(self, prog,
+                                                         best_plan,
+                                                         tmp_path):
+        """A waiter parked with a 300 s admission timeout must resolve with
+        ServiceClosed the moment the service closes — not after 300 s."""
+        import threading
+        import time
+
+        need = best_plan.cost.memory_bytes
+        svc = ArrayService(tmp_path, memory_cap_bytes=need + 1000, workers=1)
+        svc._admit(need, None)  # occupy: the job below parks in admission
+        fut = svc.submit(prog, P, _inputs(prog, 0), plan=best_plan,
+                         admission_timeout=300.0)
+        deadline = time.monotonic() + 10
+        while svc.queue_depth() == 0:
+            assert time.monotonic() < deadline, "job never queued"
+            time.sleep(0.005)
+        t0 = time.monotonic()
+        t = threading.Thread(target=svc.shutdown)
+        t.start()
+        with pytest.raises(ServiceClosed):
+            fut.result(timeout=60)
+        assert time.monotonic() - t0 < 10.0, \
+            "close() did not promptly wake the admission waiter"
+        t.join(timeout=60)
+        assert not t.is_alive()
+
+    def test_fifo_fairness_under_mixed_timeouts(self, prog, best_plan,
+                                                tmp_path):
+        """A queue head that times out must not starve the tickets behind
+        it: its budget claim is withdrawn in ``finally`` and the freed
+        budget re-offered to the (new) head of the queue."""
+        import time
+
+        from repro.exceptions import AdmissionTimeout as _AT
+
+        need = best_plan.cost.memory_bytes
+        with ArrayService(tmp_path, memory_cap_bytes=need + 1000,
+                          workers=3) as svc:
+            svc._admit(need, None)  # occupy so every job queues
+            try:
+                impatient = svc.submit(prog, P, _inputs(prog, 0),
+                                       plan=best_plan,
+                                       admission_timeout=0.05)
+                deadline = time.monotonic() + 10
+                while svc.queue_depth() == 0:
+                    assert time.monotonic() < deadline
+                    time.sleep(0.005)
+                patient = [svc.submit(prog, P, _inputs(prog, s),
+                                      plan=best_plan,
+                                      admission_timeout=120.0)
+                           for s in (1, 2)]
+                with pytest.raises(_AT):
+                    impatient.result(timeout=60)
+            finally:
+                svc._release_admission(need)
+            # With the head's claim withdrawn the freed budget flows to
+            # the patient tickets in order; both must complete.
+            for fut in patient:
+                r = fut.result(timeout=120)
+                assert r.attempts == 1
+            assert svc.queue_depth() == 0
+            assert svc.admitted_bytes() == 0
+            assert svc.stats.jobs_rejected == 1
+            assert svc.stats.jobs_completed == 2

@@ -82,6 +82,35 @@ class TestRetryPolicy:
     def test_zero_base_never_sleeps(self):
         assert RetryPolicy(3, backoff_base=0).delay(4) == 0.0
 
+    def test_sleep_interruptible_by_event(self):
+        """A set interrupt event turns a long backoff into an immediate
+        return — cancellation must not wait out the retry schedule."""
+        import threading
+        import time
+
+        p = RetryPolicy(3, backoff_base=5.0, backoff_cap=5.0)
+        ev = threading.Event()
+        ev.set()
+        t0 = time.monotonic()
+        p.sleep(1, interrupt=ev)
+        assert time.monotonic() - t0 < 1.0
+
+    def test_sleep_uses_thread_local_interrupt(self):
+        """Deep disk retry loops pick the interrupt up from the ambient
+        scope — no signature changes down the storage stack."""
+        import threading
+        import time
+
+        from repro.cancel import interrupt_scope
+
+        p = RetryPolicy(3, backoff_base=5.0, backoff_cap=5.0)
+        ev = threading.Event()
+        ev.set()
+        t0 = time.monotonic()
+        with interrupt_scope(ev):
+            p.sleep(1)
+        assert time.monotonic() - t0 < 1.0
+
 
 class TestTransientFaults:
     def test_read_absorbed_and_counted(self, tmp_path):
