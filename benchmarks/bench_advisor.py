@@ -1,0 +1,119 @@
+"""Advisor benchmark: a mixed 50-job workload through the full closed loop.
+
+Three tenant groups, chosen to exercise every concrete analyzer:
+
+* 30 ``add_multiply`` jobs sharing A and B (one seed) with per-job D —
+  block-geometry rescaling applies, and the shared intermediate C is
+  materializable across all 30 jobs;
+* 12 ``linreg`` jobs sharing the design matrix X with per-job responses Y —
+  the Gram matrix U = X'X (and its inverse W) depend on X alone, so one
+  producer can feed all 12;
+* 8 small ``two_matmul`` jobs over distinct inputs — the no-sharing
+  control: nothing to materialize, geometry may still apply.
+
+The bench measures the baseline, runs the analyzer battery, verifies every
+recommendation by re-running (predictions within tolerance or flagged),
+and asserts the applied set cuts measured I/O by >= 15% — the subsystem's
+acceptance bar.  Writes ``BENCH_advisor.json`` with one record per
+recommendation class plus the workload mix and the combined reduction.
+"""
+
+import json
+import time
+
+from conftest import banner, save_artifact
+from repro.advisor import (AdvisorConfig, AdvisorContext, JobSpec,
+                           WorkloadSpec, measured_io_bytes, run_analyzers,
+                           run_workload, validate_recommendations)
+
+CAP = 8 << 20
+TOLERANCE = 0.02
+
+
+def mixed_spec() -> WorkloadSpec:
+    jobs = [JobSpec("add_multiply", {"n1": 4, "n2": 4, "n3": 1}, seed=0,
+                    seeds={"D": 200 + i}, plan_exact=True,
+                    name=f"am{i:02}") for i in range(30)]
+    jobs += [JobSpec("linreg", {"n": 6},
+                     args={"x_block": [120, 20], "y_cols": 4}, seed=1,
+                     seeds={"Y": 300 + i}, plan_exact=True,
+                     name=f"lr{i:02}") for i in range(12)]
+    jobs += [JobSpec("two_matmul", {"n1": 2, "n2": 2, "n3": 2, "n4": 1},
+                     args={"a_shape": [60, 40], "b_shape": [40, 50],
+                           "d_shape": [40, 30]}, seed=400 + i,
+                     plan_exact=True, name=f"tm{i}") for i in range(8)]
+    return WorkloadSpec(jobs)
+
+
+def test_advisor_closed_loop(tmp_path_factory):
+    wd = tmp_path_factory.mktemp("advisor_bench")
+    spec = mixed_spec()
+    config = AdvisorConfig.from_spec(
+        spec, memory_cap_bytes=CAP, workers=2, max_candidates=400,
+        plan_cache=str(wd / "plancache"))
+    assert len(config.jobs) == 50
+
+    banner("Advisor closed loop: 50-job mixed workload "
+           "(30 add_multiply / 12 linreg / 8 two_matmul)")
+
+    t0 = time.perf_counter()
+    baseline = run_workload(config, wd / "baseline")
+    baseline_wall = time.perf_counter() - t0
+    before = measured_io_bytes(baseline)
+    print(f"baseline: {before / 1e6:.2f} MB measured I/O "
+          f"({baseline_wall:.1f}s wall)")
+
+    t0 = time.perf_counter()
+    recs = run_analyzers(AdvisorContext(config, profile=baseline))
+    analyze_wall = time.perf_counter() - t0
+    concrete = [r for r in recs if not r.advisory]
+    print(f"analyzers: {len(recs)} recommendation(s), "
+          f"{len(concrete)} concrete ({analyze_wall:.1f}s)")
+    for r in recs:
+        print(f"  [{r.kind}] {r.title}: predicted "
+              f"{r.predicted_saved_bytes / 1e6:+.2f} MB")
+    kinds = {r.kind for r in concrete}
+    assert "block_geometry" in kinds
+    assert "materialize" in kinds
+
+    t0 = time.perf_counter()
+    summary = validate_recommendations(config, concrete, wd / "validate",
+                                       baseline=baseline,
+                                       tolerance=TOLERANCE)
+    validate_wall = time.perf_counter() - t0
+
+    records = []
+    for r, verdict in zip(concrete, summary["recommendations"]):
+        print(f"  [{r.kind}] measured {r.measured_saved_bytes / 1e6:+.2f} MB "
+              f"(error {r.validation_error:.2%} of workload"
+              f"{', MISPREDICTED' if r.mispredicted else ''})")
+        assert r.validated
+        assert not r.mispredicted, (r.title, r.validation_error)
+        records.append({
+            "kind": r.kind, "title": r.title,
+            "predicted_before_bytes": r.predicted_before_bytes,
+            "predicted_after_bytes": r.predicted_after_bytes,
+            "measured_before_bytes": r.measured_before_bytes,
+            "measured_after_bytes": r.measured_after_bytes,
+            "validation_error": r.validation_error,
+        })
+
+    reduction = summary["reduction"]
+    print(f"applied set: {before / 1e6:.2f} -> "
+          f"{summary['combined_bytes'] / 1e6:.2f} MB "
+          f"({reduction:.1%} reduction, {validate_wall:.1f}s verification)")
+    assert reduction >= 0.15, f"applied set saved only {reduction:.1%}"
+
+    save_artifact("BENCH_advisor.json", json.dumps({
+        "workload": {"jobs": 50, "add_multiply": 30, "linreg": 12,
+                     "two_matmul": 8, "memory_cap_bytes": CAP},
+        "baseline_bytes": before,
+        "combined_bytes": summary["combined_bytes"],
+        "reduction": reduction,
+        "tolerance": TOLERANCE,
+        "advisory_kinds": sorted(r.kind for r in recs if r.advisory),
+        "recommendations": records,
+        "wall_seconds": {"baseline": round(baseline_wall, 3),
+                         "analyze": round(analyze_wall, 3),
+                         "validate": round(validate_wall, 3)},
+    }, indent=2) + "\n")

@@ -6,11 +6,16 @@ bigger blocks for the unoptimized plan, or on sharing-optimized schedules?
 The advisor evaluates block-size options with the full optimizer and
 recommends the joint winner under a memory cap.
 
+The single-program advisor now lives in the full advisor subsystem
+(``repro.advisor``); its workload-level generalization is
+``python -m repro advise``, which rescales block geometry across a whole
+traced workload and verifies the predicted savings by re-running.
+
 Run:  python examples/block_size_advisor.py
 """
 
 from repro import add_multiply_program
-from repro.extensions import BlockSizeAdvisor
+from repro.advisor import BlockSizeAdvisor
 
 params = {"n1": 4, "n2": 4, "n3": 1}
 

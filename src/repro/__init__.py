@@ -17,7 +17,9 @@ The package implements the paper's full stack:
 * an opt-in observability subsystem — structured tracing, metrics, and
   predicted-vs-actual cost-model validation (:mod:`repro.obs`),
 * a concurrent multi-query service with plan caching, admission
-  control, and inter-query I/O sharing (:mod:`repro.service`).
+  control, and inter-query I/O sharing (:mod:`repro.service`),
+* a workload-driven storage advisor that turns obs traces into costed,
+  applied, verified recommendations (:mod:`repro.advisor`).
 
 Quickstart::
 
@@ -35,7 +37,9 @@ Quickstart::
     best = result.best(memory_cap_bytes=2 * 1024 ** 2)
 """
 
-from . import obs
+from . import advisor, obs
+from .advisor import (AdvisorConfig, JobSpec, Recommendation,
+                      WorkloadProfile, WorkloadSpec)
 from .analysis import analyze
 from .codegen import build_executable_plan, render_c
 from .engine import reference_outputs, run_program
@@ -80,5 +84,11 @@ __all__ = [
     "linreg_config",
     "generate_inputs",
     "obs",
+    "advisor",
+    "AdvisorConfig",
+    "JobSpec",
+    "Recommendation",
+    "WorkloadProfile",
+    "WorkloadSpec",
     "__version__",
 ]

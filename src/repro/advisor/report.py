@@ -1,0 +1,96 @@
+"""Advisor output: ranked human-readable report + machine JSON document."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .recommendations import Recommendation
+from .workload import WorkloadProfile
+
+__all__ = ["REPORT_VERSION", "render_report", "report_doc", "write_report"]
+
+#: Version of the machine-readable report document (its ``"v"`` field).
+REPORT_VERSION = 1
+
+
+def _mb(n: float) -> str:
+    return f"{n / 1e6:,.2f} MB"
+
+
+def render_report(recs: Sequence[Recommendation],
+                  profile: WorkloadProfile | None = None,
+                  validation: Mapping | None = None,
+                  top: int | None = None) -> str:
+    """The ranked terminal report (already-ranked input order is kept)."""
+    lines = []
+    if profile is not None:
+        t = profile.totals
+        lines.append(
+            f"Workload: {int(t.get('jobs', 0))} jobs, "
+            f"{_mb(t.get('read_bytes', 0))} read / "
+            f"{_mb(t.get('write_bytes', 0))} written "
+            f"({len(profile.programs)} program template(s))")
+        if profile.pool:
+            lines.append(
+                f"Buffer pool: {profile.pool.get('hit_rate', 0.0):.0%} hit "
+                f"rate ({int(profile.pool.get('hits', 0))} hits / "
+                f"{int(profile.pool.get('misses', 0))} misses, "
+                f"{int(profile.pool.get('evictions', 0))} evictions)")
+        lines.append("")
+    shown = recs if top is None else recs[:top]
+    if not shown:
+        lines.append("No recommendations: the workload already runs at the "
+                     "cost model's floor for its configuration.")
+        return "\n".join(lines) + "\n"
+    lines.append(f"Top {len(shown)} recommendation(s) of {len(recs)}:")
+    for i, r in enumerate(shown, 1):
+        tag = "advisory" if r.advisory else \
+            f"saves {_mb(r.predicted_saved_bytes)} " \
+            f"({r.predicted_saved_fraction:.1%}), " \
+            f"{r.predicted_saved_seconds:.3f} model-s"
+        lines.append(f"{i:2}. [{r.kind}] {r.title}")
+        lines.append(f"    {tag}; confidence {r.confidence:.0%}")
+        if r.validated:
+            verdict = "MISPREDICTED" if r.mispredicted else "validated"
+            lines.append(
+                f"    {verdict}: measured {_mb(r.measured_saved_bytes)} "
+                f"saved (error {r.validation_error:.2%} of workload, "
+                f"tolerance {r.validation_tolerance:.2%})")
+        for dl in r.detail.splitlines():
+            lines.append(f"    {dl}")
+    if validation is not None and validation.get("reduction") is not None:
+        lines.append("")
+        lines.append(
+            f"Applied set: {_mb(validation['baseline_bytes'])} → "
+            f"{_mb(validation['combined_bytes'])} measured I/O "
+            f"({validation['reduction']:.1%} reduction)")
+    return "\n".join(lines) + "\n"
+
+
+def report_doc(recs: Sequence[Recommendation],
+               profile: WorkloadProfile | None = None,
+               validation: Mapping | None = None,
+               config: Mapping | None = None) -> dict:
+    """The machine-readable counterpart (versioned, JSON-serializable)."""
+    doc = {"v": REPORT_VERSION, "kind": "repro.advisor.report",
+           "recommendations": [r.to_dict() for r in recs]}
+    if config is not None:
+        doc["config"] = dict(config)
+    if profile is not None:
+        doc["workload"] = {"totals": profile.totals,
+                           "programs": {
+                               k: {f: v for f, v in rec.items()
+                                   if f != "jobs"}
+                               for k, rec in profile.programs.items()},
+                           "pool": profile.pool}
+    if validation is not None:
+        doc["validation"] = dict(validation)
+    return doc
+
+
+def write_report(path, recs, profile=None, validation=None,
+                 config=None) -> None:
+    doc = report_doc(recs, profile, validation, config)
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -11,7 +11,12 @@ Commands:
 * ``serve``    — batch mode for the multi-query service: run a JSONL job
   file through one :class:`~repro.service.ArrayService` (shared buffer
   pool, plan cache, admission control) and report per-job I/O, cache
-  hits, and queue statistics.
+  hits, and queue statistics;
+* ``advise``   — the workload-driven storage advisor: profile a workload
+  (live baseline run, or offline from an exported ``--trace``/``--metrics``
+  pair), emit ranked costed recommendations (block geometry,
+  materialization, layout, memory budget, prefetch), and with ``--apply``
+  verify every prediction by re-running the workload.
 
 Example job file (one JSON object per line)::
 
@@ -144,11 +149,63 @@ def main(argv: list[str] | None = None) -> int:
                             "plan searches when the queue is deep, and "
                             "trip per-store circuit breakers")
 
+    advise = sub.add_parser("advise")
+    advise.add_argument("--jobs", required=True, metavar="FILE",
+                        help="JSONL workload spec: one job object per line "
+                             "({\"program\": ..., \"params\": {...}, "
+                             "\"seed\": 0, \"seeds\": {\"D\": 1}, "
+                             "\"count\": 4, ...}).  Required — observed "
+                             "traces carry neither input seeds nor builder "
+                             "geometry, so the spec is the re-runnable "
+                             "half of the workload")
+    advise.add_argument("--trace", default=None, metavar="FILE",
+                        help="offline path: profile the workload from this "
+                             "exported JSONL trace instead of running a "
+                             "baseline (schema-versioned; older traces are "
+                             "read tolerantly, newer ones refused)")
+    advise.add_argument("--metrics", default=None, metavar="FILE",
+                        help="metrics snapshot accompanying --trace (the "
+                             "versioned JSON document, a legacy flat "
+                             "snapshot, or Prometheus text exposition)")
+    advise.add_argument("--apply", action="store_true",
+                        help="verify the recommendations: re-run the "
+                             "workload once per recommendation and once "
+                             "with the whole set applied, scoring every "
+                             "prediction against measurement")
+    advise.add_argument("--json", default=None, metavar="FILE",
+                        help="write the machine-readable report document "
+                             "(versioned JSON) to FILE")
+    advise.add_argument("--top", type=int, default=None, metavar="N",
+                        help="print only the N highest-ranked "
+                             "recommendations (all are validated and "
+                             "reported in --json)")
+    advise.add_argument("--workdir", default=None,
+                        help="working directory for baseline/verification "
+                             "runs (default: a temp dir)")
+    advise.add_argument("--memory-cap", type=int, default=8 << 20,
+                        help="service memory budget in bytes for the "
+                             "analyzed configuration (default 8 MiB)")
+    advise.add_argument("--prefetch", type=int, default=0, metavar="DEPTH",
+                        help="prefetch depth of the analyzed configuration")
+    advise.add_argument("--service-workers", type=int, default=2,
+                        help="executor threads for workload runs (default 2)")
+    advise.add_argument("--tolerance", type=float, default=0.02,
+                        help="relative savings-error tolerance for "
+                             "prediction validation, as a fraction of "
+                             "workload bytes (default 0.02)")
+    advise.add_argument("--min-savings", type=float, default=None,
+                        metavar="FRAC",
+                        help="exit 1 unless the applied recommendation set "
+                             "reduces measured I/O bytes by at least FRAC "
+                             "(e.g. 0.15); requires --apply")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "advise":
+        return _advise(args)
     return _optimize(args, explain=args.command == "explain")
 
 
@@ -434,6 +491,75 @@ def _serve(args) -> int:
             print(f"metrics exposition -> {args.metrics_out}")
             obs.disable()
     return 1 if failures else 0
+
+
+def _advise(args) -> int:
+    from .advisor import (AdvisorConfig, AdvisorContext, WorkloadProfile,
+                          WorkloadSpec, measured_io_bytes, render_report,
+                          run_analyzers, run_workload,
+                          validate_recommendations, write_report)
+    from .exceptions import AdvisorError
+
+    if args.min_savings is not None and not args.apply:
+        raise SystemExit("--min-savings requires --apply (it judges "
+                         "*measured* bytes, not predictions)")
+    try:
+        spec = WorkloadSpec.from_jsonl(args.jobs)
+    except AdvisorError as err:
+        raise SystemExit(str(err))
+    config = AdvisorConfig.from_spec(spec, memory_cap_bytes=args.memory_cap,
+                                     prefetch_depth=args.prefetch,
+                                     workers=args.service_workers)
+
+    def advise_in(workdir) -> int:
+        from pathlib import Path
+        workdir = Path(workdir)
+        try:
+            if args.trace:
+                profile = WorkloadProfile.from_files(args.trace, args.metrics)
+                print(f"profiled {int(profile.totals.get('jobs', 0))} jobs "
+                      f"offline from {args.trace}"
+                      + (f" + {args.metrics}" if args.metrics else ""))
+            else:
+                print(f"running baseline: {len(config.jobs)} jobs ...")
+                profile = run_workload(config, workdir / "baseline")
+                print(f"baseline measured I/O: "
+                      f"{measured_io_bytes(profile) / 1e6:.2f} MB")
+        except AdvisorError as err:
+            raise SystemExit(str(err))
+
+        recs = run_analyzers(AdvisorContext(config, profile))
+        validation = None
+        if args.apply and recs:
+            print(f"verifying {len(recs)} recommendation(s) by re-running "
+                  f"the workload ...")
+            validation = validate_recommendations(
+                config, recs, workdir / "verify", tolerance=args.tolerance,
+                baseline=None if args.trace else profile)
+        print()
+        print(render_report(recs, profile, validation, top=args.top), end="")
+        if args.json:
+            write_report(args.json, recs, profile, validation,
+                         config=config.describe())
+            print(f"\nreport document -> {args.json}")
+        mispredicted = sum(1 for r in recs if r.mispredicted)
+        if mispredicted:
+            print(f"\nWARNING: {mispredicted} recommendation(s) "
+                  f"mispredicted beyond tolerance {args.tolerance:.2%}")
+        if args.min_savings is not None:
+            reduction = (validation or {}).get("reduction") or 0.0
+            if reduction < args.min_savings:
+                print(f"\nFAIL: applied set reduced measured I/O by "
+                      f"{reduction:.1%} < required {args.min_savings:.1%}")
+                return 1
+            print(f"\nOK: applied set reduced measured I/O by "
+                  f"{reduction:.1%} (required {args.min_savings:.1%})")
+        return 0
+
+    if args.workdir:
+        return advise_in(args.workdir)
+    with tempfile.TemporaryDirectory() as workdir:
+        return advise_in(workdir)
 
 
 if __name__ == "__main__":

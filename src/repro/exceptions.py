@@ -105,3 +105,9 @@ class DeadlineExceeded(JobCancelled):
 class ServiceOverloaded(ServiceError):
     """The service is shedding load: new submissions are rejected until the
     backlog drains below the degradation policy's high-water mark."""
+
+
+class AdvisorError(ReproError):
+    """Workload-advisor failure: unreadable trace/metrics input, a schema
+    newer than this reader, or an unapplicable recommendation
+    (see :mod:`repro.advisor`)."""

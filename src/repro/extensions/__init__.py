@@ -1,5 +1,11 @@
-"""Extensions beyond the paper's evaluated system (its Section 7 roadmap)."""
+"""Extensions beyond the paper's evaluated system (its Section 7 roadmap).
 
-from .blocksize import BlockSizeAdvisor, BlockSizeChoice
+The block-size advisor that used to live here grew into the full
+:mod:`repro.advisor` subsystem; the re-exports below are kept for
+backward compatibility (importing the ``blocksize`` submodule itself
+raises a :class:`DeprecationWarning`).
+"""
+
+from ..advisor.blocksize import BlockSizeAdvisor, BlockSizeChoice
 
 __all__ = ["BlockSizeAdvisor", "BlockSizeChoice"]

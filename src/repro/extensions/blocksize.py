@@ -1,78 +1,24 @@
-"""Block-size advisor — the paper's ongoing-work extension (Section 7).
+"""Deprecated shim: the block-size advisor moved to
+:mod:`repro.advisor.blocksize`.
 
-The paper closes by proposing to *jointly* optimize array block sizes and
-I/O sharing, and motivates it with the clubsuit experiment of Figure 3(a):
-giving the unoptimized plan bigger blocks (more memory) still loses badly to
-sharing-optimized plans.  This module implements the joint search: the
-caller supplies a program factory parameterized by a block-size option, and
-the advisor runs the full sharing optimizer for every option, returning the
-(option, plan) pair with the least I/O that fits the memory cap.
+This module re-exports :class:`BlockSizeAdvisor` / :class:`BlockSizeChoice`
+for backward compatibility and emits a :class:`DeprecationWarning` on
+import.  New code should use :mod:`repro.advisor` — either the identical
+single-program :class:`~repro.advisor.BlockSizeAdvisor`, or the
+workload-level :class:`~repro.advisor.BlockGeometryAnalyzer` that
+generalizes it (rescaling block geometry at fixed logical size and
+validating the prediction with an applied re-run).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+import warnings
 
-from ..exceptions import OptimizationError
-from ..ir import Program
-from ..optimizer import IOModel, OptimizationResult, Plan, optimize
+from ..advisor.blocksize import BlockSizeAdvisor, BlockSizeChoice
 
-__all__ = ["BlockSizeChoice", "BlockSizeAdvisor"]
+__all__ = ["BlockSizeAdvisor", "BlockSizeChoice"]
 
-
-class BlockSizeChoice:
-    """One evaluated option: the factory argument, its plans, its best plan."""
-
-    __slots__ = ("option", "result", "best")
-
-    def __init__(self, option, result: OptimizationResult, best: Plan | None):
-        self.option = option
-        self.result = result
-        self.best = best
-
-    def __repr__(self) -> str:
-        if self.best is None:
-            return f"BlockSizeChoice({self.option!r}: no plan fits)"
-        return (f"BlockSizeChoice({self.option!r}: io={self.best.cost.io_seconds:.1f}s, "
-                f"mem={self.best.cost.memory_bytes / 1e6:.0f}MB)")
-
-
-class BlockSizeAdvisor:
-    """Joint block-size + I/O-sharing optimization."""
-
-    def __init__(self, program_factory: Callable[..., Program],
-                 params: Mapping[str, int],
-                 io_model: IOModel | None = None,
-                 block_bytes_factory: Callable[..., Mapping[str, int]] | None = None):
-        self.program_factory = program_factory
-        self.params = dict(params)
-        self.io_model = io_model or IOModel()
-        # Optional: paper-scale byte sizes per option (for predicted seconds).
-        self.block_bytes_factory = block_bytes_factory
-
-    def evaluate(self, option, memory_cap_bytes: int | None = None,
-                 max_set_size: int | None = None) -> BlockSizeChoice:
-        program = self.program_factory(option)
-        block_bytes = (self.block_bytes_factory(option)
-                       if self.block_bytes_factory else None)
-        result = optimize(program, self.params, io_model=self.io_model,
-                          max_set_size=max_set_size, block_bytes=block_bytes)
-        try:
-            best = result.best(memory_cap_bytes)
-        except OptimizationError:
-            best = None
-        return BlockSizeChoice(option, result, best)
-
-    def sweep(self, options: Iterable, memory_cap_bytes: int | None = None,
-              max_set_size: int | None = None) -> list[BlockSizeChoice]:
-        return [self.evaluate(opt, memory_cap_bytes, max_set_size)
-                for opt in options]
-
-    def recommend(self, options: Iterable, memory_cap_bytes: int | None = None,
-                  max_set_size: int | None = None) -> BlockSizeChoice:
-        """The option whose best fitting plan has the least I/O time."""
-        choices = self.sweep(options, memory_cap_bytes, max_set_size)
-        fitting = [c for c in choices if c.best is not None]
-        if not fitting:
-            raise OptimizationError("no block-size option fits the memory cap")
-        return min(fitting, key=lambda c: c.best.cost.io_seconds)
+warnings.warn(
+    "repro.extensions.blocksize moved to repro.advisor.blocksize; "
+    "import BlockSizeAdvisor from repro.advisor instead",
+    DeprecationWarning, stacklevel=2)

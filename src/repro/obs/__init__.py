@@ -33,7 +33,8 @@ Typical use::
 from __future__ import annotations
 
 from . import metrics, trace, validate
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      read_snapshot)
 from .trace import (JsonlSink, TraceEvent, Tracer, chrome_trace,
                     jsonl_to_chrome, read_jsonl)
 from .validate import CostValidation, ValidationRow, validate_cost
@@ -42,7 +43,7 @@ __all__ = [
     "trace", "metrics", "validate",
     "Tracer", "TraceEvent", "JsonlSink", "chrome_trace", "jsonl_to_chrome",
     "read_jsonl",
-    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "read_snapshot",
     "CostValidation", "ValidationRow", "validate_cost",
     "enable", "disable", "enabled",
 ]

@@ -18,12 +18,22 @@ For tests, :meth:`MetricsRegistry.snapshot` captures every series as a flat
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 from contextlib import contextmanager
+from pathlib import Path
 from typing import Mapping
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "install", "uninstall", "use", "CURRENT"]
+__all__ = ["SCHEMA_VERSION", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "read_snapshot", "install", "uninstall", "use",
+           "CURRENT"]
+
+#: Version of the JSON snapshot-document schema written by
+#: :meth:`MetricsRegistry.write_snapshot`.  Documents carry it as ``"v"``;
+#: a bare flat ``{"series": value}`` object (no ``"v"``) is the pre-version
+#: legacy form and is read as v0 by :func:`read_snapshot`.
+SCHEMA_VERSION = 1
 
 #: The process-global registry; ``None`` means metrics collection is off.
 CURRENT: "MetricsRegistry | None" = None
@@ -226,6 +236,20 @@ class MetricsRegistry:
                 out[f"{name}{_render_labels(labels)}"] = value
         return out
 
+    def snapshot_doc(self) -> dict:
+        """Versioned JSON-serializable snapshot document.
+
+        The ``series`` member is exactly :meth:`snapshot`; ``"v"`` is
+        :data:`SCHEMA_VERSION` so offline readers can detect format drift.
+        """
+        return {"v": SCHEMA_VERSION, "kind": "repro.metrics.snapshot",
+                "series": self.snapshot()}
+
+    def write_snapshot(self, path: str | os.PathLike) -> None:
+        """Write :meth:`snapshot_doc` as JSON; pair with :func:`read_snapshot`."""
+        Path(path).write_text(json.dumps(self.snapshot_doc(), indent=2,
+                                         sort_keys=True) + "\n")
+
     def diff(self, before: Mapping[str, float]) -> dict[str, float]:
         """Per-series delta versus an earlier :meth:`snapshot` (zero deltas
         and vanished series omitted; new series count from zero)."""
@@ -239,6 +263,52 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._series)} series)"
+
+
+def read_snapshot(path: str | os.PathLike) -> dict[str, float]:
+    """Read a metrics snapshot file back into the flat series dict.
+
+    Tolerant across formats: a versioned :meth:`MetricsRegistry.snapshot_doc`
+    document (``"v"`` ≤ :data:`SCHEMA_VERSION`), the legacy flat
+    ``{"name{labels}": value}`` JSON object (read as v0), or a
+    Prometheus-style text exposition (``expose_text`` output).  A document
+    from a *newer* writer raises ``ValueError`` instead of misparsing.
+    """
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return _parse_exposition(text)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a metrics snapshot (JSON {type(doc).__name__})")
+    if "series" in doc and isinstance(doc["series"], dict):
+        v = doc.get("v", 0)
+        if not isinstance(v, int) or v > SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: snapshot schema v{v} is newer than this reader "
+                f"(supports <= v{SCHEMA_VERSION})")
+        return {str(k): float(x) for k, x in doc["series"].items()}
+    # Legacy flat form: every value must already be a number.
+    if any(not isinstance(x, (int, float)) for x in doc.values()):
+        raise ValueError(f"{path}: not a metrics snapshot")
+    return {str(k): float(x) for k, x in doc.items()}
+
+
+def _parse_exposition(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition back into a flat series dict."""
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise ValueError(f"exposition line {lineno}: {line!r}")
+        try:
+            out[name] = float(value)
+        except ValueError as err:
+            raise ValueError(f"exposition line {lineno}: {line!r}") from err
+    return out
 
 
 # -- global installation -------------------------------------------------------

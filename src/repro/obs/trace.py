@@ -32,9 +32,17 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Mapping
 
-__all__ = ["TraceEvent", "Tracer", "JsonlSink", "chrome_trace",
-           "jsonl_to_chrome", "read_jsonl", "install", "uninstall", "use",
-           "span", "instant", "CURRENT"]
+__all__ = ["SCHEMA_VERSION", "TraceEvent", "Tracer", "JsonlSink",
+           "chrome_trace", "jsonl_to_chrome", "read_jsonl", "install",
+           "uninstall", "use", "span", "instant", "CURRENT"]
+
+#: Version of the JSONL trace-line schema.  Every serialized event carries
+#: it as ``"v"`` so downstream readers (``repro.advisor``, external tools)
+#: can tell an old trace from a new one instead of silently misparsing.
+#: History: lines without ``"v"`` predate versioning and are read as v0;
+#: v1 added the field itself plus the service-job end-args the advisor
+#: consumes (params, array name map, per-job I/O totals).
+SCHEMA_VERSION = 1
 
 #: The process-global tracer; ``None`` means observability is off and every
 #: instrumented call site short-circuits on an ``is None`` check.
@@ -57,8 +65,9 @@ class TraceEvent:
         self.args = args
 
     def to_dict(self) -> dict:
-        d = {"name": self.name, "cat": self.cat, "ph": self.ph,
-             "ts": round(self.ts, 9), "tid": self.tid, "depth": self.depth}
+        d = {"v": SCHEMA_VERSION, "name": self.name, "cat": self.cat,
+             "ph": self.ph, "ts": round(self.ts, 9), "tid": self.tid,
+             "depth": self.depth}
         if self.args:
             d["args"] = self.args
         return d
@@ -69,25 +78,36 @@ class TraceEvent:
 
 
 class JsonlSink:
-    """Streams events to a JSONL file, one JSON object per line."""
+    """Streams events to a JSONL file, one JSON object per line.
+
+    Writes are serialized on an internal lock: concurrent emitters (the
+    multi-query service traces from every worker thread) would otherwise
+    race the buffered text layer, which is not thread-safe and can flush
+    corrupt buffer regions into the file.
+    """
 
     def __init__(self, path: str | os.PathLike):
         self.path = Path(path)
         self._fh = open(self.path, "w")
+        self._lock = threading.Lock()
         self.writes = 0
 
     def write(self, event: TraceEvent) -> None:
-        self._fh.write(json.dumps(event.to_dict()) + "\n")
-        self.writes += 1
+        line = json.dumps(event.to_dict()) + "\n"
+        with self._lock:
+            self._fh.write(line)
+            self.writes += 1
 
     def flush(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
 
     def close(self) -> None:
-        if not self._fh.closed:
-            self._fh.flush()
-            self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
 
     def __repr__(self) -> str:
         return f"JsonlSink({self.path}, {self.writes} events)"

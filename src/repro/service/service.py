@@ -76,9 +76,9 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..optimizer import IOModel, Optimizer
 from ..optimizer.plan import Plan
-from ..storage import (DAFMatrix, FaultInjector, IOStats, RetryPolicy,
-                       SharedBufferPool, SimulatedDisk)
-from .plan_cache import PlanCache
+from ..storage import (DAFMatrix, FaultInjector, IOStats, LABTree,
+                       RetryPolicy, SharedBufferPool, SimulatedDisk)
+from .plan_cache import PlanCache, optimization_fingerprint
 from .resilience import (TRANSIENT, CircuitBreaker, DegradePolicy,
                          HealthController, JobRetryPolicy)
 
@@ -86,6 +86,10 @@ __all__ = ["ArrayService", "JobHandle", "JobResult", "ServiceStats",
            "JobPoolView"]
 
 _UNSET = object()
+
+#: Private-store layouts the service can synthesize, with the on-disk file
+#: that marks an existing store of that format (the resume probe).
+_STORE_FACTORIES = {"daf": (DAFMatrix, ".daf"), "labtree": (LABTree, ".labt")}
 
 
 class ServiceStats:
@@ -390,7 +394,8 @@ class ArrayService:
                  prefetch_depth: int = 0,
                  degrade: "DegradePolicy | bool | None" = None,
                  job_timeout: float | None = None,
-                 job_retry: "JobRetryPolicy | int | None" = None):
+                 job_retry: "JobRetryPolicy | int | None" = None,
+                 store_format: "str | Mapping[str, str]" = "daf"):
         if memory_cap_bytes <= 0:
             raise ServiceError("memory_cap_bytes must be positive")
         if workers < 1:
@@ -424,6 +429,18 @@ class ArrayService:
         if isinstance(job_retry, int):
             job_retry = JobRetryPolicy(max_attempts=job_retry)
         self.job_retry = job_retry
+        # Private (intermediate/output) store layout: "daf" or "labtree",
+        # either service-wide or per logical array name ({"C": "labtree"},
+        # with an optional "default" fallback key).  INPUT datasets stay DAF:
+        # the content-addressed catalog is shared across formats and its
+        # dense run-batched reads are what prefetch banks on.
+        if isinstance(store_format, str):
+            store_format = {"default": store_format}
+        self.store_format = {str(k): str(v) for k, v in store_format.items()}
+        for fmt in self.store_format.values():
+            if fmt not in _STORE_FACTORIES:
+                raise ServiceError(f"unknown store format {fmt!r} "
+                                   f"(known: {sorted(_STORE_FACTORIES)})")
         self.stats = ServiceStats()
 
         self._executor = ThreadPoolExecutor(workers,
@@ -690,13 +707,21 @@ class ArrayService:
         h.update(canon.tobytes())
         return h.hexdigest()[:16]
 
+    def _format_for(self, lname: str) -> tuple[type, str]:
+        fmt = self.store_format.get(lname,
+                                    self.store_format.get("default", "daf"))
+        return _STORE_FACTORIES[fmt]
+
     def _setup_stores(self, job: _Job, resuming: bool
                       ) -> tuple[dict[str, DAFMatrix], dict[str, str]]:
         """Open/create every array's store; returns (stores, name map).
 
         INPUT arrays land in the content-addressed shared catalog — one
         store per distinct (content, geometry), written once, never per
-        job.  Everything else is private under ``<job>__<array>``.
+        job.  Everything else is private under ``<job>__<array>`` in the
+        layout ``store_format`` picks for that array: DAF preallocates its
+        dense extent up front, LAB-tree materializes blocks on first write
+        (no setup traffic; unwritten blocks occupy no disk).
         """
         stores: dict[str, DAFMatrix] = {}
         names: dict[str, str] = {}
@@ -720,13 +745,15 @@ class ArrayService:
                             store.write_matrix(job.inputs[lname], count=False)
                         self._datasets[gname] = store
             else:
+                factory, marker = self._format_for(lname)
                 gname = f"{job.key}__{lname}"
-                if resuming and self.disk.exists(gname + ".daf"):
-                    store = DAFMatrix.open(self.disk, gname)
+                if resuming and self.disk.exists(gname + marker):
+                    store = factory.open(self.disk, gname)
                 else:
-                    store = DAFMatrix.create(self.disk, gname, grid,
-                                             arr.block_shape, dtype)
-                    store.preallocate()
+                    store = factory.create(self.disk, gname, grid,
+                                           arr.block_shape, dtype)
+                    if factory is DAFMatrix:
+                        store.preallocate()
             stores[lname] = store
             names[lname] = gname
         return stores, names
@@ -941,6 +968,32 @@ class ArrayService:
             report.io = io
             report.simulated_io_seconds = self.io_model.seconds(
                 io.read_bytes, io.write_bytes)
+            if obs_trace.CURRENT is not None:
+                # Enrich the job span's end event with everything the
+                # workload advisor needs to rebuild a profile offline from
+                # the JSONL trace alone (repro.advisor.workload).
+                cap = job.memory_cap_bytes \
+                    if job.memory_cap_bytes is not None \
+                    else self.memory_cap_bytes
+                sp["fingerprint"] = optimization_fingerprint(
+                    job.program, job.params, cap, self.io_model,
+                    max_set_size=self.max_set_size,
+                    max_candidates=self.max_candidates)
+                sp["params"] = dict(job.params)
+                sp["arrays"] = dict(names)
+                sp["plan_exact"] = job.plan_exact
+                sp["prefetch_depth"] = depth
+                sp["memory_bytes"] = plan.cost.memory_bytes
+                sp["predicted_read_bytes"] = plan.cost.read_bytes
+                sp["predicted_write_bytes"] = plan.cost.write_bytes
+                sp["read_bytes"] = io.read_bytes
+                sp["write_bytes"] = io.write_bytes
+                sp["read_ops"] = io.read_ops
+                sp["write_ops"] = io.write_ops
+                sp["pool_hits"] = report.pool_hits
+                sp["pool_misses"] = report.pool_misses
+                sp["optimize_seconds"] = opt_seconds
+                sp["admission_wait_seconds"] = wait
             return JobResult(job.key, outputs, report, plan, cache_hit,
                              opt_seconds, wait)
         finally:

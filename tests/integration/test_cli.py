@@ -99,3 +99,30 @@ def test_demo_parallel_search_validates(capsys):
                  "--validate-cost"]) == 0
     out = capsys.readouterr().out
     assert "cost-model validation: PASS" in out
+
+
+JOBS_JSONL = """\
+{"program": "add_multiply", "params": {"n1": 2, "n2": 2, "n3": 1}, "seed": 0, "seeds": {"D": 1}, "plan_exact": true}
+{"program": "add_multiply", "params": {"n1": 2, "n2": 2, "n3": 1}, "seed": 0, "seeds": {"D": 2}, "plan_exact": true}
+"""
+
+
+def test_advise_command_live_baseline(tmp_path, capsys):
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text(JOBS_JSONL)
+    report = tmp_path / "report.json"
+    assert main(["advise", "--jobs", str(jobs), "--json", str(report),
+                 "--workdir", str(tmp_path / "wd")]) == 0
+    out = capsys.readouterr().out
+    assert "Workload: 2 jobs" in out
+    assert "recommendation" in out
+    doc = json.loads(report.read_text())
+    assert doc["kind"] == "repro.advisor.report"
+    assert doc["recommendations"]
+
+
+def test_advise_min_savings_requires_apply(tmp_path):
+    jobs = tmp_path / "jobs.jsonl"
+    jobs.write_text(JOBS_JSONL)
+    with pytest.raises(SystemExit, match="requires --apply"):
+        main(["advise", "--jobs", str(jobs), "--min-savings", "0.1"])

@@ -99,6 +99,39 @@ class TestJsonl:
         sink.close()
         sink.close()
 
+    def test_events_carry_schema_version(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        t = trace.Tracer(sink=trace.JsonlSink(path))
+        t.instant("io", "storage")
+        t.close()
+        (event,) = trace.read_jsonl(path)
+        assert event["v"] == trace.SCHEMA_VERSION
+
+    def test_concurrent_writes_stay_line_atomic(self, tmp_path):
+        """Unsynchronized writers through one buffered text handle can
+        flush corrupt buffer regions into the file; the sink must
+        serialize them (regression: service worker threads share the
+        sink)."""
+        path = tmp_path / "t.jsonl"
+        t = trace.Tracer(sink=trace.JsonlSink(path), keep=False)
+        n_threads, per_thread = 8, 500
+
+        def hammer(tid):
+            for i in range(per_thread):
+                t.instant("io", "storage", tid=tid, i=i, pad="x" * 200)
+
+        threads = [threading.Thread(target=hammer, args=(k,))
+                   for k in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        t.close()
+        events = trace.read_jsonl(path)  # raises on any mangled line
+        assert len(events) == n_threads * per_thread
+        seen = {(e["args"]["tid"], e["args"]["i"]) for e in events}
+        assert len(seen) == n_threads * per_thread
+
 
 class TestGlobalInstall:
     def test_module_helpers_noop_when_disabled(self):
