@@ -11,7 +11,9 @@ Commands:
 * ``serve``    — batch mode for the multi-query service: run a JSONL job
   file through one :class:`~repro.service.ArrayService` (shared buffer
   pool, plan cache, admission control) and report per-job I/O, cache
-  hits, and queue statistics;
+  hits, queue statistics and latency percentiles; ``--shards`` stripes
+  the service disk, ``--backend procs`` executes jobs in worker
+  processes (see docs/service.md "Scaling out");
 * ``advise``   — the workload-driven storage advisor: profile a workload
   (live baseline run, or offline from an exported ``--trace``/``--metrics``
   pair), emit ranked costed recommendations (block geometry,
@@ -148,6 +150,28 @@ def main(argv: list[str] | None = None) -> int:
                             "prefetch under memory pressure, skip cold "
                             "plan searches when the queue is deep, and "
                             "trip per-store circuit breakers")
+    serve.add_argument("--backend", choices=("threads", "procs"),
+                       default="threads",
+                       help="job execution backend: \"threads\" shares one "
+                            "disk and buffer pool; \"procs\" runs each "
+                            "admitted job in a worker process with a "
+                            "private (sharded) disk and merges its I/O "
+                            "attribution and metrics back (default threads)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="stripe the service disk across N independent "
+                            "shards with per-shard fault/retry domains "
+                            "(default 1 = a plain single disk)")
+    serve.add_argument("--stripe-bytes", type=int, default=None,
+                       help="stripe unit for --shards > 1 (default 64 KiB)")
+    serve.add_argument("--io-pace", type=float, default=0.0,
+                       help="wall-clock pacing: sleep this multiple of the "
+                            "modeled transfer time per counted I/O "
+                            "(default 0 = off)")
+    serve.add_argument("--pace-channels", type=int, default=None,
+                       help="concurrent paced transfers per disk/shard "
+                            "(1 models one device channel, making shard "
+                            "count show up in throughput; default "
+                            "unbounded)")
 
     advise = sub.add_parser("advise")
     advise.add_argument("--jobs", required=True, metavar="FILE",
@@ -396,7 +420,11 @@ def _serve(args) -> int:
                           prefetch_depth=args.prefetch,
                           job_timeout=args.deadline,
                           job_retry=args.job_retries,
-                          degrade=bool(args.degrade)) as svc:
+                          degrade=bool(args.degrade),
+                          backend=args.backend, shards=args.shards,
+                          stripe_bytes=args.stripe_bytes,
+                          io_pace=args.io_pace,
+                          pace_channels=args.pace_channels) as svc:
             futures = []
             for spec, lineno in jobs:
                 builder = builders.get(spec["program"])
@@ -461,6 +489,17 @@ def _serve(args) -> int:
             print(f"\n{s.jobs_completed}/{s.jobs_submitted} jobs completed, "
                   f"{s.jobs_rejected} rejected, {s.jobs_failed} failed; "
                   f"disk totals: {svc.disk.stats!r}")
+            if s.jobs_completed:
+                q = s.job_seconds.quantiles()
+                print("job latency (submit -> result): "
+                      + ", ".join(f"{k}={v:.3f}s" for k, v in q.items()
+                                  if v is not None))
+            if args.shards > 1:
+                per = ", ".join(
+                    f"shard{i}: {st.read_bytes / 1e6:.2f}/"
+                    f"{st.write_bytes / 1e6:.2f} MB r/w"
+                    for i, st in enumerate(svc.disk.shard_stats()))
+                print(f"shard traffic: {per}")
             resilience = (s.jobs_cancelled + s.jobs_deadline_exceeded
                           + s.jobs_shed + s.retries_attempted
                           + s.degraded_plans + s.breaker_trips)
@@ -487,7 +526,17 @@ def _serve(args) -> int:
     finally:
         if observing:
             from pathlib import Path
-            Path(args.metrics_out).write_text(registry.expose_text())
+            text = registry.expose_text()
+            quantiles = registry.quantiles()
+            if quantiles:
+                lines = ["# Histogram quantile estimates (linear "
+                         "interpolation within buckets):"]
+                for series, qs in sorted(quantiles.items()):
+                    est = ", ".join(f"{k}={v:.6g}" for k, v in qs.items()
+                                    if v is not None)
+                    lines.append(f"# quantiles {series} {est}")
+                text += "\n".join(lines) + "\n"
+            Path(args.metrics_out).write_text(text)
             print(f"metrics exposition -> {args.metrics_out}")
             obs.disable()
     return 1 if failures else 0

@@ -44,7 +44,7 @@ from ..obs.validate import RESUME_STMT, CostValidation, validate_cost
 from ..optimizer.costing import IOModel
 from ..optimizer.plan import Plan
 from ..storage import (BufferPool, DAFMatrix, FaultInjector, IOStats, LABTree,
-                       LockedPool, RetryPolicy, SimulatedDisk)
+                       LockedPool, RetryPolicy, SimulatedDisk, make_disk)
 from .journal import ExecutionJournal, plan_fingerprint
 from .kernels import run_kernel
 from .prefetch import PrefetchPipeline, PrefetchStats
@@ -436,7 +436,10 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                 validate: "bool | float" = False,
                 prefetch_depth: int = 0,
                 prefetch_budget_bytes: int | None = None,
-                io_pace: float = 0.0
+                io_pace: float = 0.0,
+                shards: int = 1,
+                stripe_bytes: int | None = None,
+                pace_channels: int | None = None
                 ) -> tuple[ExecutionReport, dict[str, np.ndarray]]:
     """Create storage, load inputs, execute, read back outputs.
 
@@ -480,15 +483,31 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
     * ``io_pace`` — scale real sleeps onto counted I/O (``pace`` of the
       :class:`SimulatedDisk`): 1.0 makes wall clock reflect the modeled
       disk, which is how the overlap benchmark measures hidden I/O time.
+
+    Scale-out:
+
+    * ``shards`` — stripe the run's stores across this many independent
+      disks (:class:`~repro.storage.sharding.ShardedDisk`); 1 keeps the
+      plain single disk.  ``faults`` may then be a sequence of per-shard
+      injectors (``None`` entries allowed) to confine faults to a shard;
+    * ``stripe_bytes`` — stripe unit for sharded runs;
+    * ``pace_channels`` — cap concurrent paced transfers per disk/shard
+      (``None`` = historical unbounded pacing).
     """
     factory = {"daf": DAFMatrix, "labtree": LABTree}.get(store_format)
     if factory is None:
         raise ExecutionError(f"unknown store format {store_format!r}")
 
-    injector = FaultInjector.transient(seed=faults) \
-        if isinstance(faults, int) else faults
+    per_shard_injectors = None
+    if isinstance(faults, (list, tuple)):
+        per_shard_injectors = list(faults)
+        injector = None
+    else:
+        injector = FaultInjector.transient(seed=faults) \
+            if isinstance(faults, int) else faults
     if atomic_writes is None:
-        atomic_writes = injector is not None or checkpoint or resume
+        atomic_writes = injector is not None \
+            or per_shard_injectors is not None or checkpoint or resume
     workdir = Path(workdir)
     exec_plan = build_executable_plan(program, params, plan)
     journal = None
@@ -517,9 +536,18 @@ def run_program(program: Program, params: Mapping[str, int], plan: Plan,
                                     - plan.cost.memory_bytes)
 
     model = io_model or IOModel()
-    with scope, SimulatedDisk(workdir, model, pace=io_pace,
-                              fault_injector=injector, retry=retry,
-                              atomic_writes=atomic_writes) as disk:
+    disk_kw: dict = {}
+    if stripe_bytes is not None:
+        disk_kw["stripe_bytes"] = stripe_bytes
+    if per_shard_injectors is not None:
+        if shards <= 1:
+            raise ExecutionError(
+                "per-shard fault injectors need shards > 1")
+        disk_kw["fault_injectors"] = per_shard_injectors
+    with scope, make_disk(workdir, shards, io_model=model, pace=io_pace,
+                          pace_channels=pace_channels,
+                          fault_injector=injector, retry=retry,
+                          atomic_writes=atomic_writes, **disk_kw) as disk:
         stores: dict[str, object] = {}
         try:
             if resuming:

@@ -66,8 +66,23 @@ class Counter:
     def inc(self, n: float = 1) -> None:
         self.value += n
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another instrument's total into this one (additive)."""
+        self.value += other.value
+
     def series(self) -> list[tuple[str, dict, float]]:
         return [(self.name, self.labels, self.value)]
+
+    # Slotted classes need explicit state for pickling (worker processes
+    # ship their registries back to the parent for merging).
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "labels": self.labels,
+                "value": self.value}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.labels = state["labels"]
+        self.value = state["value"]
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name}{_render_labels(self.labels)}={self.value})"
@@ -121,6 +136,70 @@ class Histogram:
                     self.counts[i] += 1
                     return
             self.counts[-1] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Requires identical bucket bounds — merging across different
+        bucketings would silently misplace observations.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"{self.name}: cannot merge histograms with different "
+                f"buckets {other.buckets} vs {self.buckets}")
+        with self._lock:
+            for i, c in enumerate(other.counts):
+                self.counts[i] += c
+            self.sum += other.sum
+            self.count += other.count
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (Prometheus ``histogram_quantile``).
+
+        Linear interpolation inside the bucket holding rank ``q * count``;
+        the first finite bucket interpolates from 0, and ranks landing in
+        the ``+Inf`` bucket clamp to the largest finite bound (the estimate
+        a scrape-side ``histogram_quantile`` would report).  Returns
+        ``None`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        with self._lock:
+            total = self.count
+            counts = list(self.counts)
+        if total == 0:
+            return None
+        rank = q * total
+        cum = 0
+        lower = 0.0
+        for le, c in zip(self.buckets, counts):
+            prev = cum
+            cum += c
+            if cum >= rank and c > 0:
+                frac = (rank - prev) / c
+                return lower + (le - lower) * min(1.0, frac)
+            lower = le
+        return self.buckets[-1] if self.buckets else float("nan")
+
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.9, 0.99)
+                  ) -> dict[str, float | None]:
+        """``{"p50": ..., "p90": ..., "p99": ...}`` estimates per ``qs``."""
+        return {f"p{q * 100:g}": self.quantile(q) for q in qs}
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"name": self.name, "labels": self.labels,
+                    "buckets": self.buckets, "counts": list(self.counts),
+                    "sum": self.sum, "count": self.count}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.labels = state["labels"]
+        self.buckets = state["buckets"]
+        self.counts = state["counts"]
+        self.sum = state["sum"]
+        self.count = state["count"]
+        self._lock = threading.Lock()
 
     def series(self) -> list[tuple[str, dict, float]]:
         out = []
@@ -205,6 +284,45 @@ class MetricsRegistry:
             self._seq[prefix] = n
             return f"{prefix}{n}"
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every series of ``other`` into this registry (additive).
+
+        The scale-out primitive: worker processes pickle their registries
+        home and the parent merges them, so multi-process exposition shows
+        the same totals a single-process run would have counted.  Matching
+        (name, labels) series merge in place — counters and gauges add,
+        histograms add per-bucket (identical bounds required); series this
+        registry has never seen are copied in.  ``other`` is left untouched.
+        """
+        with other._lock:
+            incoming = list(other._series.items())
+        with self._lock:
+            for key, inst in incoming:
+                mine = self._series.get(key)
+                if mine is None:
+                    # Copy, never adopt: the two registries must not end up
+                    # sharing live mutable instruments across processes.
+                    clone = type(inst).__new__(type(inst))
+                    clone.__setstate__(inst.__getstate__())
+                    self._series[key] = clone
+                elif type(mine).kind == type(inst).kind:
+                    mine.merge(inst)
+                else:
+                    raise ValueError(
+                        f"series {key[0]}{dict(key[1])}: kind mismatch "
+                        f"({mine.kind} vs {inst.kind})")
+            for prefix, n in other._seq.items():
+                self._seq[prefix] = max(self._seq.get(prefix, 0), n)
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"series": dict(self._series), "seq": dict(self._seq)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._series = state["series"]
+        self._seq = state["seq"]
+        self._lock = threading.RLock()
+
     # -- export --------------------------------------------------------------
 
     def instruments(self) -> list:
@@ -236,14 +354,30 @@ class MetricsRegistry:
                 out[f"{name}{_render_labels(labels)}"] = value
         return out
 
+    def quantiles(self, qs: tuple[float, ...] = (0.5, 0.9, 0.99)
+                  ) -> dict[str, dict[str, float | None]]:
+        """Per-histogram quantile estimates, keyed like :meth:`snapshot`.
+
+        ``{"name{label=value}": {"p50": ..., "p90": ..., "p99": ...}}`` for
+        every non-empty histogram series.
+        """
+        out: dict[str, dict[str, float | None]] = {}
+        for inst in self.instruments():
+            if isinstance(inst, Histogram) and inst.count:
+                out[f"{inst.name}{_render_labels(inst.labels)}"] = \
+                    inst.quantiles(qs)
+        return out
+
     def snapshot_doc(self) -> dict:
         """Versioned JSON-serializable snapshot document.
 
         The ``series`` member is exactly :meth:`snapshot`; ``"v"`` is
         :data:`SCHEMA_VERSION` so offline readers can detect format drift.
+        ``quantiles`` (additive, same schema version — v1 readers ignore
+        unknown members) carries p50/p90/p99 estimates per histogram.
         """
         return {"v": SCHEMA_VERSION, "kind": "repro.metrics.snapshot",
-                "series": self.snapshot()}
+                "series": self.snapshot(), "quantiles": self.quantiles()}
 
     def write_snapshot(self, path: str | os.PathLike) -> None:
         """Write :meth:`snapshot_doc` as JSON; pair with :func:`read_snapshot`."""

@@ -23,6 +23,8 @@ from .resilience import (CircuitBreaker, DegradePolicy, HealthController,
                          JobRetryPolicy, classify_error)
 from .service import (ArrayService, JobHandle, JobPoolView, JobResult,
                       ServiceStats)
+from .workers import (CountingStore, WorkerJobSpec, WorkerOutcome,
+                      run_worker_job)
 
 __all__ = [
     "ArrayService",
@@ -39,4 +41,8 @@ __all__ = [
     "run_chaos",
     "PlanCache",
     "optimization_fingerprint",
+    "CountingStore",
+    "WorkerJobSpec",
+    "WorkerOutcome",
+    "run_worker_job",
 ]

@@ -57,7 +57,8 @@ import hashlib
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import (BrokenExecutor, Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor)
 from pathlib import Path
 from typing import Hashable, Mapping
 
@@ -76,20 +77,23 @@ from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..optimizer import IOModel, Optimizer
 from ..optimizer.plan import Plan
-from ..storage import (DAFMatrix, FaultInjector, IOStats, LABTree,
-                       RetryPolicy, SharedBufferPool, SimulatedDisk)
+from ..storage import (DAFMatrix, FaultInjector, IOStats, RetryPolicy,
+                       SharedBufferPool, make_disk)
 from .plan_cache import PlanCache, optimization_fingerprint
 from .resilience import (TRANSIENT, CircuitBreaker, DegradePolicy,
                          HealthController, JobRetryPolicy)
+from .workers import (STORE_FACTORIES, CountingStore, WorkerJobSpec,
+                      cleanup_jobdir, run_worker_job)
 
 __all__ = ["ArrayService", "JobHandle", "JobResult", "ServiceStats",
            "JobPoolView"]
 
 _UNSET = object()
 
-#: Private-store layouts the service can synthesize, with the on-disk file
-#: that marks an existing store of that format (the resume probe).
-_STORE_FACTORIES = {"daf": (DAFMatrix, ".daf"), "labtree": (LABTree, ".labt")}
+#: Compatibility aliases — the implementations moved to
+#: :mod:`repro.service.workers` so both backends share them.
+_STORE_FACTORIES = STORE_FACTORIES
+_CountingStore = CountingStore
 
 
 class ServiceStats:
@@ -102,13 +106,21 @@ class ServiceStats:
                  "breaker_fastfails", "pins_reclaimed")
     _GAUGES = ("queue_depth", "admitted_bytes", "active_jobs")
 
-    __slots__ = tuple("_" + f for f in _COUNTERS + _GAUGES)
+    #: Whole-job latency buckets (seconds): submit → result, covering
+    #: planning + admission wait + every execution attempt.  p50/p99 SLO
+    #: reporting reads these via ``Histogram.quantiles``.
+    _LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+                        10.0, 30.0, 60.0, 120.0, 300.0, 600.0)
+
+    __slots__ = tuple("_" + f for f in _COUNTERS + _GAUGES) + ("job_seconds",)
 
     def __init__(self):
         for f in self._COUNTERS:
             setattr(self, "_" + f, obs_metrics.Counter("repro_service_" + f))
         for f in self._GAUGES:
             setattr(self, "_" + f, obs_metrics.Gauge("repro_service_" + f))
+        self.job_seconds = obs_metrics.Histogram(
+            "repro_service_job_seconds", buckets=self._LATENCY_BUCKETS)
         registry = obs_metrics.CURRENT
         if registry is not None:
             self.bind(registry, service=registry.seq("service"))
@@ -118,6 +130,8 @@ class ServiceStats:
             inst = getattr(self, "_" + f)
             inst.labels = dict(labels)
             registry.register(inst)
+        self.job_seconds.labels = dict(labels)
+        registry.register(self.job_seconds)
 
     def __repr__(self) -> str:
         return (f"ServiceStats(submitted={self.jobs_submitted}, "
@@ -229,81 +243,13 @@ class JobPoolView:
         return self.pool.peak_bytes
 
 
-class _CountingStore:
-    """Per-job I/O attribution proxy around one store.
-
-    The shared disk's counters aggregate every concurrent job; this proxy
-    counts the *logical* block I/O this job issued (fault-retry and
-    checksum-healing re-reads stay global-only).  The job's prefetch
-    reader threads and its compute thread both count here, hence the lock.
-    """
-
-    __slots__ = ("store", "breaker", "read_bytes", "write_bytes", "read_ops",
-                 "write_ops", "_lock")
-
-    def __init__(self, store, breaker: "CircuitBreaker | None" = None):
-        self.store = store
-        # Degradation-mode circuit breaker: N consecutive persistent
-        # failures on this store trip it open, and every later access
-        # fails fast with CircuitOpen instead of burning retry budget.
-        self.breaker = breaker
-        self.read_bytes = self.write_bytes = 0
-        self.read_ops = self.write_ops = 0
-        self._lock = threading.Lock()
-
-    @property
-    def layout(self):
-        return self.store.layout
-
-    def _guarded(self, fn):
-        if self.breaker is None:
-            return fn()
-        self.breaker.allow()
-        try:
-            out = fn()
-        except StorageError:
-            # Only persistent storage failures reach here — the disk's
-            # retry policy has already absorbed what it could.
-            self.breaker.record_failure()
-            raise
-        self.breaker.record_success()
-        return out
-
-    def read_block(self, coords, count: bool = True):
-        block = self._guarded(
-            lambda: self.store.read_block(coords, count=count))
-        if count:
-            with self._lock:
-                self.read_bytes += self.store.layout.block_bytes
-                self.read_ops += 1
-        return block
-
-    def read_block_run(self, start_coords, nblocks: int, count: bool = True):
-        blocks, extra = self._guarded(
-            lambda: self.store.read_block_run(start_coords, nblocks,
-                                              count=count))
-        if count:
-            with self._lock:
-                self.read_bytes += nblocks * self.store.layout.block_bytes
-                self.read_ops += nblocks
-        return blocks, extra
-
-    def write_block(self, coords, block, count: bool = True) -> None:
-        self._guarded(
-            lambda: self.store.write_block(coords, block, count=count))
-        if count:
-            with self._lock:
-                self.write_bytes += self.store.layout.block_bytes
-                self.write_ops += 1
-
-
 class _Job:
     """Everything one submission carries through the pipeline."""
 
     __slots__ = ("key", "program", "params", "inputs", "memory_cap_bytes",
                  "plan", "plan_exact", "checkpoint", "resume",
                  "admission_timeout", "workers", "prefetch_depth",
-                 "token", "retry")
+                 "token", "retry", "t_submit")
 
     def __init__(self, **kw):
         for f in self.__slots__:
@@ -395,23 +341,58 @@ class ArrayService:
                  degrade: "DegradePolicy | bool | None" = None,
                  job_timeout: float | None = None,
                  job_retry: "JobRetryPolicy | int | None" = None,
-                 store_format: "str | Mapping[str, str]" = "daf"):
+                 store_format: "str | Mapping[str, str]" = "daf",
+                 shards: int = 1,
+                 stripe_bytes: int | None = None,
+                 io_pace: float = 0.0,
+                 pace_channels: int | None = None,
+                 backend: str = "threads"):
+        """Scale-out knobs (see docs/service.md "Scaling out"):
+
+        * ``shards`` — stripe the service disk across N independent
+          :class:`~repro.storage.sharding.ShardedDisk` shards (1 keeps the
+          plain single disk); ``stripe_bytes`` sets the stripe unit;
+        * ``io_pace`` / ``pace_channels`` — wall-clock pacing of counted
+          I/O and the per-disk cap on concurrent paced transfers (1 models
+          one device channel per shard, which is what makes shard counts
+          show up in throughput);
+        * ``backend`` — ``"threads"`` (shared pool + disk, the default) or
+          ``"procs"`` (each admitted job executes in a worker process with
+          a private sharded disk; see :mod:`repro.service.workers`).
+        """
         if memory_cap_bytes <= 0:
             raise ServiceError("memory_cap_bytes must be positive")
         if workers < 1:
             raise ServiceError("workers must be >= 1")
         if prefetch_depth < 0:
             raise ServiceError("prefetch_depth must be >= 0")
+        if backend not in ("threads", "procs"):
+            raise ServiceError(
+                f"unknown backend {backend!r} (known: threads, procs)")
+        if shards < 1:
+            raise ServiceError("shards must be >= 1")
         self.workdir = Path(workdir)
         self.memory_cap_bytes = int(memory_cap_bytes)
         self.io_model = io_model or IOModel()
+        self.backend = backend
+        self.shards = int(shards)
+        self.stripe_bytes = stripe_bytes
+        self.io_pace = float(io_pace)
+        self.pace_channels = pace_channels
         injector = FaultInjector.transient(seed=faults) \
             if isinstance(faults, int) else faults
+        self._fault_injector = injector
+        self._retry = retry
         if atomic_writes is None:
             atomic_writes = injector is not None
-        self.disk = SimulatedDisk(self.workdir, self.io_model,
-                                  fault_injector=injector, retry=retry,
-                                  atomic_writes=atomic_writes)
+        disk_kw: dict = {}
+        if stripe_bytes is not None:
+            disk_kw["stripe_bytes"] = stripe_bytes
+        self.disk = make_disk(self.workdir, self.shards,
+                              io_model=self.io_model, pace=io_pace,
+                              pace_channels=pace_channels,
+                              fault_injector=injector, retry=retry,
+                              atomic_writes=atomic_writes, **disk_kw)
         if atomic_writes:
             # A previous service process may have died mid-write; roll torn
             # regions back before any job opens a store.
@@ -445,6 +426,12 @@ class ArrayService:
 
         self._executor = ThreadPoolExecutor(workers,
                                             thread_name_prefix="repro-svc")
+        # Process backend: driver threads above still run the full pipeline
+        # (plan, admit, retry, accounting); only the admitted execution is
+        # dispatched here.  Sized with the thread pool so every driver can
+        # have a worker.
+        self._workers = ProcessPoolExecutor(max_workers=workers) \
+            if backend == "procs" else None
         self._adm = threading.Condition()
         self._adm_queue: deque[_Ticket] = deque()
         self._admitted = 0
@@ -490,6 +477,8 @@ class ArrayService:
             for token in tokens:
                 token.cancel("service shutting down")
         self._executor.shutdown(wait=wait)
+        if self._workers is not None:
+            self._workers.shutdown(wait=wait)
         for store in self._datasets.values():
             store.close()
         self.disk.close()
@@ -594,7 +583,7 @@ class ArrayService:
                    checkpoint=checkpoint or retry is not None,
                    resume=resume, admission_timeout=adm_timeout,
                    workers=workers, prefetch_depth=depth,
-                   token=token, retry=retry)
+                   token=token, retry=retry, t_submit=time.monotonic())
         handle = JobHandle(token)
         try:
             self._executor.submit(self._drive, job, handle)
@@ -827,6 +816,10 @@ class ArrayService:
                         result = self._execute_admitted(job, sp)
                     result.attempts = attempt
                     self.stats.jobs_completed += 1
+                    # Whole-job latency: submit → result.  p50/p99 SLO
+                    # reporting quantile-extracts this histogram.
+                    self.stats.job_seconds.observe(
+                        time.monotonic() - job.t_submit)
                     return result
                 except BaseException as err:
                     if not self._should_retry(job, attempt, err):
@@ -928,6 +921,14 @@ class ArrayService:
             self._admit(need, job.admission_timeout, cancel=job.token)
         wait = time.monotonic() - t0
         self.stats.active_jobs += 1
+        if self._workers is not None:
+            try:
+                return self._execute_in_worker(job, sp, plan, cache_hit,
+                                               opt_seconds, wait, depth,
+                                               prefetch_budget)
+            finally:
+                self.stats.active_jobs -= 1
+                self._release_admission(need)
         private_prefix = f"{job.key}__"
         try:
             exec_plan = build_executable_plan(job.program, job.params, plan)
@@ -1011,6 +1012,97 @@ class ArrayService:
                 and k[0].startswith(private_prefix), force=True)
             self.stats.active_jobs -= 1
             self._release_admission(need)
+
+    # -- process-backend execution -------------------------------------------
+
+    def _execute_in_worker(self, job: _Job, sp, plan: Plan, cache_hit: bool,
+                           opt_seconds: float, wait: float, depth: int,
+                           prefetch_budget: int) -> JobResult:
+        """Dispatch one admitted job to the worker process pool.
+
+        The spec carries the pinned plan, so the worker never re-plans; a
+        retry attempt re-enters here with ``job.resume=True`` and the
+        worker resumes through the journal in the job directory, exactly
+        like the thread backend.  Cancellation is coarser than threads: a
+        cancel flagged mid-attempt lands only if the attempt fails —
+        deadlines, though, are enforced *inside* the worker by its own
+        token, so an expired job dies at its next instance boundary.
+        """
+        job.token.check()
+        jobdir = self.workdir / "jobs" / job.key
+        jobdir.mkdir(parents=True, exist_ok=True)
+        formats = {
+            lname: ("daf" if arr.kind is ArrayKind.INPUT
+                    else self.store_format.get(
+                        lname, self.store_format.get("default", "daf")))
+            for lname, arr in job.program.arrays.items()}
+        registry = obs_metrics.CURRENT
+        spec = WorkerJobSpec(
+            job=job.key, program=job.program, params=job.params,
+            inputs=job.inputs, plan=plan, plan_exact=job.plan_exact,
+            jobdir=str(jobdir), store_formats=formats,
+            shards=self.shards, stripe_bytes=self.stripe_bytes,
+            io_model=self.io_model, pace=self.io_pace,
+            pace_channels=self.pace_channels,
+            fault_injector=self._fault_injector, retry=self._retry,
+            atomic_writes=self.disk.atomic_writes,
+            checkpoint=job.checkpoint, resume=job.resume,
+            prefetch_depth=depth,
+            prefetch_budget_bytes=prefetch_budget if depth else None,
+            # The worker's private pool gets the full service budget the
+            # way an isolated run would; admission already charged this
+            # job's plan high-water mark against the global pie.
+            pool_cap_bytes=self.memory_cap_bytes,
+            deadline_remaining=job.token.remaining(),
+            collect_metrics=registry is not None)
+        with obs_trace.span("service.execute", "service", job=job.key,
+                            backend="procs"):
+            try:
+                outcome = self._workers.submit(run_worker_job, spec).result()
+            except BrokenExecutor as err:
+                raise ServiceError(
+                    f"worker process pool broke while running {job.key!r} "
+                    f"(worker crash or OOM)") from err
+        report = outcome.to_report(self.io_model)
+
+        # Merge the worker's accounting home.  With metrics installed the
+        # whole worker registry merges — its disk/pool series carry the
+        # same (name, labels) the thread backend increments directly, so
+        # process-backend exposition totals match.  Without metrics, the
+        # logical disk traffic still folds into the service disk's stats.
+        if outcome.registry is not None and registry is not None:
+            registry.merge(outcome.registry)
+        else:
+            self.disk.stats.merge(outcome.disk_stats)
+
+        if obs_trace.CURRENT is not None:
+            cap = job.memory_cap_bytes if job.memory_cap_bytes is not None \
+                else self.memory_cap_bytes
+            sp["fingerprint"] = optimization_fingerprint(
+                job.program, job.params, cap, self.io_model,
+                max_set_size=self.max_set_size,
+                max_candidates=self.max_candidates)
+            sp["params"] = dict(job.params)
+            sp["arrays"] = {n: n for n in job.program.arrays}
+            sp["plan_exact"] = job.plan_exact
+            sp["prefetch_depth"] = depth
+            sp["memory_bytes"] = plan.cost.memory_bytes
+            sp["predicted_read_bytes"] = plan.cost.read_bytes
+            sp["predicted_write_bytes"] = plan.cost.write_bytes
+            sp["read_bytes"] = report.io.read_bytes
+            sp["write_bytes"] = report.io.write_bytes
+            sp["read_ops"] = report.io.read_ops
+            sp["write_ops"] = report.io.write_ops
+            sp["pool_hits"] = report.pool_hits
+            sp["pool_misses"] = report.pool_misses
+            sp["optimize_seconds"] = opt_seconds
+            sp["admission_wait_seconds"] = wait
+            sp["backend"] = "procs"
+        # A 1000-job run must not accumulate 1000 private stores; failed
+        # attempts keep theirs for resume-retry.
+        cleanup_jobdir(jobdir)
+        return JobResult(job.key, outcome.outputs, report, plan, cache_hit,
+                         opt_seconds, wait)
 
     # -- introspection ------------------------------------------------------
 

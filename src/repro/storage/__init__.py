@@ -5,6 +5,9 @@ Public surface:
 * :class:`SimulatedDisk` / :class:`IOStats` — real files, byte-accurate
   accounting, bandwidth-model timing, bounded retry with backoff, and
   undo-record crash recovery;
+* :class:`ShardedDisk` / :func:`make_disk` — the same surface striped
+  across N independent shards with per-shard fault domains and parallel
+  segment I/O (``repro.storage.sharding``);
 * :class:`DAFMatrix` — Directly Addressable File (dense blocked matrices);
 * :class:`LABTree` — Linearized Array B-tree (sparse-capable B+-tree format);
 * :class:`BlockLayout` / :class:`BlockChecksums` — column-major layout
@@ -22,6 +25,8 @@ from .daf import DAFMatrix
 from .disk import DiskFile, IOStats, SimulatedDisk
 from .faults import FaultInjector, FaultPolicy, InjectedFault, RetryPolicy
 from .labtree import LABTree
+from .sharding import DEFAULT_STRIPE_BYTES, ShardedDisk, ShardedFile, \
+    make_disk
 
 __all__ = [
     "BlockChecksums",
@@ -37,7 +42,11 @@ __all__ = [
     "LABTree",
     "RetryPolicy",
     "SimulatedDisk",
+    "ShardedDisk",
+    "ShardedFile",
     "DiskFile",
     "IOStats",
+    "DEFAULT_STRIPE_BYTES",
+    "make_disk",
     "block_checksum",
 ]

@@ -56,13 +56,19 @@ class IOStats:
     _FIELDS = ("read_bytes", "write_bytes", "read_ops", "write_ops",
                "retries", "checksum_failures")
 
-    __slots__ = tuple("_" + f for f in _FIELDS) + ("_lock", "_local")
+    __slots__ = tuple("_" + f for f in _FIELDS) + ("_lock", "_local",
+                                                   "mirror")
 
     def __init__(self):
         for f in self._FIELDS:
             setattr(self, "_" + f, obs_metrics.Counter("repro_io_" + f))
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Optional (target IOStats, field-name tuple): deltas to the named
+        # fields are forwarded to the target as well.  A sharded disk sets
+        # this on each shard so absorbed shard retries surface in the
+        # logical aggregate alongside the logical op counts.
+        self.mirror: "tuple[IOStats, tuple[str, ...]] | None" = None
 
     def add(self, **deltas: int) -> None:
         """Atomically accumulate counter deltas (``add(read_bytes=n, ...)``).
@@ -79,6 +85,11 @@ class IOStats:
         mine = self._local.__dict__
         for f, n in deltas.items():
             mine[f] = mine.get(f, 0) + n
+        if self.mirror is not None:
+            target, fields = self.mirror
+            fwd = {f: n for f, n in deltas.items() if f in fields and n}
+            if fwd:
+                target.add(**fwd)
 
     def thread_value(self, field: str) -> int:
         """Cumulative amount *this thread* has added to ``field``.
@@ -111,6 +122,29 @@ class IOStats:
             s.retries = self.retries
             s.checksum_failures = self.checksum_failures
         return s
+
+    def merge(self, other: "IOStats") -> None:
+        """Fold another holder's totals into this one (atomic per field).
+
+        The scale-out primitive: worker processes return ``IOStats``
+        snapshots and the parent merges them into its live counters, so
+        multi-process totals stay exact rather than sampled.
+        """
+        deltas = {f: getattr(other, f) for f in self._FIELDS
+                  if getattr(other, f)}
+        if deltas:
+            self.add(**deltas)
+
+    # Pickled as a plain field dict: locks, thread-locals and mirror links
+    # are process-private and rebuilt empty on the other side.
+    def __getstate__(self) -> dict:
+        snap = self.snapshot()
+        return {f: getattr(snap, f) for f in self._FIELDS}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__()
+        for f, value in state.items():
+            setattr(self, f, value)
 
     def since(self, other: "IOStats") -> "IOStats":
         """Delta relative to an earlier snapshot, as a fresh ``IOStats``.
@@ -157,12 +191,18 @@ class SimulatedDisk:
                  fault_injector: FaultInjector | None = None,
                  retry: RetryPolicy | None = None,
                  atomic_writes: bool = False, fsync: bool = False,
-                 pace: float = 0.0):
+                 pace: float = 0.0, pace_channels: int | None = None):
         # ``pace``: opt-in wall-clock pacing — sleep this fraction of the
         # modeled seconds after every successful counted op.  The default 0
         # keeps timing modeled-but-never-waited-for; the prefetch overlap
         # benchmark sets pace=1.0 so I/O-compute overlap shows up in wall
         # time the way it would against the paper's physical disk.
+        # ``pace_channels``: cap on how many paced transfers proceed at
+        # once.  ``None`` (default) keeps the historical unbounded pacing —
+        # every thread sleeps its own modeled time in parallel, a device
+        # with infinite channels.  Setting 1 models a single spindle/NVMe
+        # channel whose transfers serialize, which is what makes striping
+        # across shards (each with its own channel) a real throughput win.
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.io_model = io_model or IOModel()
@@ -185,6 +225,9 @@ class SimulatedDisk:
         self.atomic_writes = atomic_writes
         self.fsync = fsync
         self.pace = float(pace)
+        self.pace_channels = pace_channels
+        self._pace_sem = (threading.BoundedSemaphore(pace_channels)
+                          if pace_channels and pace_channels > 0 else None)
         self._files: dict[str, DiskFile] = {}
         self._open_lock = threading.Lock()
         self._closed = False
@@ -211,8 +254,12 @@ class SimulatedDisk:
         the default ``pace=0``).  Called outside any file lock so paced
         transfers on different threads genuinely overlap."""
         if self.pace:
-            time.sleep(self.io_model.seconds(read_bytes, write_bytes)
-                       * self.pace)
+            delay = self.io_model.seconds(read_bytes, write_bytes) * self.pace
+            if self._pace_sem is None:
+                time.sleep(delay)
+            else:
+                with self._pace_sem:
+                    time.sleep(delay)
 
     # -- crash recovery ------------------------------------------------------
 

@@ -147,3 +147,127 @@ class TestThinViews:
         pool = BufferPool(cap_bytes=1 << 20)
         pool.hits += 2
         assert r.snapshot()['repro_pool_hits{pool="pool1"}'] == 2
+
+
+class TestQuantiles:
+    """Histogram quantile extraction (p50/p90/p99 for SLO reporting)."""
+
+    def _loaded(self):
+        h = Histogram("repro_lat", buckets=(1, 2, 4, 8))
+        for v in [0.5] * 50 + [1.5] * 30 + [3.0] * 15 + [6.0] * 4 + [20.0]:
+            h.observe(v)
+        return h
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = self._loaded()
+        assert 0 < h.quantile(0.5) <= 1          # rank 50 in (0, 1]
+        assert 1 < h.quantile(0.9) <= 4
+        assert 4 < h.quantile(0.99) <= 8
+
+    def test_inf_bucket_clamps_to_largest_finite_bound(self):
+        h = self._loaded()
+        assert h.quantile(1.0) == 8
+
+    def test_empty_histogram_returns_none(self):
+        assert Histogram("repro_e").quantile(0.5) is None
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            self._loaded().quantile(1.5)
+
+    def test_quantiles_dict_keys(self):
+        q = self._loaded().quantiles()
+        assert set(q) == {"p50", "p90", "p99"}
+
+    def test_registry_quantiles_skip_empty_histograms(self):
+        r = MetricsRegistry()
+        r.histogram("repro_empty")
+        full = r.histogram("repro_full", buckets=(1, 10))
+        full.observe(0.5)
+        q = r.quantiles()
+        assert "repro_full" in q and "repro_empty" not in q
+
+    def test_snapshot_doc_carries_quantiles_member(self):
+        r = MetricsRegistry()
+        h = r.histogram("repro_lat", buckets=(1, 10), op="x")
+        h.observe(0.5)
+        doc = r.snapshot_doc()
+        assert doc["v"] == metrics.SCHEMA_VERSION
+        assert 'repro_lat{op="x"}' in doc["quantiles"]
+
+
+class TestMergeAndPickle:
+    """The scale-out primitive: worker snapshots fold into parent totals."""
+
+    def _worker_registry(self, w: int) -> MetricsRegistry:
+        r = MetricsRegistry()
+        r.counter("repro_jobs", worker=str(w % 2)).inc(3)
+        r.gauge("repro_depth").set(1)
+        h = r.histogram("repro_lat", buckets=(1, 2, 4, 8))
+        for v in (0.5, 1.5, 6.0):
+            h.observe(v)
+        return r
+
+    def test_eight_worker_snapshots_merge_to_exact_totals(self):
+        import pickle
+        parent = MetricsRegistry()
+        for w in range(8):
+            # Round-trip through pickle first: exactly what the process
+            # backend ships home.
+            parent.merge(pickle.loads(pickle.dumps(
+                self._worker_registry(w))))
+        snap = parent.snapshot()
+        assert snap['repro_jobs{worker="0"}'] == 12
+        assert snap['repro_jobs{worker="1"}'] == 12
+        assert snap["repro_depth"] == 8
+        assert snap["repro_lat_count"] == 24
+        assert snap["repro_lat_sum"] == 8 * 8.0
+        assert snap['repro_lat_bucket{le="1"}'] == 8
+        assert snap['repro_lat_bucket{le="+Inf"}'] == 24
+
+    def test_merge_copies_unseen_series(self):
+        parent = MetricsRegistry()
+        other = MetricsRegistry()
+        c = other.counter("repro_new")
+        c.inc(5)
+        parent.merge(other)
+        c.inc(100)  # mutating the source must not leak into the parent
+        assert parent.snapshot()["repro_new"] == 5
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.histogram("repro_h", buckets=(1, 2))
+        bh = b.histogram("repro_h", buckets=(1, 4))
+        bh.observe(3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_advances_seq_counters(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.seq("disk"), b.seq("disk")
+        a.merge(b)
+        assert a.seq("disk") == "disk3"
+
+    def test_iostats_merge_and_pickle(self):
+        import pickle
+        from repro.storage.disk import IOStats
+        s = IOStats()
+        s.add(read_bytes=100, read_ops=2, retries=1)
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone.read_bytes == 100 and clone.retries == 1
+        total = IOStats()
+        total.merge(s)
+        total.merge(clone)
+        assert total.read_bytes == 200 and total.read_ops == 4
+        assert total.retries == 2
+
+    def test_iostats_mirror_forwards_named_fields(self):
+        from repro.storage.disk import IOStats
+        logical = IOStats()
+        shard = IOStats()
+        shard.mirror = (logical, ("retries",))
+        shard.add(read_bytes=64, retries=2)
+        assert logical.retries == 2
+        assert logical.read_bytes == 0  # only the named fields forward

@@ -1,0 +1,184 @@
+"""Scale-out service: process-pool backend parity and sharded service disk.
+
+The acceptance bars from ISSUE 10:
+
+* ``backend="procs"`` produces outputs byte-identical to the thread
+  backend, with identical per-job I/O attribution on plan-exact jobs;
+* worker metrics merge into the parent registry so process-backend totals
+  land on the very series the thread backend increments;
+* faults + retry-with-resume, deadlines, and shards compose with the
+  process backend;
+* the service disk stripes across shards with unchanged results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import add_multiply_program, optimize, reference_outputs
+from repro.exceptions import DeadlineExceeded, ServiceError
+from repro.obs import metrics as obs_metrics
+from repro.service import ArrayService
+
+P = {"n1": 2, "n2": 2, "n3": 1}
+CAP = 4 << 20
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_registry():
+    obs_metrics.uninstall()
+    yield
+    obs_metrics.uninstall()
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return add_multiply_program()
+
+
+@pytest.fixture(scope="module")
+def best_plan(prog):
+    return optimize(prog, P).best(CAP)
+
+
+def _inputs(prog, seed):
+    rng = np.random.default_rng(seed)
+    return {n: rng.standard_normal(prog.arrays[n].shape_elems(P))
+            for n in ("A", "B", "D")}
+
+
+def _run(svc, prog, seeds, plan):
+    futures = [svc.submit(prog, P, _inputs(prog, s), plan=plan)
+               for s in seeds]
+    return [f.result(timeout=180) for f in futures]
+
+
+class TestProcsParity:
+    def test_outputs_and_attribution_match_threads(self, prog, best_plan,
+                                                   tmp_path):
+        seeds = (0, 1, 2)
+        with ArrayService(tmp_path / "t", memory_cap_bytes=4 * CAP,
+                          workers=2) as svc:
+            base = _run(svc, prog, seeds, best_plan)
+        with ArrayService(tmp_path / "p", memory_cap_bytes=4 * CAP,
+                          workers=2, backend="procs") as svc:
+            procs = _run(svc, prog, seeds, best_plan)
+        for b, p in zip(base, procs):
+            for name in b.outputs:
+                assert np.array_equal(p.outputs[name], b.outputs[name])
+            # Plan-exact attribution is backend-independent.
+            assert p.report.io.read_bytes == b.report.io.read_bytes
+            assert p.report.io.write_bytes == b.report.io.write_bytes
+            assert p.report.io.read_ops == b.report.io.read_ops
+            assert p.report.io.write_ops == b.report.io.write_ops
+
+    def test_procs_numerically_correct(self, prog, best_plan, tmp_path):
+        inputs = _inputs(prog, 3)
+        expected = reference_outputs(prog, P, inputs)
+        with ArrayService(tmp_path, memory_cap_bytes=4 * CAP,
+                          backend="procs") as svc:
+            r = svc.submit(prog, P, inputs, plan=best_plan).result(
+                timeout=180)
+        for name in r.outputs:
+            assert np.allclose(r.outputs[name], expected[name])
+
+    def test_procs_over_sharded_worker_disks(self, prog, best_plan,
+                                             tmp_path):
+        with ArrayService(tmp_path, memory_cap_bytes=4 * CAP, workers=2,
+                          backend="procs", shards=2,
+                          stripe_bytes=8192) as svc:
+            results = _run(svc, prog, (4, 5), best_plan)
+        for seed, r in zip((4, 5), results):
+            expected = reference_outputs(prog, P, _inputs(prog, seed))
+            assert r.outputs
+            for name in r.outputs:
+                assert np.allclose(r.outputs[name], expected[name])
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            ArrayService(tmp_path, memory_cap_bytes=CAP, backend="mpi")
+
+
+class TestProcsMetricsMerge:
+    def test_worker_series_land_on_parent_registry(self, prog, best_plan,
+                                                   tmp_path):
+        reg_t = obs_metrics.MetricsRegistry()
+        obs_metrics.install(reg_t)
+        with ArrayService(tmp_path / "t", memory_cap_bytes=4 * CAP,
+                          workers=1) as svc:
+            _run(svc, prog, (0, 1), best_plan)
+        snap_t = reg_t.snapshot()
+        obs_metrics.uninstall()
+
+        reg_p = obs_metrics.MetricsRegistry()
+        obs_metrics.install(reg_p)
+        with ArrayService(tmp_path / "p", memory_cap_bytes=4 * CAP,
+                          workers=1, backend="procs") as svc:
+            _run(svc, prog, (0, 1), best_plan)
+        snap_p = reg_p.snapshot()
+
+        key = 'repro_io_read_bytes{disk="disk1"}'
+        assert snap_p[key] == snap_t[key] > 0
+        # Latency histogram is populated either way.
+        counts = [v for k, v in snap_p.items()
+                  if k.startswith("repro_service_job_seconds_count")]
+        assert counts == [2]
+        q = reg_p.quantiles()
+        assert any(k.startswith("repro_service_job_seconds") for k in q)
+
+    def test_procs_without_registry_merge_into_disk_stats(self, prog,
+                                                          best_plan,
+                                                          tmp_path):
+        with ArrayService(tmp_path, memory_cap_bytes=4 * CAP, workers=1,
+                          backend="procs") as svc:
+            r = svc.submit(prog, P, _inputs(prog, 0),
+                           plan=best_plan).result(timeout=180)
+            # Worker traffic folded into the service disk's stats.
+            assert svc.disk.stats.read_bytes >= r.report.io.read_bytes
+            assert svc.disk.stats.write_bytes > 0
+
+
+class TestProcsResilience:
+    def test_faults_with_job_retry(self, prog, best_plan, tmp_path):
+        with ArrayService(tmp_path, memory_cap_bytes=4 * CAP, workers=1,
+                          backend="procs", faults=13,
+                          job_retry=3) as svc:
+            r = svc.submit(prog, P, _inputs(prog, 6),
+                           plan=best_plan).result(timeout=180)
+        expected = reference_outputs(prog, P, _inputs(prog, 6))
+        assert r.outputs
+        for name in r.outputs:
+            assert np.allclose(r.outputs[name], expected[name])
+
+    def test_deadline_enforced_inside_worker(self, prog, best_plan,
+                                             tmp_path):
+        with ArrayService(tmp_path, memory_cap_bytes=4 * CAP, workers=1,
+                          backend="procs", io_pace=200.0,
+                          job_timeout=0.2) as svc:
+            fut = svc.submit(prog, P, _inputs(prog, 7), plan=best_plan)
+            with pytest.raises(DeadlineExceeded):
+                fut.result(timeout=180)
+
+
+class TestShardedServiceDisk:
+    @pytest.mark.parametrize("backend", ["threads", "procs"])
+    def test_results_unchanged_on_sharded_disk(self, prog, best_plan,
+                                               tmp_path, backend):
+        with ArrayService(tmp_path / "s1", memory_cap_bytes=4 * CAP,
+                          workers=2, backend=backend) as svc:
+            base = _run(svc, prog, (8, 9), best_plan)
+        with ArrayService(tmp_path / "s4", memory_cap_bytes=4 * CAP,
+                          workers=2, backend=backend, shards=4) as svc:
+            sharded = _run(svc, prog, (8, 9), best_plan)
+        for b, s in zip(base, sharded):
+            for name in b.outputs:
+                assert np.array_equal(s.outputs[name], b.outputs[name])
+            assert s.report.io.read_bytes == b.report.io.read_bytes
+
+    def test_job_seconds_histogram_observes_completions(self, prog,
+                                                        best_plan,
+                                                        tmp_path):
+        with ArrayService(tmp_path, memory_cap_bytes=4 * CAP,
+                          workers=2, shards=2) as svc:
+            _run(svc, prog, (0, 1, 2), best_plan)
+            assert svc.stats.job_seconds.count == 3
+            assert svc.stats.job_seconds.quantile(0.5) is not None
